@@ -1,0 +1,38 @@
+"""E11-E14 benchmarks: ablation studies on SCONNA's design choices."""
+
+from repro.analysis.ablations import (
+    run_ablation_bit_slicing,
+    run_ablation_sng,
+    run_ablation_stream_length,
+    run_ablation_vdpe_size,
+)
+
+
+def test_ablation_vdpe_size(benchmark, show):
+    result = benchmark.pedantic(
+        run_ablation_vdpe_size, rounds=1, iterations=1, warmup_rounds=0
+    )
+    show(result)
+    assert result.all_checks_pass, result.render()
+
+
+def test_ablation_stream_length(benchmark, show):
+    result = benchmark.pedantic(
+        run_ablation_stream_length, rounds=1, iterations=1, warmup_rounds=0
+    )
+    show(result)
+    assert result.all_checks_pass, result.render()
+
+
+def test_ablation_sng(benchmark, show):
+    result = benchmark(run_ablation_sng)
+    show(result)
+    assert result.all_checks_pass, result.render()
+
+
+def test_ablation_bit_slicing(benchmark, show):
+    result = benchmark.pedantic(
+        run_ablation_bit_slicing, rounds=1, iterations=1, warmup_rounds=0
+    )
+    show(result)
+    assert result.all_checks_pass, result.render()

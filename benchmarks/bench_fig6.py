@@ -1,0 +1,9 @@
+"""E3 benchmark: regenerate paper Fig. 6(c) (OAG transient validation)."""
+
+from repro.analysis.fig6 import run_fig6c
+
+
+def test_fig6c_oag_transient(benchmark, show):
+    result = benchmark(run_fig6c)
+    show(result)
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,15 @@
+"""E4/E5 benchmarks: regenerate paper Fig. 7(a) and Fig. 7(b)."""
+
+from repro.analysis.fig7 import run_fig7a, run_fig7b
+
+
+def test_fig7a_bitrate_vs_fwhm(benchmark, show):
+    result = benchmark(run_fig7a)
+    show(result)
+    assert result.all_checks_pass, result.render()
+
+
+def test_fig7b_pca_linearity(benchmark, show):
+    result = benchmark(run_fig7b)
+    show(result)
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,39 @@
+"""E7-E9 benchmarks: regenerate paper Fig. 9 (FPS, FPS/W, FPS/W/mm2).
+
+The simulation grid (4 CNNs x 3 accelerators) is computed once per
+session by the ``fig9_data`` fixture; each panel's table renders from
+it.  The benchmark timing target for E7 is one full SCONNA ResNet-50
+inference simulation - the paper simulator's core operation.
+"""
+
+from repro.analysis.fig9 import run_fig9a, run_fig9b, run_fig9c
+from repro.arch.designs import build_evaluated_designs
+from repro.arch.simulator import simulate_inference
+from repro.cnn.zoo import build_model
+
+
+def test_fig9a_fps(benchmark, fig9_data, show):
+    design = build_evaluated_designs()["SCONNA"]
+    model = build_model("ResNet50")
+    benchmark(lambda: simulate_inference(design, model))
+    result = run_fig9a(fig9_data)
+    show(result)
+    assert result.all_checks_pass, result.render()
+
+
+def test_fig9b_fps_per_watt(benchmark, fig9_data, show):
+    design = build_evaluated_designs()["MAM"]
+    model = build_model("ResNet50")
+    benchmark(lambda: simulate_inference(design, model))
+    result = run_fig9b(fig9_data)
+    show(result)
+    assert result.all_checks_pass, result.render()
+
+
+def test_fig9c_area_efficiency(benchmark, fig9_data, show):
+    design = build_evaluated_designs()["AMM"]
+    model = build_model("GoogleNet")
+    benchmark(lambda: simulate_inference(design, model))
+    result = run_fig9c(fig9_data)
+    show(result)
+    assert result.all_checks_pass, result.render()

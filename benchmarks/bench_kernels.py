@@ -1,0 +1,61 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Not paper artifacts - these keep the substrate fast enough for the
+experiment harnesses and catch performance regressions:
+
+* count-domain SC vector dot products (the functional simulator's core),
+* bit-true LUT multiplication,
+* im2col convolution,
+* the discrete-event kernel, and
+* one SCONNA VDPE pass at full N.
+"""
+
+import numpy as np
+
+from repro.arch.events import EventKernel
+from repro.cnn.functional import conv2d
+from repro.core.vdpe import SconnaVDPE
+from repro.stochastic.arithmetic import sc_vdp
+from repro.stochastic.lut import OsmLookupTable
+
+
+def test_sc_vdp_count_domain(benchmark):
+    rng = np.random.default_rng(0)
+    i = rng.integers(0, 257, size=4608)
+    w = rng.integers(-256, 257, size=4608)
+    pos, neg = benchmark(lambda: sc_vdp(i, w, 8))
+    assert pos >= 0 and neg >= 0
+
+
+def test_lut_bit_true_multiply(benchmark):
+    lut = OsmLookupTable(8)
+    out = benchmark(lambda: lut.fetch_product_count(200, 100))
+    assert out == (200 * 100) // 256
+
+
+def test_conv2d_im2col(benchmark):
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(3, 32, 32))
+    w = rng.normal(size=(16, 3, 3, 3))
+    out = benchmark(lambda: conv2d(x, w, padding=1))
+    assert out.shape == (16, 32, 32)
+
+
+def test_event_kernel_throughput(benchmark):
+    def run_10k_events():
+        k = EventKernel()
+        for j in range(10_000):
+            k.schedule(j * 1e-9, lambda: None)
+        return k.run()
+
+    end = benchmark(run_10k_events)
+    assert end > 0
+
+
+def test_sconna_vdpe_full_vector(benchmark):
+    rng = np.random.default_rng(2)
+    i = rng.integers(0, 257, size=4608)
+    w = rng.integers(-256, 257, size=4608)
+    vdpe = SconnaVDPE(seed=0)
+    res = benchmark(lambda: vdpe.compute_vdp(i, w, apply_adc_error=False))
+    assert res.optical_passes == 27

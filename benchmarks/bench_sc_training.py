@@ -1,0 +1,11 @@
+"""E15 benchmark: the SC-aware-training extension (Section VI-D)."""
+
+from repro.analysis.sc_training import run_sc_aware_training
+
+
+def test_sc_aware_training_recovers_low_precision_drop(benchmark, show):
+    result = benchmark.pedantic(
+        run_sc_aware_training, rounds=1, iterations=1, warmup_rounds=0
+    )
+    show(result)
+    assert result.all_checks_pass, result.render()

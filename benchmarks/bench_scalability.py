@@ -1,0 +1,9 @@
+"""E6 benchmark: regenerate the Section V scalability analysis."""
+
+from repro.analysis.scalability import run_scalability
+
+
+def test_section5_scalability(benchmark, show):
+    result = benchmark(run_scalability)
+    show(result)
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,9 @@
+"""E1 benchmark: regenerate paper Table I (analog VDPC scalability)."""
+
+from repro.analysis.table1 import run_table1
+
+
+def test_table1_analog_scalability(benchmark, show):
+    result = benchmark(run_table1)
+    show(result)
+    assert result.all_checks_pass, result.render()

@@ -1,0 +1,9 @@
+"""E2 benchmark: regenerate paper Table II (kernel-size statistics)."""
+
+from repro.analysis.table2 import run_table2
+
+
+def test_table2_kernel_statistics(benchmark, show):
+    result = benchmark(run_table2)
+    show(result)
+    assert result.all_checks_pass, result.render()

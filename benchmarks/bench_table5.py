@@ -1,0 +1,31 @@
+"""E10 benchmark: regenerate paper Table V (accuracy drop).
+
+The heavy step (training four proxy CNNs) runs once - the harness
+memoises per configuration - and the benchmark times one SCONNA-mode
+inference batch, the operation the study repeats most.
+"""
+
+import numpy as np
+
+from repro.analysis.table5 import evaluate_proxies, run_table5
+from repro.cnn.datasets import generate_dataset
+from repro.cnn.inference import QuantizedModel
+from repro.cnn.train import build_proxy, train
+from repro.stochastic.error_models import SconnaErrorModel
+
+
+def test_table5_accuracy_drop(benchmark, show):
+    result = run_table5()
+    show(result)
+
+    # timing target: one SCONNA-datapath inference batch on the
+    # smallest proxy (everything else is already memoised)
+    ds = generate_dataset(4, seed=9)
+    model = build_proxy("snet_proxy", seed=0)
+    train(model, ds, epochs=1, seed=0)
+    qm = QuantizedModel.from_trained(model, ds.images[:16])
+    em = SconnaErrorModel(seed=0)
+    benchmark(
+        lambda: qm.forward(ds.images[:8], mode="sconna", error_model=em)
+    )
+    assert result.all_checks_pass, result.render()

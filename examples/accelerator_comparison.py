@@ -1,0 +1,21 @@
+"""Accelerator comparison: regenerate the paper's Fig. 9 tables.
+
+Simulates all four evaluation CNNs on SCONNA and the two area-matched
+analog baselines, printing FPS, FPS/W and FPS/W/mm2 with the paper's
+published geometric-mean uplifts alongside - the full E7/E8/E9
+experiment as a standalone script.
+
+Run:  python examples/accelerator_comparison.py
+"""
+
+from repro.analysis.fig9 import run_fig9
+
+
+def main() -> None:
+    for result in run_fig9():
+        print(result.render())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Quickstart: the SCONNA stack in five minutes.
+
+Walks the public API bottom-up: one optical stochastic multiplication,
+one full vector dot product on a VDPE, the Section V scalability
+analysis, and a system-level inference simulation of GoogleNet.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.arch.designs import build_evaluated_designs
+from repro.arch.simulator import simulate_inference
+from repro.cnn.zoo import build_model
+from repro.core import (
+    OpticalStochasticMultiplier,
+    SconnaVDPE,
+    analyze_scalability,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. One stochastic multiplication, three levels of fidelity
+    # ------------------------------------------------------------------
+    osm = OpticalStochasticMultiplier()
+    ib, wb = 200, 100
+    print("1) Optical Stochastic Multiplier  (ib=200, wb=100, B=8)")
+    print(f"   count-domain:        {osm.multiply(ib, wb)}")
+    print(f"   LUT streams + AND:   {osm.multiply_streams(ib, wb)}")
+    print(f"   full optical device: {osm.multiply_optical(ib, wb)}")
+    print(f"   (exact product/256 = {ib * wb / 256:.2f}; the OSM floors it)")
+    print()
+
+    # ------------------------------------------------------------------
+    # 2. A 4608-point VDP on one VDPE (ResNet50's largest kernel)
+    # ------------------------------------------------------------------
+    rng = np.random.default_rng(0)
+    i_vec = rng.integers(0, 257, size=4608)
+    w_vec = rng.integers(-256, 257, size=4608)
+    vdpe = SconnaVDPE(seed=0)
+    res = vdpe.compute_vdp(i_vec, w_vec)
+    exact = SconnaVDPE.exact_reference(i_vec, w_vec, 8)
+    print("2) SCONNA VDPE computing an S=4608 vector dot product")
+    print(f"   optical passes:     {res.optical_passes} (vs 105 for N=44 analog)")
+    print(f"   electrical psums:   {res.electrical_psums} (vs 420 for sliced MAM)")
+    print(f"   latency:            {res.latency_s * 1e9:.1f} ns")
+    print(f"   result (with ADC error): {res.signed_count}  [exact: {exact}]")
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Section V scalability analysis
+    # ------------------------------------------------------------------
+    rep = analyze_scalability()
+    print("3) Scalability (Section V)")
+    print(f"   max OAG bitrate at design FWHM: {rep.max_bitrate_at_fwhm_hz / 1e9:.1f} Gb/s")
+    print(f"   max N from the Eq. 4 budget:    {rep.max_n_at_minus_30_dbm} (paper: 176)")
+    print(f"   PCA capacity:                   {rep.pca_capacity_ones} ones "
+          f"(full pass = {rep.pca_full_scale_ones})")
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. System-level inference simulation
+    # ------------------------------------------------------------------
+    designs = build_evaluated_designs()
+    model = build_model("GoogleNet")
+    print("4) Batch-1 GoogleNet inference on the three evaluated machines")
+    for name, design in designs.items():
+        perf = simulate_inference(design, model)
+        print(
+            f"   {name:16s} {perf.fps:9.1f} FPS   "
+            f"{perf.fps_per_watt:8.4f} FPS/W   "
+            f"{perf.area_mm2:7.0f} mm2"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro - a full Python reproduction of SCONNA (IPDPS 2023).
+
+SCONNA is a stochastic-computing-based silicon-photonic accelerator for
+integer-quantized CNN inference (Sri Vatsavai et al., arXiv:2302.07036).
+This package rebuilds the paper's entire stack from scratch:
+
+``repro.photonics``
+    Device substrate: microrings, the Optical AND Gate, photodetector
+    noise, laser/waveguide losses, link budgets, the PCA's
+    time-integrating receiver and data converters.
+``repro.stochastic``
+    Stochastic-computing substrate: unipolar bit-streams, correlation
+    metrics, stochastic number generators, the OSM lookup table and SC
+    arithmetic.
+``repro.core``
+    The paper's contribution: OSM, PCA, SCONNA VDPE/VDPC and the
+    Section V scalability analysis.
+``repro.cnn``
+    CNN substrate: NumPy conv/pool/FC kernels, a layer-graph IR, the
+    six-model zoo (shapes for Table II and the performance study), int8
+    quantization, training and SC-error-injected inference.
+``repro.arch``
+    System substrate: discrete-event kernel, NoC, memories, Table IV
+    peripherals, tiles, the weight-stationary mapper, the analog AMM/MAM
+    baselines and the transaction-level accelerator simulator.
+``repro.analysis``
+    One harness per paper table/figure (Tables I, II, V; Figs. 6(c),
+    7(a), 7(b), 9(a-c)) plus ablations, each printing paper-vs-measured.
+
+Quick start::
+
+    from repro.analysis import fig9
+    result = fig9.run_fig9(quick=True)
+    print(result.render())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "photonics",
+    "stochastic",
+    "core",
+    "cnn",
+    "arch",
+    "analysis",
+    "__version__",
+]

@@ -1,0 +1,70 @@
+"""Experiment harnesses - one per paper table/figure, plus ablations.
+
+=========== ======================================= =====================
+experiment   paper artifact                          entry point
+=========== ======================================= =====================
+E1           Table I (analog scalability)            :func:`run_table1`
+E2           Table II (kernel-size statistics)       :func:`run_table2`
+E3           Fig 6(c) (OAG transient)                :func:`run_fig6c`
+E4           Fig 7(a) (bitrate vs FWHM)              :func:`run_fig7a`
+E5           Fig 7(b) (PCA linearity)                :func:`run_fig7b`
+E6           Section V (SCONNA max N)                :func:`run_scalability`
+E7-E9        Fig 9(a-c) (FPS, FPS/W, FPS/W/mm2)      :func:`run_fig9`
+E10          Table V (accuracy drop)                 :func:`run_table5`
+E11-E14      ablations                               ``run_ablation_*``
+=========== ======================================= =====================
+
+Each returns an :class:`~repro.analysis.report.ExperimentResult` whose
+``render()`` prints measured values next to the paper's.
+"""
+
+from repro.analysis.report import ExperimentResult
+from repro.analysis.table1 import PAPER_TABLE1, run_table1
+from repro.analysis.table2 import PAPER_TABLE2, run_table2
+from repro.analysis.fig6 import run_fig6c
+from repro.analysis.fig7 import run_fig7a, run_fig7b
+from repro.analysis.scalability import run_scalability
+from repro.analysis.fig9 import (
+    PAPER_GMEAN,
+    Fig9Data,
+    run_fig9,
+    run_fig9a,
+    run_fig9b,
+    run_fig9c,
+    simulate_all,
+)
+from repro.analysis.table5 import PAPER_TABLE5, evaluate_proxies, run_table5
+from repro.analysis.ablations import (
+    run_ablation_bit_slicing,
+    run_ablation_sng,
+    run_ablation_stream_length,
+    run_ablation_vdpe_size,
+)
+from repro.analysis.sc_training import run_sc_aware_training
+
+__all__ = [
+    "ExperimentResult",
+    "PAPER_TABLE1",
+    "run_table1",
+    "PAPER_TABLE2",
+    "run_table2",
+    "run_fig6c",
+    "run_fig7a",
+    "run_fig7b",
+    "run_scalability",
+    "PAPER_GMEAN",
+    "Fig9Data",
+    "run_fig9",
+    "run_fig9a",
+    "run_fig9b",
+    "run_fig9c",
+    "simulate_all",
+    "PAPER_TABLE5",
+    "evaluate_proxies",
+    "run_table5",
+    "run_ablation_bit_slicing",
+    "run_ablation_sng",
+    "run_ablation_stream_length",
+    "run_ablation_vdpe_size",
+    "run_sc_aware_training",
+]

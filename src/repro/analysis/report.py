@@ -1,0 +1,44 @@
+"""Shared experiment-report container.
+
+Every ``repro.analysis`` harness returns an :class:`ExperimentResult`
+whose :meth:`render` prints the same rows/series the paper reports, side
+by side with the paper's published values, plus a short verdict on
+whether the qualitative shape reproduced.  ``benchmarks/`` displays
+these verbatim and EXPERIMENTS.md records them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.tables import Table
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure with paper-vs-measured context."""
+
+    experiment_id: str
+    title: str
+    table: Table
+    notes: "list[str]" = field(default_factory=list)
+    checks: "dict[str, bool]" = field(default_factory=dict)
+    data: "dict[str, object]" = field(default_factory=dict)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values()) if self.checks else True
+
+    def render(self) -> str:
+        lines = [f"=== {self.experiment_id}: {self.title} ==="]
+        lines.append(self.table.render())
+        if self.checks:
+            lines.append("")
+            for name, ok in self.checks.items():
+                lines.append(f"  [{'PASS' if ok else 'MISS'}] {name}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,88 @@
+"""E6 - Section V: SCONNA's achievable VDPC size and PCA capacity.
+
+Prints the full scalability report (Eqs. 2-4 + TIR sizing) next to the
+paper's published N = 176, documenting the -28 vs -30 dBm sensitivity
+reconciliation recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentResult
+from repro.core.config import SconnaConfig
+from repro.core.scalability import analyze_scalability, psum_counts_for_vector
+from repro.utils.tables import Table
+
+
+def run_scalability(config: SconnaConfig | None = None) -> ExperimentResult:
+    cfg = config or SconnaConfig()
+    rep = analyze_scalability(cfg)
+
+    table = Table(
+        ["quantity", "ours", "paper"],
+        title="Section V - SCONNA scalability analysis",
+    )
+    table.add_row(
+        [
+            "max OAG bitrate at design FWHM",
+            f"{rep.max_bitrate_at_fwhm_hz / 1e9:.1f} Gb/s",
+            "<= 40 Gb/s",
+        ]
+    )
+    table.add_row(
+        ["operating bitrate", f"{rep.operating_bitrate_hz / 1e9:.0f} Gb/s", "30 Gb/s"]
+    )
+    table.add_row(
+        [
+            "receiver sensitivity (BRes=1, Eq. 2/3)",
+            f"{rep.sensitivity_dbm_digital:.1f} dBm",
+            "-28 dBm",
+        ]
+    )
+    table.add_row(
+        ["max N at -28 dBm (Eq. 4)", rep.max_n_at_paper_sensitivity, "176"]
+    )
+    table.add_row(["max N at -30 dBm (Eq. 4)", rep.max_n_at_minus_30_dbm, "-"])
+    table.add_row(["deployed N", cfg.vdpe_size, "176"])
+    table.add_row(
+        ["PCA capacity [ones]", rep.pca_capacity_ones, "> 176 x 256 = 45056"]
+    )
+    table.add_row(
+        ["PCA linear at full scale", rep.pca_linear_at_full_scale, "yes (Fig 7b)"]
+    )
+    table.add_row(
+        ["PCA passes per ADC readout", rep.pca_accumulation_passes, "-"]
+    )
+
+    psum = psum_counts_for_vector(4608, cfg)
+    table.add_row(
+        ["S=4608: optical passes", psum["optical_passes"], "105 at N=44"]
+    )
+    table.add_row(
+        ["S=4608: electrical psums", psum["electrical_psums"], "-"]
+    )
+
+    checks = {
+        "published N=176 closes the Eq. 4 budget at -30 dBm": rep.max_n_at_minus_30_dbm
+        == 176,
+        "N at printed -28 dBm lands within 25% of 176": abs(
+            rep.max_n_at_paper_sensitivity - 176
+        )
+        <= 0.25 * 176,
+        "N is 4x the best analog VDPE (44)": cfg.vdpe_size == 4 * 44,
+        "PCA holds a full pass without saturating": rep.pca_capacity_ones
+        > rep.pca_full_scale_ones,
+        "operating bitrate within the Fig 7a envelope": rep.max_bitrate_at_fwhm_hz
+        >= cfg.bitrate_hz,
+    }
+    return ExperimentResult(
+        experiment_id="E6",
+        title="SCONNA VDPC scalability (Section V-B/V-C)",
+        table=table,
+        checks=checks,
+        notes=[
+            "Eq. 4 with Table III losses closes at exactly N=176 for a "
+            "-30 dBm sensitivity; at the paper's printed -28 dBm our "
+            "solver yields N=138 (see DESIGN.md, 'parameter reconciliations')",
+        ],
+        data={"report": rep},
+    )

@@ -1,0 +1,88 @@
+"""System-architecture substrate and the transaction-level simulator.
+
+* :mod:`repro.arch.events` - discrete-event kernel, resources,
+* :mod:`repro.arch.peripherals` - Table IV component library,
+* :mod:`repro.arch.analog` - AMM/MAM baselines + Table I solver,
+* :mod:`repro.arch.designs` - accelerator designs, power/area
+  breakdowns, area-proportionate scaling,
+* :mod:`repro.arch.noc` - mesh NoC with X-Y routing,
+* :mod:`repro.arch.simulator` - the SC_ONN_SIM replica producing FPS,
+  FPS/W and FPS/W/mm2.
+"""
+
+from repro.arch.events import (
+    BusyTracker,
+    EventKernel,
+    Resource,
+    SimulationError,
+    TransactionLog,
+)
+from repro.arch.peripherals import (
+    EDRAM_WORDS_PER_ACCESS,
+    IO_WORDS_PER_ACCESS,
+    SYSTEM_CLOCK_HZ,
+    TABLE_IV,
+    PeripheralSpec,
+    edram_bandwidth_words_per_s,
+    io_bandwidth_words_per_s,
+)
+from repro.arch.analog import (
+    AMM_DEAPCNN,
+    KAPPA_DEFAULT,
+    MAM_HOLYLIGHT,
+    AnalogVdpcConfig,
+    analog_lsb_margin,
+    analog_max_n,
+    table1_grid,
+)
+from repro.arch.designs import (
+    AcceleratorDesign,
+    AreaBreakdown,
+    PowerBreakdown,
+    analog_design,
+    area_proportionate_vdpes,
+    build_evaluated_designs,
+    sconna_design,
+)
+from repro.arch.noc import MeshNoc, NocTransfer
+from repro.arch.simulator import (
+    AcceleratorSimulator,
+    LayerTiming,
+    PerfResult,
+    simulate_inference,
+)
+
+__all__ = [
+    "BusyTracker",
+    "EventKernel",
+    "Resource",
+    "SimulationError",
+    "TransactionLog",
+    "EDRAM_WORDS_PER_ACCESS",
+    "IO_WORDS_PER_ACCESS",
+    "SYSTEM_CLOCK_HZ",
+    "TABLE_IV",
+    "PeripheralSpec",
+    "edram_bandwidth_words_per_s",
+    "io_bandwidth_words_per_s",
+    "AMM_DEAPCNN",
+    "KAPPA_DEFAULT",
+    "MAM_HOLYLIGHT",
+    "AnalogVdpcConfig",
+    "analog_lsb_margin",
+    "analog_max_n",
+    "table1_grid",
+    "AcceleratorDesign",
+    "AreaBreakdown",
+    "PowerBreakdown",
+    "analog_design",
+    "area_proportionate_vdpes",
+    "build_evaluated_designs",
+    "sconna_design",
+    "MeshNoc",
+    "NocTransfer",
+    "AcceleratorSimulator",
+    "LayerTiming",
+    "PerfResult",
+    "simulate_inference",
+]

@@ -1,0 +1,190 @@
+"""Analog MRR VDPC baselines: MAM (HOLYLIGHT) and AMM (DEAP-CNN).
+
+Two models live here:
+
+1. **Scalability** (:func:`analog_max_n`, reproducing paper Table I):
+   an analog VDPE summing N wavelengths that each encode ``2**B`` levels
+   must keep its *least-significant level step* above the receiver
+   noise.  With per-channel received power ``P_ch(N)`` from the link
+   budget, the LSB photocurrent is ``R * P_ch / 2**B`` while the RMS
+   noise is ``beta(N * P_ch) * sqrt(DR/2)`` (Eq. 3 evaluated at the
+   *total* incident power - this is where RIN couples N into the
+   constraint).  The solver finds the largest N (M = N) with
+
+   ``R * P_ch(N) / 2**B  >=  kappa * beta(N * P_ch(N)) * sqrt(DR/2)``.
+
+   ``kappa = 0.458`` calibrates the criterion to Table I's anchor point
+   (MAM, 4-bit, 1 GS/s -> N = 44); the AMM organisation additionally
+   pays ``amm_extra_penalty_db`` of double-pass crosstalk (each
+   wavelength traverses *two* N-MRR modulation arrays), which reproduces
+   the AMM < MAM ordering.
+
+2. **Operating configuration** (:class:`AnalogVdpcConfig`): the design
+   point the system evaluation uses - 4-bit VDPEs at DR = 5 GS/s
+   (paper Section VI-B: N = 22 for MAM, N = 16 for AMM), with 8-bit
+   operands handled by two-way bit slicing (two VDPEs + shift-add).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.photonics.link_budget import analog_vdpc_budget
+from repro.photonics.photodetector import (
+    PhotodetectorParams,
+    noise_spectral_density_a_per_rthz,
+)
+from repro.photonics.waveguide import PassiveLossParams
+from repro.utils.units import dbm_to_watts
+
+Organization = Literal["amm", "mam"]
+
+#: LSB-to-noise margin calibrated on Table I's MAM/4-bit/1GS/s = 44 anchor.
+KAPPA_DEFAULT: float = 0.458
+
+#: extra crosstalk penalty for AMM's double modulation-array pass [dB].
+AMM_EXTRA_PENALTY_DB: float = 2.0
+
+
+def analog_lsb_margin(
+    organization: Organization,
+    n: int,
+    precision_bits: int,
+    data_rate_hz: float,
+    laser_power_dbm: float = 10.0,
+    pd: PhotodetectorParams | None = None,
+    passive: PassiveLossParams | None = None,
+    amm_extra_penalty_db: float = AMM_EXTRA_PENALTY_DB,
+) -> float:
+    """LSB current / RMS noise current ratio at VDPE size ``n``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if precision_bits < 1:
+        raise ValueError("precision_bits must be >= 1")
+    pd = pd or PhotodetectorParams()
+    budget = analog_vdpc_budget(
+        organization, n, n, laser_power_dbm, params=passive
+    )
+    extra = amm_extra_penalty_db if organization == "amm" else 0.0
+    p_ch_w = dbm_to_watts(budget.received_power_dbm - extra)
+    lsb_current = pd.responsivity_a_per_w * p_ch_w / (1 << precision_bits)
+    beta = noise_spectral_density_a_per_rthz(n * p_ch_w, pd)
+    noise = beta * math.sqrt(data_rate_hz / 2.0)
+    return lsb_current / noise
+
+
+def analog_max_n(
+    organization: Organization,
+    precision_bits: int,
+    data_rate_hz: float,
+    kappa: float = KAPPA_DEFAULT,
+    n_max: int = 512,
+    **kwargs,
+) -> int:
+    """Largest VDPE size N satisfying the LSB-above-noise criterion.
+
+    Reproduces paper Table I (and its Section III corollaries: N falls
+    with both data rate and precision, collapsing to ~1 at 8-bit).
+    """
+
+    def ok(n: int) -> bool:
+        return (
+            analog_lsb_margin(
+                organization, n, precision_bits, data_rate_hz, **kwargs
+            )
+            >= kappa
+        )
+
+    if not ok(1):
+        return 0
+    lo, hi = 1, 1
+    while hi < n_max and ok(hi):
+        lo, hi = hi, min(hi * 2, n_max)
+    if ok(hi):
+        return hi
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if ok(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def table1_grid(
+    precisions: "tuple[int, ...]" = (4, 6),
+    data_rates_gsps: "tuple[float, ...]" = (1.0, 3.0, 5.0, 10.0),
+) -> "dict[tuple[str, int, float], int]":
+    """The full Table I grid: {(org, B, DR in GS/s): N}."""
+    out = {}
+    for org in ("amm", "mam"):
+        for b in precisions:
+            for dr in data_rates_gsps:
+                out[(org, b, dr)] = analog_max_n(org, b, dr * 1e9)
+    return out
+
+
+@dataclass(frozen=True)
+class AnalogVdpcConfig:
+    """Operating design point of one analog baseline accelerator."""
+
+    organization: Organization
+    vdpe_size: int                     #: N at the native 4-bit precision
+    vdpes_per_vdpc: int                #: M (= N in prior work)
+    native_precision_bits: int = 4
+    target_precision_bits: int = 8
+    data_rate_hz: float = 5e9
+    dac_latency_s: float = 0.78e-9
+    adc_latency_s: float = 0.78e-9
+
+    def __post_init__(self) -> None:
+        if self.vdpe_size < 1 or self.vdpes_per_vdpc < 1:
+            raise ValueError("vdpe_size and vdpes_per_vdpc must be >= 1")
+        if self.target_precision_bits % self.native_precision_bits:
+            raise ValueError("target precision must be a slice multiple")
+
+    @property
+    def slicing_factor(self) -> int:
+        """VDPEs ganged per logical 8-bit VDP (paper: 2)."""
+        return self.target_precision_bits // self.native_precision_bits
+
+    @property
+    def vdp_issue_interval_s(self) -> float:
+        """Steady-state VDP rate per VDPE.
+
+        Every new DIV requires a DAC conversion on each modulator; the
+        issue interval is the slower of the optical symbol and the DAC.
+        """
+        return max(1.0 / self.data_rate_hz, self.dac_latency_s)
+
+    def pieces(self, vector_size: int) -> int:
+        """Decomposed pieces C = ceil(S / N)."""
+        if vector_size <= 0:
+            raise ValueError("vector_size must be positive")
+        return math.ceil(vector_size / self.vdpe_size)
+
+    def psums_per_output(self, vector_size: int) -> int:
+        """Electrical psums per output: every piece-slice needs an ADC."""
+        return self.pieces(vector_size) * self.slicing_factor
+
+    def reduction_ops_per_output(self, vector_size: int) -> int:
+        """Accumulates + slice shift-add combines per output."""
+        psums = self.psums_per_output(vector_size)
+        return (psums - 1) + (self.slicing_factor - 1)
+
+    def dacs_per_vdpe(self) -> float:
+        """DAC count charged to one VDPE (DKV bank + DIV share).
+
+        MAM shares one N-modulator DIV block across the M VDPEs of a
+        VDPC; AMM instantiates a DIV bank per VDPE.
+        """
+        if self.organization == "mam":
+            return self.vdpe_size * (1.0 + 1.0 / self.vdpes_per_vdpc)
+        return 2.0 * self.vdpe_size
+
+
+#: the paper's evaluated baselines (Section VI-B)
+MAM_HOLYLIGHT = AnalogVdpcConfig("mam", vdpe_size=22, vdpes_per_vdpc=22)
+AMM_DEAPCNN = AnalogVdpcConfig("amm", vdpe_size=16, vdpes_per_vdpc=16)

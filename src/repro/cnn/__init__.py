@@ -1,0 +1,82 @@
+"""CNN substrate: kernels, shapes, zoo, quantization, training, inference.
+
+* :mod:`repro.cnn.functional` - NumPy conv/pool/FC kernels,
+* :mod:`repro.cnn.shapes` / :mod:`repro.cnn.zoo` - layer-shape IR and
+  the six-model zoo driving Table II and the Fig. 9 workloads,
+* :mod:`repro.cnn.stats` - kernel-size statistics (Table II),
+* :mod:`repro.cnn.quantize` - post-training int-8 quantization,
+* :mod:`repro.cnn.micro` / :mod:`repro.cnn.train` - the trainable
+  micro-framework and the four Table V proxy networks,
+* :mod:`repro.cnn.datasets` - the synthetic ImageNet substitute,
+* :mod:`repro.cnn.inference` - float / int8 / SCONNA datapaths.
+"""
+
+from repro.cnn.shapes import ConvLayerShape, ModelDescriptor, fc_shape
+from repro.cnn.stats import (
+    KernelSizeStats,
+    kernel_size_stats,
+    psum_workload,
+    vector_size_histogram,
+)
+from repro.cnn.zoo import (
+    EVALUATION_MODELS,
+    MODEL_BUILDERS,
+    TABLE2_MODELS,
+    build_model,
+)
+from repro.cnn.quantize import (
+    QuantParams,
+    calibrate_activation,
+    calibrate_weight,
+    dequantize,
+    quantization_error,
+    quantize,
+)
+from repro.cnn.datasets import (
+    Dataset,
+    IMAGE_SHAPE,
+    N_CLASSES,
+    generate_dataset,
+    make_image,
+    train_test_split,
+)
+from repro.cnn.train import PROXY_MODELS, TrainResult, build_proxy, evaluate_top_k, train
+from repro.cnn.inference import (
+    AccuracyReport,
+    QuantizedModel,
+    evaluate_accuracy,
+)
+
+__all__ = [
+    "ConvLayerShape",
+    "ModelDescriptor",
+    "fc_shape",
+    "KernelSizeStats",
+    "kernel_size_stats",
+    "psum_workload",
+    "vector_size_histogram",
+    "EVALUATION_MODELS",
+    "MODEL_BUILDERS",
+    "TABLE2_MODELS",
+    "build_model",
+    "QuantParams",
+    "calibrate_activation",
+    "calibrate_weight",
+    "dequantize",
+    "quantization_error",
+    "quantize",
+    "Dataset",
+    "IMAGE_SHAPE",
+    "N_CLASSES",
+    "generate_dataset",
+    "make_image",
+    "train_test_split",
+    "PROXY_MODELS",
+    "TrainResult",
+    "build_proxy",
+    "evaluate_top_k",
+    "train",
+    "AccuracyReport",
+    "QuantizedModel",
+    "evaluate_accuracy",
+]

@@ -1,0 +1,149 @@
+"""Synthetic image-classification dataset (the ImageNet substitute).
+
+The accuracy study (paper Table V) measures the *drop* in Top-1/Top-5
+accuracy caused by SCONNA's stochastic pipeline relative to exact int-8
+inference.  That quantity needs a classification task that trained CNNs
+solve well but not trivially, which a procedural dataset provides
+without any network access:
+
+Ten classes of 3x24x24 images, each a parametric texture family
+(oriented gratings at several frequencies, checkerboards, radial blobs,
+corner gradients), perturbed with per-sample phase/position jitter,
+amplitude variation and additive Gaussian noise.  Class information is
+spread across many pixels - like natural images, robustness to small
+per-VDP errors is high but not unlimited, so the SC error model produces
+small, measurable accuracy drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+N_CLASSES = 10
+IMAGE_SHAPE = (3, 24, 24)
+
+
+def _grating(yy, xx, angle, freq, phase):
+    t = np.cos(angle) * xx + np.sin(angle) * yy
+    return 0.5 + 0.5 * np.sin(2 * np.pi * freq * t + phase)
+
+
+def _checker(yy, xx, cells, phase):
+    return (
+        (np.floor(yy * cells + phase) + np.floor(xx * cells + phase)) % 2
+    ).astype(float)
+
+
+def _blob(yy, xx, cy, cx, sigma):
+    return np.exp(-((yy - cy) ** 2 + (xx - cx) ** 2) / (2 * sigma**2))
+
+
+def make_image(class_id: int, rng: np.random.Generator) -> np.ndarray:
+    """One random sample of class ``class_id`` (float32 in [0, 1])."""
+    if not (0 <= class_id < N_CLASSES):
+        raise ValueError(f"class_id must be in [0, {N_CLASSES})")
+    c, h, w = IMAGE_SHAPE
+    yy, xx = np.meshgrid(
+        np.linspace(0, 1, h), np.linspace(0, 1, w), indexing="ij"
+    )
+    phase = rng.uniform(0, 2 * np.pi)
+    jitter = rng.uniform(-0.12, 0.12, size=2)
+
+    # Class families are deliberately close (adjacent orientations and
+    # frequencies, similar textures) and heavily jittered/noised so that
+    # trained accuracy sits below 100 % and per-VDP errors have headroom
+    # to show up as accuracy drops - mirroring the regime of Table V.
+    if class_id < 4:  # gratings at four close orientations
+        angle = class_id * np.pi / 7 + rng.uniform(-0.22, 0.22)
+        base = _grating(yy, xx, angle, freq=3.2, phase=phase)
+    elif class_id < 6:  # gratings at two nearby higher frequencies
+        freq = 4.2 if class_id == 4 else 5.4
+        angle = np.pi / 3 + rng.uniform(-0.25, 0.25)
+        base = _grating(yy, xx, angle, freq, phase)
+    elif class_id == 6:  # coarse checkerboard
+        base = _checker(yy, xx, cells=4, phase=rng.uniform(0, 1))
+    elif class_id == 7:  # fine checkerboard
+        base = _checker(yy, xx, cells=5, phase=rng.uniform(0, 1))
+    elif class_id == 8:  # off-centre blob of varying extent
+        base = _blob(
+            yy, xx, 0.5 + jitter[0], 0.5 + jitter[1],
+            sigma=rng.uniform(0.12, 0.2),
+        )
+    else:  # corner gradient
+        corner = rng.integers(0, 4)
+        gx = xx if corner % 2 == 0 else 1 - xx
+        gy = yy if corner < 2 else 1 - yy
+        base = 0.5 * (gx + gy)
+
+    amp = rng.uniform(0.35, 1.0)
+    img = np.empty(IMAGE_SHAPE, dtype=np.float32)
+    # three channels: texture, its complement, and a mixed channel -
+    # gives convs colour-like structure to exploit
+    img[0] = base
+    img[1] = 1.0 - base
+    img[2] = 0.5 * base + 0.25
+    img *= amp
+    img += rng.normal(0, 0.28, size=IMAGE_SHAPE).astype(np.float32)
+    return np.clip(img, 0.0, 1.0).astype(np.float32)
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Images ``(N, 3, 24, 24)`` float32 and integer labels ``(N,)``."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.images.shape[0] != self.labels.shape[0]:
+            raise ValueError("images/labels length mismatch")
+
+    def __len__(self) -> int:
+        return int(self.labels.shape[0])
+
+    def batches(self, batch_size: int, rng: np.random.Generator | None = None):
+        """Yield shuffled (images, labels) minibatches."""
+        order = np.arange(len(self))
+        if rng is not None:
+            rng.shuffle(order)
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            yield self.images[idx], self.labels[idx]
+
+
+def generate_dataset(
+    n_per_class: int, seed: int | None = 0
+) -> Dataset:
+    """Balanced dataset with ``n_per_class`` samples of each class."""
+    if n_per_class <= 0:
+        raise ValueError("n_per_class must be positive")
+    rng = make_rng(seed)
+    images, labels = [], []
+    for cls in range(N_CLASSES):
+        for _ in range(n_per_class):
+            images.append(make_image(cls, rng))
+            labels.append(cls)
+    order = rng.permutation(len(labels))
+    return Dataset(
+        images=np.stack(images)[order],
+        labels=np.asarray(labels, dtype=np.int64)[order],
+    )
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.25, seed: int | None = 1
+) -> tuple[Dataset, Dataset]:
+    if not (0.0 < test_fraction < 1.0):
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = make_rng(seed)
+    order = rng.permutation(len(dataset))
+    n_test = int(len(dataset) * test_fraction)
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return (
+        Dataset(dataset.images[train_idx], dataset.labels[train_idx]),
+        Dataset(dataset.images[test_idx], dataset.labels[test_idx]),
+    )

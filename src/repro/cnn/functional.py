@@ -1,0 +1,219 @@
+"""NumPy CNN compute kernels (the PyTorch substitute).
+
+Layout convention: activations are ``(C, H, W)`` (single image - the
+paper evaluates batch size 1) or ``(B, C, H, W)`` batches; weights are
+``(L, C/groups, K, K)``.
+
+``conv2d`` uses im2col + matmul (the same VDP decomposition the
+accelerators perform: each output point is a dot product between a
+flattened kernel and a flattened input patch); ``conv2d_direct`` is the
+slow nested-loop reference used only by the equivalence tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_batch(x: np.ndarray) -> tuple[np.ndarray, bool]:
+    if x.ndim == 3:
+        return x[None], True
+    if x.ndim == 4:
+        return x, False
+    raise ValueError(f"expected 3-D or 4-D input, got {x.ndim}-D")
+
+
+def conv_output_hw(
+    h: int, w: int, kernel: int, stride: int, padding: int
+) -> tuple[int, int]:
+    """Spatial output size of a convolution/pool window."""
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"window k={kernel} s={stride} p={padding} does not fit {h}x{w}"
+        )
+    return out_h, out_w
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> np.ndarray:
+    """Unfold ``(B, C, H, W)`` into ``(B, C*K*K, out_h*out_w)`` patches.
+
+    Column ``j`` of the result is the flattened receptive field of output
+    pixel ``j`` - exactly the decomposed input vector (DIV source) a VDPC
+    consumes.
+    """
+    xb, squeeze = _as_batch(x)
+    b, c, h, w = xb.shape
+    out_h, out_w = conv_output_hw(h, w, kernel, stride, padding)
+    if padding:
+        xb = np.pad(
+            xb, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        )
+    s0, s1, s2, s3 = xb.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xb,
+        shape=(b, c, out_h, out_w, kernel, kernel),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(
+        b, c * kernel * kernel, out_h * out_w
+    )
+    return cols[0] if squeeze else cols
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+    bias: np.ndarray | None = None,
+) -> np.ndarray:
+    """2-D convolution via im2col.  Supports grouped/depthwise convs."""
+    xb, squeeze = _as_batch(x)
+    b, c, h, w = xb.shape
+    l, c_per_group, k, k2 = weight.shape
+    if k != k2:
+        raise ValueError("only square kernels supported")
+    if c % groups or l % groups:
+        raise ValueError("channels must divide groups")
+    if c_per_group != c // groups:
+        raise ValueError(
+            f"weight expects {c_per_group} channels/group, input has {c // groups}"
+        )
+    out_h, out_w = conv_output_hw(h, w, k, stride, padding)
+
+    if groups == 1:
+        cols = im2col(xb, k, stride, padding)  # (B, C*K*K, P)
+        out = np.einsum("lq,bqp->blp", weight.reshape(l, -1), cols)
+    else:
+        cg, lg = c // groups, l // groups
+        outs = []
+        for g in range(groups):
+            cols = im2col(xb[:, g * cg : (g + 1) * cg], k, stride, padding)
+            wg = weight[g * lg : (g + 1) * lg].reshape(lg, -1)
+            outs.append(np.einsum("lq,bqp->blp", wg, cols))
+        out = np.concatenate(outs, axis=1)
+    out = out.reshape(b, l, out_h, out_w)
+    if bias is not None:
+        out = out + bias.reshape(1, l, 1, 1)
+    return out[0] if squeeze else out
+
+
+def conv2d_direct(
+    x: np.ndarray,
+    weight: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Nested-loop reference convolution (tests only; groups=1)."""
+    if x.ndim != 3:
+        raise ValueError("reference conv takes a single (C,H,W) image")
+    c, h, w = x.shape
+    l, cw, k, _ = weight.shape
+    if cw != c:
+        raise ValueError("channel mismatch")
+    out_h, out_w = conv_output_hw(h, w, k, stride, padding)
+    xp = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+    out = np.zeros((l, out_h, out_w), dtype=np.result_type(x, weight))
+    for ll in range(l):
+        for i in range(out_h):
+            for j in range(out_w):
+                patch = xp[:, i * stride : i * stride + k, j * stride : j * stride + k]
+                out[ll, i, j] = np.sum(patch * weight[ll])
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0)
+
+
+def max_pool2d(x: np.ndarray, kernel: int = 2, stride: int | None = None) -> np.ndarray:
+    """Max pooling (no padding)."""
+    stride = stride or kernel
+    xb, squeeze = _as_batch(x)
+    b, c, h, w = xb.shape
+    out_h, out_w = conv_output_hw(h, w, kernel, stride, 0)
+    s0, s1, s2, s3 = xb.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xb,
+        shape=(b, c, out_h, out_w, kernel, kernel),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    out = windows.max(axis=(4, 5))
+    return out[0] if squeeze else out
+
+
+def avg_pool2d(x: np.ndarray, kernel: int = 2, stride: int | None = None) -> np.ndarray:
+    """Average pooling (no padding)."""
+    stride = stride or kernel
+    xb, squeeze = _as_batch(x)
+    b, c, h, w = xb.shape
+    out_h, out_w = conv_output_hw(h, w, kernel, stride, 0)
+    s0, s1, s2, s3 = xb.strides
+    windows = np.lib.stride_tricks.as_strided(
+        xb,
+        shape=(b, c, out_h, out_w, kernel, kernel),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    out = windows.mean(axis=(4, 5))
+    return out[0] if squeeze else out
+
+
+def global_avg_pool(x: np.ndarray) -> np.ndarray:
+    """(B, C, H, W) -> (B, C) spatial mean (or (C,) for single image)."""
+    xb, squeeze = _as_batch(x)
+    out = xb.mean(axis=(2, 3))
+    return out[0] if squeeze else out
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """Fully-connected layer: ``x @ weight.T + bias``."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    z = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def batchnorm_inference(
+    x: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Inference-time batch norm over the channel axis of (B?,C,H,W)."""
+    scale = gamma / np.sqrt(var + eps)
+    shift = beta - mean * scale
+    if x.ndim == 4:
+        return x * scale.reshape(1, -1, 1, 1) + shift.reshape(1, -1, 1, 1)
+    if x.ndim == 3:
+        return x * scale.reshape(-1, 1, 1) + shift.reshape(-1, 1, 1)
+    raise ValueError("expected 3-D or 4-D input")
+
+
+def channel_shuffle(x: np.ndarray, groups: int) -> np.ndarray:
+    """ShuffleNet channel shuffle on (B?,C,H,W)."""
+    xb, squeeze = _as_batch(x)
+    b, c, h, w = xb.shape
+    if c % groups:
+        raise ValueError("channels must divide groups")
+    out = (
+        xb.reshape(b, groups, c // groups, h, w)
+        .transpose(0, 2, 1, 3, 4)
+        .reshape(b, c, h, w)
+    )
+    return out[0] if squeeze else out

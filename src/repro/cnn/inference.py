@@ -1,0 +1,289 @@
+"""Quantized inference engines: float, exact int-8, and SCONNA.
+
+``QuantizedModel.from_trained`` takes a trained float network and a
+calibration batch and produces a post-training-quantized model that can
+run in three modes:
+
+* ``float``  - the original network (reference accuracy),
+* ``int8``   - exact integer arithmetic (``sum(i_q * w_q)`` then
+  dequantise): the accuracy an ideal 8-bit accelerator achieves,
+* ``sconna`` - the stochastic pipeline: every product is the count-
+  domain OSM result ``floor(i_q * |w_q| / 2**B)`` sign-steered into
+  positive/negative PCA accumulations, grouped into electrical psums by
+  the multi-pass accumulation rule, each psum perturbed by the 1.3 %
+  MAPE ADC error model, then dequantised with the extra ``2**B`` scale.
+
+Table V is the Top-1/Top-5 gap between ``int8`` and ``sconna``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cnn.functional import conv_output_hw, im2col
+from repro.cnn.micro import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from repro.cnn.quantize import (
+    QuantParams,
+    calibrate_activation,
+    calibrate_weight,
+    quantize,
+)
+from repro.core.config import SconnaConfig
+from repro.stochastic.error_models import SconnaErrorModel
+
+Mode = str  # "float" | "int8" | "sconna"
+
+
+@dataclass
+class QuantLayer:
+    """One quantized compute layer (conv or linear)."""
+
+    kind: str                     #: "conv" or "linear"
+    weight_q: np.ndarray          #: signed integer weights
+    weight_params: QuantParams
+    act_params: QuantParams
+    float_layer: Conv2d | Linear
+    stride: int = 1
+    padding: int = 0
+    bias: np.ndarray | None = None
+
+
+class QuantizedModel:
+    """Post-training-quantized view of a trained Sequential network."""
+
+    def __init__(
+        self,
+        structure: "list[object]",
+        precision_bits: int = 8,
+        config: SconnaConfig | None = None,
+    ) -> None:
+        self.structure = structure
+        self.precision_bits = precision_bits
+        self.config = config or SconnaConfig(precision_bits=precision_bits)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_trained(
+        cls,
+        model: Sequential,
+        calibration_images: np.ndarray,
+        precision_bits: int = 8,
+        config: SconnaConfig | None = None,
+    ) -> "QuantizedModel":
+        """Calibrate activation scales layer by layer on real data."""
+        structure: list[object] = []
+        x = calibration_images.astype(np.float64)
+        for layer in model.layers:
+            if isinstance(layer, Conv2d):
+                act = calibrate_activation(x, precision_bits)
+                wq_params = calibrate_weight(layer.weight, precision_bits)
+                structure.append(
+                    QuantLayer(
+                        kind="conv",
+                        weight_q=quantize(layer.weight, wq_params),
+                        weight_params=wq_params,
+                        act_params=act,
+                        float_layer=layer,
+                        stride=layer.stride,
+                        padding=layer.padding,
+                    )
+                )
+            elif isinstance(layer, Linear):
+                act = calibrate_activation(x, precision_bits)
+                wq_params = calibrate_weight(layer.weight, precision_bits)
+                structure.append(
+                    QuantLayer(
+                        kind="linear",
+                        weight_q=quantize(layer.weight, wq_params),
+                        weight_params=wq_params,
+                        act_params=act,
+                        float_layer=layer,
+                        bias=layer.bias.copy(),
+                    )
+                )
+            else:
+                structure.append(layer)
+            x = layer.forward(x)
+        return cls(structure, precision_bits, config)
+
+    # -- execution ---------------------------------------------------------
+    def forward(
+        self,
+        images: np.ndarray,
+        mode: Mode = "int8",
+        error_model: SconnaErrorModel | None = None,
+    ) -> np.ndarray:
+        """Run a batch through the selected datapath; returns logits."""
+        if mode not in ("float", "int8", "sconna"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if mode == "sconna" and error_model is None:
+            error_model = SconnaErrorModel(seed=0)
+        x = images.astype(np.float64)
+        for item in self.structure:
+            if isinstance(item, QuantLayer):
+                x = self._run_quant_layer(item, x, mode, error_model)
+            else:
+                x = item.forward(x)
+        return x
+
+    def _run_quant_layer(
+        self,
+        layer: QuantLayer,
+        x: np.ndarray,
+        mode: Mode,
+        error_model: SconnaErrorModel | None,
+    ) -> np.ndarray:
+        if mode == "float":
+            return layer.float_layer.forward(x)
+
+        a_q = quantize(np.maximum(x, 0.0), layer.act_params)
+        scale = layer.act_params.scale * layer.weight_params.scale
+
+        if layer.kind == "conv":
+            l, c, k, _ = layer.weight_q.shape
+            cols = im2col(a_q, k, layer.stride, layer.padding)  # (B,Q,P) int
+            w_flat = layer.weight_q.reshape(l, -1)
+            if mode == "int8":
+                out = np.einsum("lq,bqp->blp", w_flat, cols) * scale
+            else:
+                counts = self._sconna_matmul(cols, w_flat, error_model)
+                out = counts * (scale * (1 << self.precision_bits))
+            b = x.shape[0]
+            out_h, out_w = conv_output_hw(
+                x.shape[2], x.shape[3], k, layer.stride, layer.padding
+            )
+            return out.reshape(b, l, out_h, out_w)
+
+        # linear: treat activations as (B, Q, 1) columns
+        cols = a_q[:, :, None]
+        if mode == "int8":
+            out = (a_q @ layer.weight_q.T).astype(np.float64) * scale
+        else:
+            counts = self._sconna_matmul(cols, layer.weight_q, error_model)
+            out = counts[:, :, 0] * (scale * (1 << self.precision_bits))
+        if layer.bias is not None:
+            out = out + layer.bias
+        return out
+
+    def _sconna_matmul(
+        self,
+        cols: np.ndarray,
+        w_flat: np.ndarray,
+        error_model: SconnaErrorModel | None,
+    ) -> np.ndarray:
+        """Count-domain SC matmul with psum-group ADC error.
+
+        ``cols``: (B, Q, P) unsigned activations; ``w_flat``: (L, Q)
+        signed weights.  Returns float (B, L, P) signed counts.
+        """
+        b, q, p = cols.shape
+        l = w_flat.shape[0]
+        shift = self.precision_bits
+        group = self.config.vdpe_size * self.config.pca_accumulation_passes
+        w_mag = np.abs(w_flat)
+        w_pos = w_flat > 0
+        out = np.zeros((b, l, p), dtype=np.float64)
+        for start in range(0, q, group):
+            sl = slice(start, min(start + group, q))
+            a_chunk = cols[:, sl, :]
+            pos = np.empty((b, l, p), dtype=np.int64)
+            neg = np.empty((b, l, p), dtype=np.int64)
+            for li in range(l):
+                prods = (a_chunk * w_mag[li, sl][None, :, None]) >> shift
+                mask = w_pos[li, sl][None, :, None]
+                pos[:, li, :] = (prods * mask).sum(axis=1)
+                neg[:, li, :] = (prods * ~mask).sum(axis=1)
+            if error_model is not None and not error_model.ideal():
+                pos = error_model.apply_to_counts(pos)
+                neg = error_model.apply_to_counts(neg)
+            out += pos.astype(np.float64) - neg.astype(np.float64)
+        return out
+
+    # -- evaluation ----------------------------------------------------------
+    def predict_logits(
+        self,
+        images: np.ndarray,
+        mode: Mode = "int8",
+        error_model: SconnaErrorModel | None = None,
+        batch_size: int = 50,
+    ) -> np.ndarray:
+        """Batched forward pass returning all logits."""
+        outs = []
+        for start in range(0, images.shape[0], batch_size):
+            outs.append(
+                self.forward(
+                    images[start : start + batch_size],
+                    mode=mode,
+                    error_model=error_model,
+                )
+            )
+        return np.concatenate(outs, axis=0)
+
+    @staticmethod
+    def top_k_from_logits(logits: np.ndarray, labels: np.ndarray, k: int) -> float:
+        topk = np.argsort(logits, axis=1)[:, -k:]
+        return float((topk == labels[:, None]).any(axis=1).mean())
+
+    def top_k_accuracy(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        k: int = 1,
+        mode: Mode = "int8",
+        error_model: SconnaErrorModel | None = None,
+        batch_size: int = 50,
+    ) -> float:
+        if images.shape[0] != labels.shape[0]:
+            raise ValueError("images/labels length mismatch")
+        logits = self.predict_logits(images, mode, error_model, batch_size)
+        return self.top_k_from_logits(logits, labels, k)
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Accuracy of one model across the three datapaths."""
+
+    model_name: str
+    top1_float: float
+    top1_int8: float
+    top1_sconna: float
+    top5_float: float
+    top5_int8: float
+    top5_sconna: float
+
+    @property
+    def top1_drop_percent(self) -> float:
+        """Table V metric: int8 -> SCONNA Top-1 drop in % points."""
+        return (self.top1_int8 - self.top1_sconna) * 100.0
+
+    @property
+    def top5_drop_percent(self) -> float:
+        return (self.top5_int8 - self.top5_sconna) * 100.0
+
+
+def evaluate_accuracy(
+    model_name: str,
+    qmodel: QuantizedModel,
+    images: np.ndarray,
+    labels: np.ndarray,
+    error_model: SconnaErrorModel | None = None,
+) -> AccuracyReport:
+    """Measure float / int8 / SCONNA Top-1 and Top-5 on a test set."""
+    error_model = error_model or SconnaErrorModel(seed=0)
+    out = {}
+    for mode in ("float", "int8", "sconna"):
+        em = error_model if mode == "sconna" else None
+        logits = qmodel.predict_logits(images, mode=mode, error_model=em)
+        for k in (1, 5):
+            out[(mode, k)] = qmodel.top_k_from_logits(logits, labels, k)
+    return AccuracyReport(
+        model_name=model_name,
+        top1_float=out[("float", 1)],
+        top1_int8=out[("int8", 1)],
+        top1_sconna=out[("sconna", 1)],
+        top5_float=out[("float", 5)],
+        top5_int8=out[("int8", 5)],
+        top5_sconna=out[("sconna", 5)],
+    )

@@ -1,0 +1,248 @@
+"""Trainable micro-framework: the layers, forward *and* backward.
+
+The Table V accuracy study needs trained CNNs; with no framework
+available offline we implement the necessary autograd by hand.  Layers
+follow the classic design: each caches what its backward pass needs and
+exposes ``forward(x)`` / ``backward(grad)``; :class:`Sequential` chains
+them; parameters are ``(array, grad)`` pairs consumed by the SGD trainer
+in :mod:`repro.cnn.train`.
+
+Only the operations the proxy models need are implemented (conv via
+im2col/col2im, ReLU, max-pool, flatten, linear, softmax cross-entropy) -
+this is a deliberately small, well-tested kernel, not a general-purpose
+autograd.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cnn.functional import conv_output_hw, im2col
+from repro.utils.rng import make_rng
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Adjoint of :func:`repro.cnn.functional.im2col` (scatter-add)."""
+    b, c, h, w = x_shape
+    out_h, out_w = conv_output_hw(h, w, kernel, stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    xp = np.zeros((b, c, hp, wp), dtype=cols.dtype)
+    cols6 = cols.reshape(b, c, kernel, kernel, out_h, out_w)
+    for ki in range(kernel):
+        for kj in range(kernel):
+            xp[
+                :,
+                :,
+                ki : ki + out_h * stride : stride,
+                kj : kj + out_w * stride : stride,
+            ] += cols6[:, :, ki, kj]
+    if padding:
+        return xp[:, :, padding:-padding, padding:-padding]
+    return xp
+
+
+class Layer:
+    """Base layer: stateless unless it has parameters."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def parameters(self) -> "list[tuple[np.ndarray, np.ndarray]]":
+        return []
+
+
+class Conv2d(Layer):
+    """Convolution with He-initialised weights (no bias: the quantized
+    datapath maps cleanly onto VDPs without per-channel offsets)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = make_rng(rng)
+        fan_in = in_channels * kernel * kernel
+        self.weight = rng.normal(
+            0.0, np.sqrt(2.0 / fan_in), size=(out_channels, in_channels, kernel, kernel)
+        ).astype(np.float64)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.stride = stride
+        self.padding = padding
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        l, c, k, _ = self.weight.shape
+        cols = im2col(x, k, self.stride, self.padding)  # (B, CKK, P)
+        out = np.einsum("lq,bqp->blp", self.weight.reshape(l, -1), cols)
+        b = x.shape[0]
+        out_h, out_w = conv_output_hw(
+            x.shape[2], x.shape[3], k, self.stride, self.padding
+        )
+        self._cache = (x.shape, cols)
+        return out.reshape(b, l, out_h, out_w)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward")
+        x_shape, cols = self._cache
+        l, c, k, _ = self.weight.shape
+        b = grad.shape[0]
+        g = grad.reshape(b, l, -1)  # (B, L, P)
+        self.grad_weight += np.einsum("blp,bqp->lq", g, cols).reshape(
+            self.weight.shape
+        )
+        dcols = np.einsum("lq,blp->bqp", self.weight.reshape(l, -1), g)
+        return col2im(dcols, x_shape, k, self.stride, self.padding)
+
+    def parameters(self):
+        return [(self.weight, self.grad_weight)]
+
+
+class ReLU(Layer):
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward before forward")
+        return grad * self._mask
+
+
+class MaxPool2d(Layer):
+    def __init__(self, kernel: int = 2, stride: int | None = None) -> None:
+        self.kernel = kernel
+        self.stride = stride or kernel
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        b, c, h, w = x.shape
+        k, s = self.kernel, self.stride
+        out_h, out_w = conv_output_hw(h, w, k, s, 0)
+        s0, s1, s2, s3 = x.strides
+        win = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(b, c, out_h, out_w, k, k),
+            strides=(s0, s1, s2 * s, s3 * s, s2, s3),
+            writeable=False,
+        ).reshape(b, c, out_h, out_w, k * k)
+        arg = win.argmax(axis=4)
+        self._cache = (x.shape, arg)
+        return np.take_along_axis(win, arg[..., None], axis=4)[..., 0]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward before forward")
+        x_shape, arg = self._cache
+        b, c, h, w = x_shape
+        k, s = self.kernel, self.stride
+        out_h, out_w = grad.shape[2], grad.shape[3]
+        dx = np.zeros(x_shape, dtype=grad.dtype)
+        ki, kj = np.divmod(arg, k)
+        bi, ci, oi, oj = np.meshgrid(
+            np.arange(b), np.arange(c), np.arange(out_h), np.arange(out_w),
+            indexing="ij",
+        )
+        np.add.at(dx, (bi, ci, oi * s + ki, oj * s + kj), grad)
+        return dx
+
+
+class Flatten(Layer):
+    def __init__(self) -> None:
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward before forward")
+        return grad.reshape(self._shape)
+
+
+class Linear(Layer):
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = make_rng(rng)
+        self.weight = rng.normal(
+            0.0, np.sqrt(2.0 / in_features), size=(out_features, in_features)
+        ).astype(np.float64)
+        self.bias = np.zeros(out_features, dtype=np.float64)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.weight.T + self.bias
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward before forward")
+        self.grad_weight += grad.T @ self._x
+        self.grad_bias += grad.sum(axis=0)
+        return grad @ self.weight
+
+    def parameters(self):
+        return [(self.weight, self.grad_weight), (self.bias, self.grad_bias)]
+
+
+class Sequential(Layer):
+    def __init__(self, *layers: Layer) -> None:
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self):
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def zero_grad(self) -> None:
+        for _, g in self.parameters():
+            g[...] = 0.0
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean CE loss and its gradient wrt logits."""
+    if logits.ndim != 2:
+        raise ValueError("logits must be (batch, classes)")
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    p = e / e.sum(axis=1, keepdims=True)
+    n = logits.shape[0]
+    loss = float(-np.log(p[np.arange(n), labels] + 1e-12).mean())
+    grad = p.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n

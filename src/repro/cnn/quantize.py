@@ -1,0 +1,79 @@
+"""Post-training integer quantization (the paper's 8-bit setting).
+
+Standard affine scheme:
+
+* **activations** - unsigned ``B``-bit with zero-point 0 (all layer
+  inputs are RELU outputs or normalised images, i.e. non-negative -
+  exactly the assumption SCONNA's sign-free input stream ``I`` makes),
+  scale calibrated from a representative batch;
+* **weights** - signed symmetric ``B``-bit (sign handled by the VDPE's
+  steering filter MRRs).
+
+The integer convolution computes ``sum(i_q * w_q)``; dequantisation
+multiplies by ``s_i * s_w``.  SCONNA's stochastic pipeline computes the
+same sum pre-scaled by ``2**-B`` (with per-product floor), so its
+dequantisation scale is ``s_i * s_w * 2**B``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Scale/range of one tensor's affine quantization (zero-point 0)."""
+
+    scale: float
+    levels: int         #: number of positive levels (2**B for activations)
+    signed: bool
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.levels < 1:
+            raise ValueError("levels must be >= 1")
+
+
+def calibrate_activation(
+    samples: np.ndarray, precision_bits: int = 8, percentile: float = 99.9
+) -> QuantParams:
+    """Choose an unsigned activation scale from representative data.
+
+    A high percentile (not the max) absorbs outliers - standard
+    post-training calibration practice.
+    """
+    if samples.size == 0:
+        raise ValueError("cannot calibrate on empty samples")
+    levels = 1 << precision_bits
+    hi = float(np.percentile(np.abs(samples), percentile))
+    hi = max(hi, 1e-8)
+    return QuantParams(scale=hi / levels, levels=levels, signed=False)
+
+
+def calibrate_weight(weights: np.ndarray, precision_bits: int = 8) -> QuantParams:
+    """Symmetric signed weight scale from the extreme magnitude."""
+    if weights.size == 0:
+        raise ValueError("cannot calibrate on empty weights")
+    levels = 1 << precision_bits
+    hi = max(float(np.max(np.abs(weights))), 1e-8)
+    return QuantParams(scale=hi / levels, levels=levels, signed=True)
+
+
+def quantize(x: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Real -> integer grid (int64), clipped to the representable range."""
+    q = np.rint(x / params.scale)
+    if params.signed:
+        return np.clip(q, -params.levels, params.levels).astype(np.int64)
+    return np.clip(q, 0, params.levels).astype(np.int64)
+
+
+def dequantize(q: np.ndarray, params: QuantParams) -> np.ndarray:
+    return np.asarray(q, dtype=np.float64) * params.scale
+
+
+def quantization_error(x: np.ndarray, params: QuantParams) -> float:
+    """Max absolute round-trip error; bounded by scale/2 inside range."""
+    return float(np.max(np.abs(dequantize(quantize(x, params), params) - x)))

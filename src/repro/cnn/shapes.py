@@ -1,0 +1,146 @@
+"""Layer-shape IR for CNN workloads.
+
+The accelerator simulator and Table II only need the *shapes* of each
+VDP-producing layer (convolutions and fully-connected layers), which are
+architectural facts of the published networks.  A
+:class:`ConvLayerShape` captures one layer; a :class:`ModelDescriptor`
+is an ordered list of them plus bookkeeping helpers.
+
+Key quantities (paper Section II):
+
+* ``S = K*K*D`` - kernel/DKV vector size (``D`` = input channels *per
+  group* for grouped/depthwise convolutions),
+* ``L`` (here ``out_channels``) - kernels per layer = ``TL`` contribution,
+* VDP count per layer = ``out_h * out_w * L``, each of size ``S``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cnn.functional import conv_output_hw
+
+
+@dataclass(frozen=True)
+class ConvLayerShape:
+    """Shape of one convolutional (or FC, as 1x1 conv) layer."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel: int
+    stride: int
+    padding: int
+    in_h: int
+    in_w: int
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        if self.in_channels <= 0 or self.out_channels <= 0:
+            raise ValueError(f"{self.name}: channels must be positive")
+        if self.kernel <= 0 or self.stride <= 0:
+            raise ValueError(f"{self.name}: kernel/stride must be positive")
+        if self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ValueError(f"{self.name}: groups must divide channels")
+        # fail early if the window does not fit the input map
+        conv_output_hw(self.in_h, self.in_w, self.kernel, self.stride, self.padding)
+
+    @property
+    def out_hw(self) -> tuple[int, int]:
+        return conv_output_hw(
+            self.in_h, self.in_w, self.kernel, self.stride, self.padding
+        )
+
+    @property
+    def vector_size(self) -> int:
+        """S = K*K*D with D the per-group input depth."""
+        return self.kernel * self.kernel * (self.in_channels // self.groups)
+
+    @property
+    def n_kernels(self) -> int:
+        """Kernel tensors in this layer (the TL contribution)."""
+        return self.out_channels
+
+    @property
+    def is_fc(self) -> bool:
+        """Fully-connected layer (1x1 conv on a 1x1 map).
+
+        Plain 1x1 convolutions inside blocks run on H, W > 1 maps, so
+        this exactly identifies classifier layers.
+        """
+        return self.kernel == 1 and self.in_h == 1 and self.in_w == 1
+
+    @property
+    def n_vdps(self) -> int:
+        """VDP operations to produce the output tensor."""
+        out_h, out_w = self.out_hw
+        return out_h * out_w * self.out_channels
+
+    @property
+    def macs(self) -> int:
+        return self.n_vdps * self.vector_size
+
+    def scaled_spatial(self) -> tuple[int, int]:
+        return self.out_hw
+
+
+def fc_shape(name: str, in_features: int, out_features: int) -> ConvLayerShape:
+    """A fully-connected layer as a 1x1 convolution on a 1x1 map."""
+    return ConvLayerShape(
+        name=name,
+        in_channels=in_features,
+        out_channels=out_features,
+        kernel=1,
+        stride=1,
+        padding=0,
+        in_h=1,
+        in_w=1,
+    )
+
+
+@dataclass
+class ModelDescriptor:
+    """An ordered collection of VDP-producing layers of one CNN."""
+
+    name: str
+    layers: list[ConvLayerShape] = field(default_factory=list)
+
+    def add(self, layer: ConvLayerShape) -> None:
+        self.layers.append(layer)
+
+    @property
+    def total_kernels(self) -> int:
+        return sum(l.n_kernels for l in self.layers)
+
+    @property
+    def total_vdps(self) -> int:
+        return sum(l.n_vdps for l in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(l.macs for l in self.layers)
+
+    def kernels_by_vector_size(
+        self, threshold: int = 44, exclude_fc: bool = False
+    ) -> tuple[int, int]:
+        """Table II split: kernels with S <= threshold vs S > threshold.
+
+        ``exclude_fc`` reproduces the paper's counting convention (its
+        Keras TL extraction omitted classifier layers; with it our
+        S > 44 counts match Table II to within a few kernels).
+        """
+        layers = [l for l in self.layers if not (exclude_fc and l.is_fc)]
+        small = sum(l.n_kernels for l in layers if l.vector_size <= threshold)
+        large = sum(l.n_kernels for l in layers if l.vector_size > threshold)
+        return small, large
+
+    def max_vector_size(self) -> int:
+        return max(l.vector_size for l in self.layers)
+
+    def summary(self) -> str:
+        lines = [f"{self.name}: {len(self.layers)} VDP layers"]
+        lines.append(
+            f"  kernels={self.total_kernels}  VDPs={self.total_vdps:,}"
+            f"  MACs={self.total_macs:,}  maxS={self.max_vector_size()}"
+        )
+        return "\n".join(lines)

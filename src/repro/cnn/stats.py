@@ -1,0 +1,82 @@
+"""Kernel-size statistics (paper Table II and Section III-B).
+
+Counts, per CNN, the kernel tensors whose flattened size
+``S = K*K*D`` falls at or below / above the analog-VDPC limit of 44 -
+the observation (">98 % of kernels need S > 44") that motivates
+stochastic computing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cnn.shapes import ModelDescriptor
+from repro.cnn.zoo import build_model
+
+
+@dataclass(frozen=True)
+class KernelSizeStats:
+    """Table II row for one model."""
+
+    model: str
+    small_kernels: int       #: TL with S <= threshold
+    large_kernels: int       #: TL with S > threshold
+    threshold: int
+
+    @property
+    def total(self) -> int:
+        return self.small_kernels + self.large_kernels
+
+    @property
+    def large_fraction(self) -> float:
+        return self.large_kernels / self.total if self.total else 0.0
+
+
+def kernel_size_stats(
+    model: ModelDescriptor | str, threshold: int = 44, exclude_fc: bool = True
+) -> KernelSizeStats:
+    """Compute the Table II split for one model (name or descriptor).
+
+    ``exclude_fc=True`` (default) follows the paper's convention of
+    counting convolution kernels only.
+    """
+    desc = build_model(model) if isinstance(model, str) else model
+    small, large = desc.kernels_by_vector_size(threshold, exclude_fc=exclude_fc)
+    return KernelSizeStats(
+        model=desc.name,
+        small_kernels=small,
+        large_kernels=large,
+        threshold=threshold,
+    )
+
+
+def vector_size_histogram(model: ModelDescriptor | str) -> dict[int, int]:
+    """Kernel count per distinct DKV size S - the workload fingerprint."""
+    desc = build_model(model) if isinstance(model, str) else model
+    hist: dict[int, int] = {}
+    for layer in desc.layers:
+        hist[layer.vector_size] = hist.get(layer.vector_size, 0) + layer.n_kernels
+    return dict(sorted(hist.items()))
+
+
+def psum_workload(
+    model: ModelDescriptor | str, vdpe_size: int
+) -> dict[str, int]:
+    """Total decomposed-VDP pieces a model generates at a given N.
+
+    The quantity that drives psum-reduction traffic in the system
+    simulator: ``sum over layers of n_vdps * ceil(S / N)``.
+    """
+    import math
+
+    desc = build_model(model) if isinstance(model, str) else model
+    pieces = sum(
+        layer.n_vdps * math.ceil(layer.vector_size / vdpe_size)
+        for layer in desc.layers
+    )
+    return {
+        "model": desc.name,
+        "vdpe_size": vdpe_size,
+        "total_vdps": desc.total_vdps,
+        "total_pieces": pieces,
+    }

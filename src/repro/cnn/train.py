@@ -1,0 +1,137 @@
+"""SGD trainer and the four proxy CNNs of the accuracy study.
+
+The paper's Table V evaluates GoogleNet / ResNet50 / MobileNet_V2 /
+ShuffleNet_V2 on ImageNet; with no pretrained weights or dataset
+available offline we train four proxies of graded capacity/width on the
+synthetic dataset.  The axis Table V actually probes - larger networks
+with wide accumulation (large S) tolerate SC error better than compact
+networks built from narrow layers - is preserved:
+
+========== ============================= =========================
+proxy       mirrors                       character
+========== ============================= =========================
+gnet_proxy  GoogleNet (large, wide)       3 convs, wide channels
+rnet_proxy  ResNet50 (large, deep)        4 convs, widest
+mnet_proxy  MobileNet_V2 (compact)        3 narrow convs (small S)
+snet_proxy  ShuffleNet_V2 (compact)       2 convs, tiny
+========== ============================= =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cnn.datasets import Dataset, IMAGE_SHAPE, N_CLASSES
+from repro.cnn.micro import (
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    softmax_cross_entropy,
+)
+from repro.utils.rng import make_rng
+
+
+def build_proxy(name: str, seed: int = 0) -> Sequential:
+    """Construct one of the four Table V proxy networks."""
+    rng = make_rng(seed)
+    c, h, w = IMAGE_SHAPE
+    if name == "gnet_proxy":
+        return Sequential(
+            Conv2d(c, 24, 3, padding=1, rng=rng), ReLU(), MaxPool2d(2),
+            Conv2d(24, 48, 3, padding=1, rng=rng), ReLU(), MaxPool2d(2),
+            Conv2d(48, 64, 3, padding=1, rng=rng), ReLU(),
+            Flatten(), Linear(64 * 6 * 6, N_CLASSES, rng=rng),
+        )
+    if name == "rnet_proxy":
+        return Sequential(
+            Conv2d(c, 32, 3, padding=1, rng=rng), ReLU(), MaxPool2d(2),
+            Conv2d(32, 48, 3, padding=1, rng=rng), ReLU(),
+            Conv2d(48, 64, 3, padding=1, rng=rng), ReLU(), MaxPool2d(2),
+            Conv2d(64, 64, 3, padding=1, rng=rng), ReLU(),
+            Flatten(), Linear(64 * 6 * 6, N_CLASSES, rng=rng),
+        )
+    if name == "mnet_proxy":
+        return Sequential(
+            Conv2d(c, 8, 3, padding=1, rng=rng), ReLU(), MaxPool2d(2),
+            Conv2d(8, 12, 3, padding=1, rng=rng), ReLU(), MaxPool2d(2),
+            Conv2d(12, 16, 3, padding=1, rng=rng), ReLU(),
+            Flatten(), Linear(16 * 6 * 6, N_CLASSES, rng=rng),
+        )
+    if name == "snet_proxy":
+        return Sequential(
+            Conv2d(c, 10, 5, padding=2, rng=rng), ReLU(), MaxPool2d(2),
+            Conv2d(10, 16, 3, padding=1, rng=rng), ReLU(), MaxPool2d(2),
+            Flatten(), Linear(16 * 6 * 6, N_CLASSES, rng=rng),
+        )
+    raise ValueError(f"unknown proxy {name!r}")
+
+
+#: proxy -> the paper model it stands in for (Table V rows)
+PROXY_MODELS = {
+    "gnet_proxy": "GoogleNet",
+    "rnet_proxy": "ResNet50",
+    "mnet_proxy": "MobileNet_V2",
+    "snet_proxy": "ShuffleNet_V2",
+}
+
+
+@dataclass
+class TrainResult:
+    model: Sequential
+    train_losses: list[float]
+    test_accuracy: float
+
+
+def evaluate_top_k(
+    model: Sequential, dataset: Dataset, k: int = 1, batch_size: int = 64
+) -> float:
+    """Top-k accuracy of the float model on a dataset."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    correct = 0
+    for images, labels in dataset.batches(batch_size):
+        logits = model.forward(images.astype(np.float64))
+        topk = np.argsort(logits, axis=1)[:, -k:]
+        correct += int((topk == labels[:, None]).any(axis=1).sum())
+    return correct / len(dataset)
+
+
+def train(
+    model: Sequential,
+    dataset: Dataset,
+    epochs: int = 6,
+    batch_size: int = 32,
+    lr: float = 0.05,
+    momentum: float = 0.9,
+    seed: int = 0,
+    test_set: Dataset | None = None,
+) -> TrainResult:
+    """Plain SGD with momentum and cosine-free step decay."""
+    if epochs <= 0 or batch_size <= 0:
+        raise ValueError("epochs and batch_size must be positive")
+    rng = make_rng(seed)
+    velocity = [np.zeros_like(p) for p, _ in model.parameters()]
+    losses = []
+    for epoch in range(epochs):
+        step_lr = lr * (0.5 ** (epoch // 3))
+        epoch_loss = 0.0
+        n_batches = 0
+        for images, labels in dataset.batches(batch_size, rng=rng):
+            model.zero_grad()
+            logits = model.forward(images.astype(np.float64))
+            loss, grad = softmax_cross_entropy(logits, labels)
+            model.backward(grad)
+            for v, (p, g) in zip(velocity, model.parameters()):
+                v *= momentum
+                v -= step_lr * g
+                p += v
+            epoch_loss += loss
+            n_batches += 1
+        losses.append(epoch_loss / max(n_batches, 1))
+    acc = evaluate_top_k(model, test_set, 1) if test_set is not None else float("nan")
+    return TrainResult(model=model, train_losses=losses, test_accuracy=acc)

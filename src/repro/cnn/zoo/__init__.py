@@ -1,0 +1,53 @@
+"""Model zoo: layer-shape descriptors of the paper's six CNN workloads.
+
+Table II uses ResNet50 / GoogleNet / VGG16 / DenseNet; the performance
+and accuracy studies (Fig. 9, Table V) use GoogleNet / ResNet50 /
+MobileNet_V2 / ShuffleNet_V2.
+"""
+
+from repro.cnn.shapes import ModelDescriptor
+from repro.cnn.zoo.resnet import resnet50
+from repro.cnn.zoo.googlenet import googlenet
+from repro.cnn.zoo.vgg import vgg16
+from repro.cnn.zoo.densenet import densenet121
+from repro.cnn.zoo.mobilenet import mobilenet_v2
+from repro.cnn.zoo.shufflenet import shufflenet_v2
+
+MODEL_BUILDERS = {
+    "ResNet50": resnet50,
+    "GoogleNet": googlenet,
+    "VGG16": vgg16,
+    "DenseNet": densenet121,
+    "MobileNet_V2": mobilenet_v2,
+    "ShuffleNet_V2": shufflenet_v2,
+}
+
+#: the four CNNs of the paper's system evaluation (Fig. 9, Table V)
+EVALUATION_MODELS = ["GoogleNet", "ResNet50", "MobileNet_V2", "ShuffleNet_V2"]
+
+#: the four CNNs of Table II
+TABLE2_MODELS = ["ResNet50", "GoogleNet", "VGG16", "DenseNet"]
+
+
+def build_model(name: str, input_hw: int = 224) -> ModelDescriptor:
+    """Build a descriptor by canonical name (raises for unknown names)."""
+    try:
+        return MODEL_BUILDERS[name](input_hw)
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}"
+        ) from None
+
+
+__all__ = [
+    "MODEL_BUILDERS",
+    "EVALUATION_MODELS",
+    "TABLE2_MODELS",
+    "build_model",
+    "resnet50",
+    "googlenet",
+    "vgg16",
+    "densenet121",
+    "mobilenet_v2",
+    "shufflenet_v2",
+]

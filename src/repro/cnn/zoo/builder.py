@@ -1,0 +1,108 @@
+"""Shared helper for constructing model descriptors layer by layer.
+
+Tracks the activation's ``(channels, h, w)`` through convolutions and
+pooling so each architecture file reads like its published block table.
+"""
+
+from __future__ import annotations
+
+from repro.cnn.functional import conv_output_hw
+from repro.cnn.shapes import ConvLayerShape, ModelDescriptor, fc_shape
+
+
+class DescriptorBuilder:
+    """Stateful builder threading spatial dims through a network."""
+
+    def __init__(self, name: str, in_channels: int = 3, in_hw: int = 224) -> None:
+        self.model = ModelDescriptor(name)
+        self.channels = in_channels
+        self.h = in_hw
+        self.w = in_hw
+
+    def conv(
+        self,
+        name: str,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+    ) -> "DescriptorBuilder":
+        layer = ConvLayerShape(
+            name=name,
+            in_channels=self.channels,
+            out_channels=out_channels,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            in_h=self.h,
+            in_w=self.w,
+            groups=groups,
+        )
+        self.model.add(layer)
+        self.channels = out_channels
+        self.h, self.w = layer.out_hw
+        return self
+
+    def conv_branch(
+        self,
+        name: str,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        in_channels: int | None = None,
+    ) -> tuple[int, int, int]:
+        """Add a conv *without* updating the tracked main-path shape.
+
+        Used for parallel branches (inception modules, residual
+        downsamples, shuffle units); returns the branch's
+        ``(out_channels, out_h, out_w)``.
+        """
+        layer = ConvLayerShape(
+            name=name,
+            in_channels=self.channels if in_channels is None else in_channels,
+            out_channels=out_channels,
+            kernel=kernel,
+            stride=stride,
+            padding=padding,
+            in_h=self.h,
+            in_w=self.w,
+            groups=groups,
+        )
+        self.model.add(layer)
+        out_h, out_w = layer.out_hw
+        return out_channels, out_h, out_w
+
+    def pool(
+        self, kernel: int, stride: int | None = None, padding: int = 0
+    ) -> "DescriptorBuilder":
+        stride = stride or kernel
+        self.h, self.w = conv_output_hw(self.h, self.w, kernel, stride, padding)
+        return self
+
+    def global_pool(self) -> "DescriptorBuilder":
+        self.h = self.w = 1
+        return self
+
+    def set_shape(self, channels: int, h: int | None = None, w: int | None = None) -> "DescriptorBuilder":
+        """Override tracked shape after branch merges (concat/add)."""
+        self.channels = channels
+        if h is not None:
+            self.h = h
+        if w is not None:
+            self.w = w
+        return self
+
+    def fc(self, name: str, out_features: int, in_features: int | None = None) -> "DescriptorBuilder":
+        feats = in_features if in_features is not None else self.channels * self.h * self.w
+        self.model.add(fc_shape(name, feats, out_features))
+        self.channels = out_features
+        self.h = self.w = 1
+        return self
+
+    def build(self) -> ModelDescriptor:
+        if not self.model.layers:
+            raise ValueError("descriptor has no layers")
+        return self.model

@@ -1,0 +1,40 @@
+"""DenseNet-121 layer descriptor (Huang et al.).
+
+Four dense blocks of (6, 12, 24, 16) layers with growth rate 32; each
+dense layer = 1x1 bottleneck (4 x growth) + 3x3 conv (growth), input
+channels growing by 32 per layer; 1x1 transition convs halve channels
+between blocks.
+"""
+
+from __future__ import annotations
+
+from repro.cnn.shapes import ModelDescriptor
+from repro.cnn.zoo.builder import DescriptorBuilder
+
+_GROWTH = 32
+_BLOCKS = [6, 12, 24, 16]
+
+
+def densenet121(input_hw: int = 224) -> ModelDescriptor:
+    b = DescriptorBuilder("DenseNet", in_channels=3, in_hw=input_hw)
+    b.conv("conv1", 64, kernel=7, stride=2, padding=3)
+    b.pool(3, stride=2, padding=1)
+
+    channels = 64
+    for blk_idx, n_layers in enumerate(_BLOCKS, start=1):
+        for l_idx in range(n_layers):
+            prefix = f"denseblock{blk_idx}.layer{l_idx}"
+            b.set_shape(channels)
+            b.conv(f"{prefix}.bottleneck", 4 * _GROWTH, kernel=1)
+            b.conv(f"{prefix}.conv", _GROWTH, kernel=3, padding=1)
+            channels += _GROWTH
+        if blk_idx < len(_BLOCKS):
+            b.set_shape(channels)
+            channels //= 2
+            b.conv(f"transition{blk_idx}.conv", channels, kernel=1)
+            b.pool(2, stride=2)
+
+    b.set_shape(channels)
+    b.global_pool()
+    b.fc("fc", 1000)
+    return b.build()

@@ -1,0 +1,57 @@
+"""GoogLeNet / Inception-v1 layer descriptor (Szegedy et al.).
+
+Nine inception modules; each module contributes six convolutions (1x1,
+3x3-reduce, 3x3, 5x5-reduce, 5x5, pool-proj) running on the same input
+map, concatenated along channels.
+"""
+
+from __future__ import annotations
+
+from repro.cnn.shapes import ModelDescriptor
+from repro.cnn.zoo.builder import DescriptorBuilder
+
+# (name, #1x1, #3x3red, #3x3, #5x5red, #5x5, #poolproj)
+_INCEPTION_CFG = [
+    ("3a", 64, 96, 128, 16, 32, 32),
+    ("3b", 128, 128, 192, 32, 96, 64),
+    ("pool", 0, 0, 0, 0, 0, 0),
+    ("4a", 192, 96, 208, 16, 48, 64),
+    ("4b", 160, 112, 224, 24, 64, 64),
+    ("4c", 128, 128, 256, 24, 64, 64),
+    ("4d", 112, 144, 288, 32, 64, 64),
+    ("4e", 256, 160, 320, 32, 128, 128),
+    ("pool", 0, 0, 0, 0, 0, 0),
+    ("5a", 256, 160, 320, 32, 128, 128),
+    ("5b", 384, 192, 384, 48, 128, 128),
+]
+
+
+def googlenet(input_hw: int = 224) -> ModelDescriptor:
+    b = DescriptorBuilder("GoogleNet", in_channels=3, in_hw=input_hw)
+    b.conv("conv1", 64, kernel=7, stride=2, padding=3)
+    b.pool(3, stride=2, padding=1)
+    b.conv("conv2", 64, kernel=1)
+    b.conv("conv3", 192, kernel=3, padding=1)
+    b.pool(3, stride=2, padding=1)
+
+    for cfg in _INCEPTION_CFG:
+        name = cfg[0]
+        if name == "pool":
+            b.pool(3, stride=2, padding=1)
+            continue
+        _, c1, c3r, c3, c5r, c5, cp = cfg
+        b.conv_branch(f"inception{name}.1x1", c1, kernel=1)
+        b.conv_branch(f"inception{name}.3x3red", c3r, kernel=1)
+        b.conv_branch(
+            f"inception{name}.3x3", c3, kernel=3, padding=1, in_channels=c3r
+        )
+        b.conv_branch(f"inception{name}.5x5red", c5r, kernel=1)
+        b.conv_branch(
+            f"inception{name}.5x5", c5, kernel=5, padding=2, in_channels=c5r
+        )
+        b.conv_branch(f"inception{name}.poolproj", cp, kernel=1)
+        b.set_shape(c1 + c3 + c5 + cp)  # concat along channels
+
+    b.global_pool()
+    b.fc("fc", 1000)
+    return b.build()

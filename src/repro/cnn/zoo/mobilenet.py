@@ -1,0 +1,50 @@
+"""MobileNet-V2 layer descriptor (Sandler et al.).
+
+Inverted residual blocks: 1x1 expansion (factor t), 3x3 *depthwise*
+convolution (groups = channels, so S = 9), 1x1 projection.  The
+prevalence of S = 9 depthwise kernels is why the paper's speedups are
+smaller on MobileNet/ShuffleNet than on ResNet/GoogleNet.
+"""
+
+from __future__ import annotations
+
+from repro.cnn.shapes import ModelDescriptor
+from repro.cnn.zoo.builder import DescriptorBuilder
+
+# (expansion t, output channels c, repeats n, first stride s)
+_CFG = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def mobilenet_v2(input_hw: int = 224) -> ModelDescriptor:
+    b = DescriptorBuilder("MobileNet_V2", in_channels=3, in_hw=input_hw)
+    b.conv("conv1", 32, kernel=3, stride=2, padding=1)
+
+    for blk, (t, c, n, s) in enumerate(_CFG):
+        for rep in range(n):
+            stride = s if rep == 0 else 1
+            prefix = f"block{blk}.{rep}"
+            hidden = b.channels * t
+            if t != 1:
+                b.conv(f"{prefix}.expand", hidden, kernel=1)
+            b.conv(
+                f"{prefix}.depthwise",
+                hidden,
+                kernel=3,
+                stride=stride,
+                padding=1,
+                groups=hidden,
+            )
+            b.conv(f"{prefix}.project", c, kernel=1)
+
+    b.conv("conv_last", 1280, kernel=1)
+    b.global_pool()
+    b.fc("fc", 1000)
+    return b.build()

@@ -1,0 +1,40 @@
+"""ResNet-50 layer descriptor (He et al., the paper's large-CNN workload).
+
+Bottleneck residual architecture with stage widths (64, 128, 256, 512)
+and block counts (3, 4, 6, 3).  Its 3x3x512 convolutions give the
+maximum DKV size S = 4608 the paper repeatedly cites.
+"""
+
+from __future__ import annotations
+
+from repro.cnn.shapes import ModelDescriptor
+from repro.cnn.zoo.builder import DescriptorBuilder
+
+
+def resnet50(input_hw: int = 224) -> ModelDescriptor:
+    b = DescriptorBuilder("ResNet50", in_channels=3, in_hw=input_hw)
+    b.conv("conv1", 64, kernel=7, stride=2, padding=3)
+    b.pool(3, stride=2, padding=1)
+
+    stage_cfg = [  # (bottleneck width, output channels, blocks, first stride)
+        (64, 256, 3, 1),
+        (128, 512, 4, 2),
+        (256, 1024, 6, 2),
+        (512, 2048, 3, 2),
+    ]
+    for s_idx, (width, out_ch, blocks, first_stride) in enumerate(stage_cfg, start=1):
+        for blk in range(blocks):
+            stride = first_stride if blk == 0 else 1
+            prefix = f"layer{s_idx}.{blk}"
+            if blk == 0:
+                # projection shortcut runs on the block input in parallel
+                b.conv_branch(
+                    f"{prefix}.downsample", out_ch, kernel=1, stride=stride
+                )
+            b.conv(f"{prefix}.conv1", width, kernel=1, stride=1)
+            b.conv(f"{prefix}.conv2", width, kernel=3, stride=stride, padding=1)
+            b.conv(f"{prefix}.conv3", out_ch, kernel=1, stride=1)
+
+    b.global_pool()
+    b.fc("fc", 1000)
+    return b.build()

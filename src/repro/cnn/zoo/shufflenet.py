@@ -1,0 +1,62 @@
+"""ShuffleNet-V2 (x1.0) layer descriptor (Zhang/Ma et al.).
+
+Channel-split units whose right branch is 1x1 -> 3x3 depthwise -> 1x1;
+stride-2 units process both branches on the full input.  Like MobileNet,
+its depthwise 3x3 kernels (S = 9) dominate the kernel count.
+"""
+
+from __future__ import annotations
+
+from repro.cnn.shapes import ModelDescriptor
+from repro.cnn.zoo.builder import DescriptorBuilder
+
+# stage channels for the x1.0 width multiplier
+_STAGE_CH = [116, 232, 464]
+_STAGE_REPEATS = [4, 8, 4]
+
+
+def shufflenet_v2(input_hw: int = 224) -> ModelDescriptor:
+    b = DescriptorBuilder("ShuffleNet_V2", in_channels=3, in_hw=input_hw)
+    b.conv("conv1", 24, kernel=3, stride=2, padding=1)
+    b.pool(3, stride=2, padding=1)
+
+    for s_idx, (out_ch, repeats) in enumerate(
+        zip(_STAGE_CH, _STAGE_REPEATS), start=2
+    ):
+        half = out_ch // 2
+        for unit in range(repeats):
+            prefix = f"stage{s_idx}.{unit}"
+            if unit == 0:
+                # downsampling unit: both branches see the full input
+                in_ch = b.channels
+                # left branch: 3x3 depthwise stride 2 + 1x1
+                b.conv_branch(
+                    f"{prefix}.left.dw", in_ch, kernel=3, stride=2,
+                    padding=1, groups=in_ch, in_channels=in_ch,
+                )
+                b.conv_branch(
+                    f"{prefix}.left.pw", half, kernel=1, in_channels=in_ch
+                )
+                # right branch
+                b.conv_branch(f"{prefix}.right.pw1", half, kernel=1, in_channels=in_ch)
+                b.conv_branch(
+                    f"{prefix}.right.dw", half, kernel=3, stride=2,
+                    padding=1, groups=half, in_channels=half,
+                )
+                b.conv_branch(f"{prefix}.right.pw2", half, kernel=1, in_channels=half)
+                # merge: spatial halves, channels become out_ch
+                b.pool(3, stride=2, padding=1)
+                b.set_shape(out_ch)
+            else:
+                # basic unit: only the split right half is convolved
+                b.conv_branch(f"{prefix}.right.pw1", half, kernel=1, in_channels=half)
+                b.conv_branch(
+                    f"{prefix}.right.dw", half, kernel=3, stride=1,
+                    padding=1, groups=half, in_channels=half,
+                )
+                b.conv_branch(f"{prefix}.right.pw2", half, kernel=1, in_channels=half)
+
+    b.conv("conv5", 1024, kernel=1)
+    b.global_pool()
+    b.fc("fc", 1000)
+    return b.build()

@@ -1,0 +1,25 @@
+"""VGG-16 layer descriptor (Simonyan & Zisserman).
+
+Thirteen 3x3 convolutions in five pooled stages plus three FC layers.
+Its first layer (3x3x3, S = 27) supplies most of Table II's S <= 44
+kernels.
+"""
+
+from __future__ import annotations
+
+from repro.cnn.shapes import ModelDescriptor
+from repro.cnn.zoo.builder import DescriptorBuilder
+
+_STAGES = [[64, 64], [128, 128], [256, 256, 256], [512, 512, 512], [512, 512, 512]]
+
+
+def vgg16(input_hw: int = 224) -> ModelDescriptor:
+    b = DescriptorBuilder("VGG16", in_channels=3, in_hw=input_hw)
+    for s_idx, widths in enumerate(_STAGES, start=1):
+        for c_idx, width in enumerate(widths, start=1):
+            b.conv(f"conv{s_idx}_{c_idx}", width, kernel=3, padding=1)
+        b.pool(2, stride=2)
+    b.fc("fc6", 4096)
+    b.fc("fc7", 4096)
+    b.fc("fc8", 1000)
+    return b.build()

@@ -1,0 +1,41 @@
+"""SCONNA core - the paper's primary contribution.
+
+* :mod:`repro.core.config` - the full design point (Tables III-IV
+  defaults) and derived quantities,
+* :mod:`repro.core.osm` - the Optical Stochastic Multiplier,
+* :mod:`repro.core.pca` - the Photo-Charge Accumulator (+ signed pair),
+* :mod:`repro.core.vdpe` / :mod:`repro.core.vdpc` - SCONNA's vector
+  dot-product element and core,
+* :mod:`repro.core.scalability` - the Section V analysis.
+"""
+
+from repro.core.config import SconnaConfig
+from repro.core.osm import OpticalStochasticMultiplier, OsmTiming
+from repro.core.pca import PcaReadout, PhotoChargeAccumulator, SignedPcaPair
+from repro.core.vdpe import SconnaVDPE, VdpeResult
+from repro.core.vdpc import SconnaVDPC, VdpcBatchResult
+from repro.core.scalability import (
+    ScalabilityReport,
+    analyze_scalability,
+    psum_counts_for_vector,
+    stream_bits_vs_precision,
+    sweep_max_n_vs_laser_power,
+)
+
+__all__ = [
+    "SconnaConfig",
+    "OpticalStochasticMultiplier",
+    "OsmTiming",
+    "PcaReadout",
+    "PhotoChargeAccumulator",
+    "SignedPcaPair",
+    "SconnaVDPE",
+    "VdpeResult",
+    "SconnaVDPC",
+    "VdpcBatchResult",
+    "ScalabilityReport",
+    "analyze_scalability",
+    "psum_counts_for_vector",
+    "stream_bits_vs_precision",
+    "sweep_max_n_vs_laser_power",
+]

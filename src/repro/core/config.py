@@ -1,0 +1,142 @@
+"""SCONNA configuration (Sections IV-V, Tables III-IV).
+
+One dataclass gathers every architectural constant so experiments can
+sweep them; defaults are the paper's published operating point:
+
+* ``precision_bits = 8``        - 8-bit integer-quantized CNNs,
+* ``vdpe_size = 176``           - Section V-B scalability result,
+* ``vdpes_per_vdpc = 16``       - with 4 VDPCs/tile and 16 tiles this
+  gives the evaluated 1024-VDPE accelerator,
+* ``bitrate_hz = 30e9``         - conservative OSM operating point,
+* ``pca_accumulation_passes``   - how many consecutive DKV pieces one
+  PCA integrates before an ADC readout (see below).
+
+**PCA multi-pass accumulation.**  The PCA integrates charge, so a VDPE
+working through the ``C = ceil(S/N)`` pieces of a long kernel vector can
+keep accumulating *optically* and convert only every few pieces; only
+those readouts become electrical partial sums for the reduction network.
+Section V-C sizes the TIR for a full-scale pass (176 x 256 ones ->
+0.91 V on a 1 V rail); at the design activity factor (mean product
+density ~0.25 of full scale, with 2x margin over the statistical mean of
+~0.125 for uniform operands) the capacitor accommodates ~4 passes before
+a readout is required.  This multi-pass factor is the architectural
+reason SCONNA's psum-reduction traffic is vastly lower than the analog
+baselines' (every analog piece needs its own ADC conversion), and it is
+the one calibration point of the performance model - set
+``pca_accumulation_passes = 1`` to disable it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.photonics.tir import TIRParams, TimeIntegratingReceiver
+
+
+@dataclass(frozen=True)
+class SconnaConfig:
+    """Full SCONNA design point."""
+
+    precision_bits: int = 8
+    vdpe_size: int = 176               #: N - OSMs (wavelengths) per VDPE
+    vdpes_per_vdpc: int = 16           #: M - parallel arms per VDPC
+    vdpcs_per_tile: int = 4
+    n_tiles: int = 16
+    bitrate_hz: float = 30e9           #: BR - OSM stream rate
+    oag_fwhm_nm: float = 0.6
+    oag_junction_shift_nm: float = 0.75
+    laser_power_dbm: float = 10.0
+    laser_wall_plug_efficiency: float = 0.1
+    adc_mape: float = 0.013
+    buffer_latency_s: float = 2e-9     #: scratchpad access (Section V-A)
+    lut_latency_s: float = 2e-9        #: eDRAM LUT access (Section V-A)
+    serializer_latency_s: float = 0.03e-9
+    adc_latency_s: float = 0.78e-9
+    pca_design_activity: float = 0.25  #: assumed mean ones-density per pass
+    tir: TIRParams = field(default_factory=TIRParams)
+
+    def __post_init__(self) -> None:
+        if self.precision_bits <= 0:
+            raise ValueError("precision_bits must be positive")
+        if self.vdpe_size <= 0 or self.vdpes_per_vdpc <= 0:
+            raise ValueError("vdpe_size and vdpes_per_vdpc must be positive")
+        if self.bitrate_hz <= 0:
+            raise ValueError("bitrate_hz must be positive")
+        if not (0.0 < self.pca_design_activity <= 1.0):
+            raise ValueError("pca_design_activity must be in (0, 1]")
+
+    # -- derived quantities ---------------------------------------------
+    @property
+    def stream_length(self) -> int:
+        """Bits per stochastic stream: 2**B (256 at B=8)."""
+        return 1 << self.precision_bits
+
+    @property
+    def stream_duration_s(self) -> float:
+        """Time to play one stream: 2**B / BR (8.53 ns at the defaults)."""
+        return self.stream_length / self.bitrate_hz
+
+    @property
+    def vdp_issue_interval_s(self) -> float:
+        """Steady-state interval between VDP results per VDPE.
+
+        The buffer -> LUT -> serializer -> OAG -> PCA chain is pipelined;
+        the stream duration dominates every other stage at the defaults.
+        """
+        return max(
+            self.stream_duration_s,
+            self.buffer_latency_s,
+            self.lut_latency_s,
+            self.adc_latency_s,
+        )
+
+    @property
+    def vdp_pipeline_latency_s(self) -> float:
+        """End-to-end latency of a single VDP (pipeline fill)."""
+        return (
+            self.buffer_latency_s
+            + self.lut_latency_s
+            + self.serializer_latency_s
+            + self.stream_duration_s
+            + self.adc_latency_s
+        )
+
+    @property
+    def total_vdpes(self) -> int:
+        return self.n_tiles * self.vdpcs_per_tile * self.vdpes_per_vdpc
+
+    @property
+    def pca_capacity_ones(self) -> int:
+        """Ones one TIR capacitor can hold before reaching the rail."""
+        tir = TimeIntegratingReceiver(self.tir)
+        bit_period = 1.0 / self.bitrate_hz
+        per_one = self.tir.amplifier_gain * self.tir.pulse_charge_c(
+            bit_period
+        ) / self.tir.capacitance_f
+        return int(self.tir.supply_rail_v / per_one)
+
+    @property
+    def pca_accumulation_passes(self) -> int:
+        """Consecutive DKV pieces one PCA integrates per ADC readout.
+
+        ``floor(capacity / (N * 2**B * design_activity))``, clamped to at
+        least 1.  At the paper's design point this evaluates to 4.
+        """
+        per_pass = self.vdpe_size * self.stream_length * self.pca_design_activity
+        return max(1, int(self.pca_capacity_ones / per_pass))
+
+    def electrical_psums(self, vector_size: int) -> int:
+        """Electrical partial sums emitted for an S-point VDP.
+
+        ``ceil(ceil(S/N) / pca_accumulation_passes)`` - optical pieces
+        grouped by multi-pass PCA accumulation.
+        """
+        if vector_size <= 0:
+            raise ValueError("vector_size must be positive")
+        pieces = math.ceil(vector_size / self.vdpe_size)
+        return math.ceil(pieces / self.pca_accumulation_passes)
+
+    def with_overrides(self, **kwargs) -> "SconnaConfig":
+        """Functional update helper for sweeps/ablations."""
+        return replace(self, **kwargs)

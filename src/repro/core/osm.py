@@ -1,0 +1,115 @@
+"""Optical Stochastic Multiplier (paper Section IV-B, Fig. 5).
+
+An OSM = peripherals (scratchpad access, eDRAM lookup table, two
+high-speed serializers, drivers) + the Optical AND Gate.  Three levels of
+fidelity are exposed, all provably consistent:
+
+* :meth:`OpticalStochasticMultiplier.multiply` - count-domain result
+  (``floor(ib*wb/2**B)``), the fast path used everywhere at scale;
+* :meth:`~OpticalStochasticMultiplier.multiply_streams` - fetch LUT
+  streams, AND them electrically (what the OAG's truth table computes);
+* :meth:`~OpticalStochasticMultiplier.multiply_optical` - full transient
+  simulation through the OAG device model at the configured bitrate,
+  thresholded by the PCA's decision level.
+
+Timing/energy bookkeeping lives in the returned :class:`OsmTiming`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SconnaConfig
+from repro.photonics.mrr import MicroringResonator
+from repro.photonics.oag import OpticalAndGate
+from repro.stochastic.arithmetic import exact_sc_product
+from repro.stochastic.lut import OsmLookupTable
+
+
+@dataclass(frozen=True)
+class OsmTiming:
+    """Latency breakdown of one stochastic multiplication."""
+
+    buffer_s: float
+    lut_s: float
+    serializer_s: float
+    stream_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.buffer_s + self.lut_s + self.serializer_s + self.stream_s
+
+
+class OpticalStochasticMultiplier:
+    """One OSM: LUT peripherals + optical AND gate on one wavelength."""
+
+    def __init__(
+        self,
+        config: SconnaConfig | None = None,
+        wavelength_nm: float = 1550.0,
+        input_power_dbm: float = 0.0,
+        lut: OsmLookupTable | None = None,
+    ) -> None:
+        self.config = config or SconnaConfig()
+        self.wavelength_nm = wavelength_nm
+        # The LUT is physically per-OSM (Table IV charges one per OSM);
+        # sharing the Python object across OSMs is a memory optimisation
+        # with identical contents.
+        self.lut = lut or OsmLookupTable(self.config.precision_bits)
+        ring = MicroringResonator(
+            resonance_nm=wavelength_nm,
+            fwhm_nm=self.config.oag_fwhm_nm,
+            junction_shift_nm=self.config.oag_junction_shift_nm,
+        )
+        self.gate = OpticalAndGate(
+            ring=ring,
+            input_wavelength_nm=wavelength_nm,
+            input_power_dbm=input_power_dbm,
+        )
+
+    # -- functional paths ------------------------------------------------
+    def multiply(self, ib: int, wb: int) -> int:
+        """Count-domain stochastic product ``floor(ib * wb / 2**B)``."""
+        return exact_sc_product(ib, wb, self.config.precision_bits)
+
+    def multiply_streams(self, ib: int, wb: int) -> int:
+        """Electrical-AND of the fetched LUT streams (bit-true)."""
+        return self.lut.fetch_product_count(ib, wb)
+
+    def multiply_optical(self, ib: int, wb: int) -> int:
+        """Full optical transient through the OAG at the configured BR.
+
+        The two serialized streams drive the OAG's PN junctions; the
+        drop-port power is thresholded per bit slot (as the PCA's
+        photodetector does) and the resulting ones are counted.
+        """
+        i_s, w_s = self.lut.fetch(ib, wb)
+        tr = self.gate.transient_response(
+            i_s.bits.astype(np.int64),
+            w_s.bits.astype(np.int64),
+            self.config.bitrate_hz,
+            samples_per_bit=8,
+        )
+        return int(tr.decide_bits().sum())
+
+    # -- timing ------------------------------------------------------------
+    def timing(self) -> OsmTiming:
+        """Latency breakdown per multiplication (Section V-A)."""
+        c = self.config
+        return OsmTiming(
+            buffer_s=c.buffer_latency_s,
+            lut_s=c.lut_latency_s,
+            serializer_s=c.serializer_latency_s,
+            stream_s=c.stream_duration_s,
+        )
+
+    def supported_bitrate_ok(self) -> bool:
+        """Is the configured BR within the OAG's Fig. 7(a) envelope?"""
+        from repro.photonics.oag import max_bitrate_for_fwhm
+
+        return (
+            max_bitrate_for_fwhm(self.config.oag_fwhm_nm)
+            >= self.config.bitrate_hz
+        )

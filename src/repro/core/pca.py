@@ -1,0 +1,121 @@
+"""Photo-Charge Accumulator (paper Sections IV-C, V-C, Fig. 4(b)).
+
+The PCA turns incident optical '1' pulses into capacitor charge and
+reads the accrued voltage out through an ADC.  A VDPE carries a *pair*
+of PCAs: the filter-MRR bank steers positively-signed product streams to
+the OWA-coupled PCA and negatively-signed ones to the OWA'-coupled PCA;
+the signed VDP result is the difference of the two readouts.
+
+Multi-pass accumulation: because the accumulation is charge-domain, the
+PCA can integrate several consecutive DKV pieces before converting
+(bounded by the TIR's rail headroom - see
+:attr:`repro.core.config.SconnaConfig.pca_accumulation_passes`), which is
+what divides SCONNA's electrical psum traffic by ~4x versus one ADC
+conversion per optical piece.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SconnaConfig
+from repro.photonics.converters import AdcErrorModel
+from repro.photonics.tir import TimeIntegratingReceiver
+
+
+@dataclass(frozen=True)
+class PcaReadout:
+    """One ADC conversion of an accumulated charge."""
+
+    ones_accumulated: int
+    analog_voltage_v: float
+    converted_count: int
+    saturated: bool
+
+
+class PhotoChargeAccumulator:
+    """Single-polarity PCA: photodetector + ping-pong TIR + ADC."""
+
+    def __init__(
+        self, config: SconnaConfig | None = None, seed: int | None = None
+    ) -> None:
+        self.config = config or SconnaConfig()
+        self.tir = TimeIntegratingReceiver(self.config.tir)
+        self.error_model = AdcErrorModel(mape=self.config.adc_mape, seed=seed)
+        self._accumulated = 0
+
+    # -- charge-domain interface ----------------------------------------
+    def accumulate(self, ones: int) -> None:
+        """Integrate ``ones`` optical '1' pulses onto the active capacitor."""
+        if ones < 0:
+            raise ValueError("ones cannot be negative")
+        self._accumulated += ones
+
+    @property
+    def pending_ones(self) -> int:
+        return self._accumulated
+
+    def would_saturate(self, additional_ones: int) -> bool:
+        """Check rail headroom before another accumulation pass."""
+        return self._accumulated + additional_ones > self.config.pca_capacity_ones
+
+    def drain(self) -> int:
+        """Read the pending count without ADC conversion and reset."""
+        ones = self._accumulated
+        self._accumulated = 0
+        return ones
+
+    def readout(self) -> PcaReadout:
+        """Convert the accrued voltage and reset (ping-pong discharge).
+
+        The conversion applies the calibrated 1.3 %-MAPE ADC error model;
+        saturation clips at the capacity (the simulator schedules
+        readouts so this never triggers in normal operation).
+        """
+        ones = self._accumulated
+        capacity = self.config.pca_capacity_ones
+        saturated = ones > capacity
+        effective = min(ones, capacity)
+        bit_period = 1.0 / self.config.bitrate_hz
+        voltage = float(self.tir.output_voltage_v(effective, bit_period))
+        converted = int(self.error_model.apply(np.array([float(effective)]))[0])
+        self._accumulated = 0
+        return PcaReadout(
+            ones_accumulated=ones,
+            analog_voltage_v=voltage,
+            converted_count=max(converted, 0),
+            saturated=saturated,
+        )
+
+
+class SignedPcaPair:
+    """The OWA / OWA' PCA pair of one VDPE (sign-split accumulation)."""
+
+    def __init__(
+        self, config: SconnaConfig | None = None, seed: int | None = None
+    ) -> None:
+        self.config = config or SconnaConfig()
+        self.positive = PhotoChargeAccumulator(self.config, seed=seed)
+        self.negative = PhotoChargeAccumulator(
+            self.config, seed=None if seed is None else seed + 1
+        )
+
+    def accumulate(self, positive_ones: int, negative_ones: int) -> None:
+        self.positive.accumulate(positive_ones)
+        self.negative.accumulate(negative_ones)
+
+    def readout_signed(self) -> int:
+        """Signed VDP result: positive count minus negative count."""
+        return (
+            self.positive.readout().converted_count
+            - self.negative.readout().converted_count
+        )
+
+    def drain_signed_ideal(self) -> int:
+        """Noise-free drain (no ADC error), for reference computations."""
+        return self.positive.drain() - self.negative.drain()
+
+    def pending(self) -> tuple[int, int]:
+        return self.positive.pending_ones, self.negative.pending_ones

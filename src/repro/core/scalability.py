@@ -1,0 +1,129 @@
+"""Section V scalability analysis of SCONNA, end to end.
+
+Combines the photonic solvers into the three published results:
+
+* **V-A** - OSM operating speed: max bitrate vs ring FWHM (Fig. 7(a));
+  the paper conservatively picks BR = 30 Gb/s.
+* **V-B** - achievable VDPC size: Eqs. 2-4 with Table III values give
+  N = M = 176 (at an effective receiver sensitivity of -30 dBm; the
+  paper prints -28 dBm, at which our faithful solver yields N = 138 -
+  both are reported).
+* **V-C** - PCA accumulation capacity: the calibrated TIR stays linear
+  through a full 176 x 256-ones pass and holds ~4 passes of typical
+  activity before needing a readout.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.config import SconnaConfig
+from repro.photonics.link_budget import sconna_vdpc_budget, solve_max_n
+from repro.photonics.oag import max_bitrate_for_fwhm
+from repro.photonics.photodetector import PhotodetectorParams
+from repro.photonics.sensitivity import solve_sensitivity_dbm
+from repro.photonics.tir import TimeIntegratingReceiver
+
+
+@dataclass(frozen=True)
+class ScalabilityReport:
+    """All Section V results in one record."""
+
+    max_bitrate_at_fwhm_hz: float
+    operating_bitrate_hz: float
+    sensitivity_dbm_digital: float
+    max_n_at_paper_sensitivity: int
+    max_n_at_minus_30_dbm: int
+    paper_published_n: int
+    pca_capacity_ones: int
+    pca_full_scale_ones: int
+    pca_linear_at_full_scale: bool
+    pca_accumulation_passes: int
+
+
+def analyze_scalability(config: SconnaConfig | None = None) -> ScalabilityReport:
+    """Run the full Section V analysis for a configuration."""
+    cfg = config or SconnaConfig()
+
+    # V-A: OSM speed envelope.
+    max_br = max_bitrate_for_fwhm(cfg.oag_fwhm_nm)
+
+    # V-B: receiver sensitivity at BRes = 1 (digital streams).  The
+    # paper solves Eq. 2 at DR = BR * 2**B and quotes -28 dBm; our
+    # faithful Eq. 2/3 solver at the stream bitrate gives a similar
+    # figure; both bracketing max-N solutions are reported.
+    sens = solve_sensitivity_dbm(
+        1.0, cfg.bitrate_hz, PhotodetectorParams()
+    )
+    n_paper_sens = solve_max_n(
+        lambda n, m: sconna_vdpc_budget(n, m, cfg.laser_power_dbm), -28.0
+    )
+    n_30 = solve_max_n(
+        lambda n, m: sconna_vdpc_budget(n, m, cfg.laser_power_dbm), -30.0
+    )
+
+    # V-C: PCA capacity.
+    tir = TimeIntegratingReceiver(cfg.tir)
+    full_scale = cfg.vdpe_size * cfg.stream_length
+    linear = tir.is_linear_up_to(
+        cfg.vdpe_size, cfg.stream_length, 1.0 / cfg.bitrate_hz
+    )
+
+    return ScalabilityReport(
+        max_bitrate_at_fwhm_hz=max_br,
+        operating_bitrate_hz=cfg.bitrate_hz,
+        sensitivity_dbm_digital=sens,
+        max_n_at_paper_sensitivity=n_paper_sens,
+        max_n_at_minus_30_dbm=n_30,
+        paper_published_n=176,
+        pca_capacity_ones=cfg.pca_capacity_ones,
+        pca_full_scale_ones=full_scale,
+        pca_linear_at_full_scale=linear,
+        pca_accumulation_passes=cfg.pca_accumulation_passes,
+    )
+
+
+def sweep_max_n_vs_laser_power(
+    laser_powers_dbm: "list[float]", sensitivity_dbm: float = -30.0
+) -> "list[tuple[float, int]]":
+    """Design-space helper: max N as laser power varies."""
+    out = []
+    for p in laser_powers_dbm:
+        n = solve_max_n(
+            lambda n, m, _p=p: sconna_vdpc_budget(n, m, laser_power_dbm=_p),
+            sensitivity_dbm,
+        )
+        out.append((p, n))
+    return out
+
+
+def stream_bits_vs_precision(max_bits: int = 12) -> "list[tuple[int, int]]":
+    """Stream length 2**B per precision - the linear-vs-exponential
+    trade-off stochastic computing accepts for precision flexibility."""
+    if max_bits < 1:
+        raise ValueError("max_bits must be >= 1")
+    return [(b, 1 << b) for b in range(1, max_bits + 1)]
+
+
+def psum_counts_for_vector(
+    s: int, config: SconnaConfig | None = None
+) -> dict[str, int]:
+    """Optical pieces vs electrical psums for an S-point kernel vector.
+
+    Shows the two-level reduction: ``ceil(S/176)`` optical passes shrink
+    to ``ceil(passes/4)`` electrical psums via multi-pass accumulation -
+    versus ``ceil(S/22) * 2`` ADC conversions for the bit-sliced MAM
+    baseline.
+    """
+    cfg = config or SconnaConfig()
+    if s <= 0:
+        raise ValueError("s must be positive")
+    pieces = math.ceil(s / cfg.vdpe_size)
+    return {
+        "vector_size": s,
+        "optical_passes": pieces,
+        "electrical_psums": cfg.electrical_psums(s),
+        "mam_psums_8bit": math.ceil(s / 22) * 2,
+        "amm_psums_8bit": math.ceil(s / 16) * 2,
+    }

@@ -1,0 +1,104 @@
+"""SCONNA Vector-Dot-Product Core (paper Fig. 4(a)).
+
+A VDPC = N laser diodes -> DWDM mux -> 1xM splitter -> M input waveguide
+arms, each feeding one :class:`~repro.core.vdpe.SconnaVDPE`.  The core
+computes up to M independent VDPs concurrently (all arms share the same
+wavelength comb but carry independent DIV/DKV streams).
+
+The class provides the functional batch interface used by the CNN
+inference engine plus the static power/area/link-budget views consumed by
+the system simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SconnaConfig
+from repro.core.vdpe import SconnaVDPE, VdpeResult
+from repro.photonics.laser import DwdmGrid, LaserDiode
+from repro.photonics.link_budget import LinkBudget, sconna_vdpc_budget
+
+
+@dataclass(frozen=True)
+class VdpcBatchResult:
+    """Results of one batch of up to M concurrent VDPs."""
+
+    signed_counts: np.ndarray
+    latency_s: float
+    optical_passes: int
+    electrical_psums: int
+
+
+class SconnaVDPC:
+    """One SCONNA vector-dot-product core with M VDPE arms."""
+
+    def __init__(
+        self, config: SconnaConfig | None = None, seed: int | None = None
+    ) -> None:
+        self.config = config or SconnaConfig()
+        base = 0 if seed is None else seed
+        self.vdpes = [
+            SconnaVDPE(self.config, seed=None if seed is None else base + 97 * k)
+            for k in range(self.config.vdpes_per_vdpc)
+        ]
+        self.grid = DwdmGrid()
+        if self.config.vdpe_size > self.grid.max_channels():
+            raise ValueError(
+                f"vdpe_size {self.config.vdpe_size} exceeds DWDM capacity "
+                f"{self.grid.max_channels()}"
+            )
+
+    @property
+    def m(self) -> int:
+        return len(self.vdpes)
+
+    @property
+    def n(self) -> int:
+        return self.config.vdpe_size
+
+    # -- functional --------------------------------------------------------
+    def compute_batch(
+        self,
+        i_vectors: "list[np.ndarray]",
+        w_vectors: "list[np.ndarray]",
+        apply_adc_error: bool = True,
+    ) -> VdpcBatchResult:
+        """Run up to M VDPs concurrently (one per arm).
+
+        Latency is the slowest arm (arms run in lock-step off the shared
+        comb); counts are per-arm signed results.
+        """
+        if len(i_vectors) != len(w_vectors):
+            raise ValueError("need equal numbers of input and kernel vectors")
+        if not (1 <= len(i_vectors) <= self.m):
+            raise ValueError(f"batch size must be in [1, {self.m}]")
+        results: list[VdpeResult] = []
+        for vdpe, iv, wv in zip(self.vdpes, i_vectors, w_vectors):
+            results.append(vdpe.compute_vdp(iv, wv, apply_adc_error))
+        return VdpcBatchResult(
+            signed_counts=np.array([r.signed_count for r in results]),
+            latency_s=max(r.latency_s for r in results),
+            optical_passes=sum(r.optical_passes for r in results),
+            electrical_psums=sum(r.electrical_psums for r in results),
+        )
+
+    # -- physical views ------------------------------------------------------
+    def link_budget(self) -> LinkBudget:
+        """Per-wavelength optical budget of this core (Eq. 4)."""
+        return sconna_vdpc_budget(
+            self.n, self.m, laser_power_dbm=self.config.laser_power_dbm
+        )
+
+    def laser_electrical_power_w(self) -> float:
+        """Wall-plug draw of the N-diode source array."""
+        diode = LaserDiode(
+            power_dbm=self.config.laser_power_dbm,
+            eta_wpe=self.config.laser_wall_plug_efficiency,
+        )
+        return self.n * diode.electrical_power_w
+
+    def wavelengths_nm(self) -> np.ndarray:
+        return self.grid.wavelengths_nm(self.n)

@@ -1,0 +1,135 @@
+"""SCONNA Vector-Dot-Product Element (paper Section IV-A, Fig. 4(a)).
+
+A VDPE = a cascade of N OSMs (one per wavelength) + a bank of N
+sign-steering filter MRRs + one signed PCA pair.  It multiplies an
+N-point decomposed input vector (DIV) against an N-point decomposed
+kernel vector (DKV) and accumulates the N product streams optically.
+
+For kernel vectors longer than N the VDPE iterates over the
+``C = ceil(S/N)`` pieces; thanks to the PCA's charge-domain accumulation
+it only emits an electrical partial sum every
+``pca_accumulation_passes`` pieces.
+
+Functional contract (locked by tests): the signed result equals
+``sum(floor(i_k * |w_k| / 2**B) * sign(w_k))`` over the whole vector,
+i.e. the exact integer VDP scaled by ``2**-B`` with per-product floor
+rounding - before optional ADC error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SconnaConfig
+from repro.core.pca import SignedPcaPair
+from repro.stochastic.arithmetic import sc_vdp
+
+
+@dataclass(frozen=True)
+class VdpeResult:
+    """Outcome of a full (possibly multi-piece) VDP on one VDPE."""
+
+    signed_count: int
+    optical_passes: int
+    electrical_psums: int
+    latency_s: float
+
+
+class SconnaVDPE:
+    """One SCONNA vector-dot-product element."""
+
+    def __init__(
+        self, config: SconnaConfig | None = None, seed: int | None = None
+    ) -> None:
+        self.config = config or SconnaConfig()
+        self.pca_pair = SignedPcaPair(self.config, seed=seed)
+
+    @property
+    def size(self) -> int:
+        return self.config.vdpe_size
+
+    def compute_piece(self, i_piece: np.ndarray, w_piece: np.ndarray) -> tuple[int, int]:
+        """One optical pass: (positive_ones, negative_ones) for <=N points."""
+        i_arr = np.asarray(i_piece, dtype=np.int64)
+        w_arr = np.asarray(w_piece, dtype=np.int64)
+        if i_arr.size != w_arr.size:
+            raise ValueError("DIV and DKV pieces must have equal size")
+        if i_arr.size == 0 or i_arr.size > self.size:
+            raise ValueError(
+                f"piece size {i_arr.size} out of range [1, {self.size}]"
+            )
+        return sc_vdp(i_arr, w_arr, self.config.precision_bits)
+
+    def compute_vdp(
+        self,
+        i_vector: np.ndarray,
+        w_vector: np.ndarray,
+        apply_adc_error: bool = True,
+    ) -> VdpeResult:
+        """Full S-point VDP with multi-pass PCA accumulation.
+
+        The vector is cut into N-point pieces; each piece is one optical
+        pass; the PCA pair converts after every
+        ``pca_accumulation_passes`` passes (or at the end), and the
+        converted partial results are summed digitally.
+        """
+        i_arr = np.asarray(i_vector, dtype=np.int64)
+        w_arr = np.asarray(w_vector, dtype=np.int64)
+        if i_arr.shape != w_arr.shape or i_arr.ndim != 1:
+            raise ValueError("vectors must be equal-length and 1-D")
+        if i_arr.size == 0:
+            raise ValueError("vectors must be non-empty")
+
+        n = self.size
+        passes_per_readout = self.config.pca_accumulation_passes
+        total = 0
+        passes = 0
+        psums = 0
+        passes_since_readout = 0
+        for start in range(0, i_arr.size, n):
+            pos, neg = self.compute_piece(
+                i_arr[start : start + n], w_arr[start : start + n]
+            )
+            self.pca_pair.accumulate(pos, neg)
+            passes += 1
+            passes_since_readout += 1
+            if passes_since_readout >= passes_per_readout:
+                total += self._read(apply_adc_error)
+                psums += 1
+                passes_since_readout = 0
+        if passes_since_readout > 0:
+            total += self._read(apply_adc_error)
+            psums += 1
+
+        latency = (
+            self.config.vdp_pipeline_latency_s
+            + (passes - 1) * self.config.vdp_issue_interval_s
+            + psums * self.config.adc_latency_s
+        )
+        return VdpeResult(
+            signed_count=total,
+            optical_passes=passes,
+            electrical_psums=psums,
+            latency_s=latency,
+        )
+
+    def _read(self, apply_adc_error: bool) -> int:
+        if apply_adc_error:
+            return self.pca_pair.readout_signed()
+        return self.pca_pair.drain_signed_ideal()
+
+    # -- golden reference --------------------------------------------------
+    @staticmethod
+    def exact_reference(
+        i_vector: np.ndarray, w_vector: np.ndarray, precision_bits: int
+    ) -> int:
+        """Noise-free count-domain result for equivalence tests."""
+        from repro.stochastic.arithmetic import sc_products
+
+        return int(
+            sc_products(
+                np.asarray(i_vector), np.asarray(w_vector), precision_bits
+            ).sum()
+        )

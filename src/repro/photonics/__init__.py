@@ -1,0 +1,105 @@
+"""Photonic device substrate for the SCONNA reproduction.
+
+This package replaces the commercial EDA tooling (Ansys/Lumerical,
+MultiSim) the paper used for device modelling with first-principles
+Python models:
+
+* :mod:`repro.photonics.mrr` - add-drop microring resonators,
+* :mod:`repro.photonics.oag` - the Optical AND Gate + transient / OMA
+  analyses (Figs. 6(c), 7(a)),
+* :mod:`repro.photonics.photodetector` / :mod:`~repro.photonics.sensitivity`
+  - receiver noise (Eq. 3) and sensitivity (Eq. 2),
+* :mod:`repro.photonics.laser` / :mod:`~repro.photonics.waveguide` /
+  :mod:`~repro.photonics.link_budget` - the optical power budget and
+  max-N solver (Eq. 4, Section V-B),
+* :mod:`repro.photonics.tir` - the PCA's time-integrating receiver
+  (Fig. 7(b)),
+* :mod:`repro.photonics.converters` - ADC/DAC behaviour + the 1.3 %-MAPE
+  PCA error model.
+"""
+
+from repro.photonics.mrr import MicroringResonator, max_dwdm_channels
+from repro.photonics.oag import (
+    OAGTimingModel,
+    OpticalAndGate,
+    OAGTransient,
+    max_bitrate_for_fwhm,
+    oma_at_bitrate,
+    random_prbs,
+)
+from repro.photonics.photodetector import (
+    PhotodetectorParams,
+    bit_resolution,
+    noise_spectral_density_a_per_rthz,
+    photocurrent_a,
+    rms_noise_current_a,
+    snr_db,
+)
+from repro.photonics.sensitivity import (
+    max_resolution_bits,
+    sensitivity_curve_dbm,
+    solve_sensitivity_dbm,
+)
+from repro.photonics.laser import DwdmGrid, LaserDiode, laser_array_power_w
+from repro.photonics.waveguide import (
+    PassiveLossParams,
+    cascade_passby_loss_db,
+    propagation_loss_db,
+    splitter_loss_db,
+)
+from repro.photonics.link_budget import (
+    LinkBudget,
+    LossTerm,
+    analog_vdpc_budget,
+    sconna_vdpc_budget,
+    solve_max_n,
+)
+from repro.photonics.tir import TIRParams, TimeIntegratingReceiver
+from repro.photonics.converters import (
+    ANALOG_ADC,
+    ANALOG_DAC,
+    SCONNA_ADC,
+    AdcErrorModel,
+    ConverterSpec,
+    QuantizingADC,
+)
+
+__all__ = [
+    "MicroringResonator",
+    "max_dwdm_channels",
+    "OAGTimingModel",
+    "OpticalAndGate",
+    "OAGTransient",
+    "max_bitrate_for_fwhm",
+    "oma_at_bitrate",
+    "random_prbs",
+    "PhotodetectorParams",
+    "bit_resolution",
+    "noise_spectral_density_a_per_rthz",
+    "photocurrent_a",
+    "rms_noise_current_a",
+    "snr_db",
+    "max_resolution_bits",
+    "sensitivity_curve_dbm",
+    "solve_sensitivity_dbm",
+    "DwdmGrid",
+    "LaserDiode",
+    "laser_array_power_w",
+    "PassiveLossParams",
+    "cascade_passby_loss_db",
+    "propagation_loss_db",
+    "splitter_loss_db",
+    "LinkBudget",
+    "LossTerm",
+    "analog_vdpc_budget",
+    "sconna_vdpc_budget",
+    "solve_max_n",
+    "TIRParams",
+    "TimeIntegratingReceiver",
+    "ANALOG_ADC",
+    "ANALOG_DAC",
+    "SCONNA_ADC",
+    "AdcErrorModel",
+    "ConverterSpec",
+    "QuantizingADC",
+]

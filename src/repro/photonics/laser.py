@@ -1,0 +1,78 @@
+"""Laser diode array and DWDM channel grid.
+
+Every VDPC begins with ``N`` single-wavelength laser diodes multiplexed
+into one waveguide (paper Fig. 4(a)).  This module models the per-diode
+optical output, wall-plug efficiency (``eta_WPE``, Table III: 0.1) and
+the DWDM grid (0.25 nm spacing inside a 50 nm FSR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.constants import C_BAND_CENTER_M
+from repro.utils.units import dbm_to_watts
+
+
+@dataclass(frozen=True)
+class LaserDiode:
+    """One DFB laser diode of the source array.
+
+    ``power_dbm`` is the *optical* power launched into the chip
+    (Table III: 10 dBm); electrical wall-plug draw is
+    ``optical / eta_wpe``.
+    """
+
+    power_dbm: float = 10.0
+    wavelength_nm: float = 1550.0
+    eta_wpe: float = 0.1
+
+    @property
+    def optical_power_w(self) -> float:
+        return dbm_to_watts(self.power_dbm)
+
+    @property
+    def electrical_power_w(self) -> float:
+        """Wall-plug electrical power needed to emit ``power_dbm``."""
+        if not (0.0 < self.eta_wpe <= 1.0):
+            raise ValueError(f"eta_wpe must be in (0, 1], got {self.eta_wpe}")
+        return self.optical_power_w / self.eta_wpe
+
+
+@dataclass(frozen=True)
+class DwdmGrid:
+    """Dense WDM channel plan shared by a VDPC's laser block and OSMs."""
+
+    center_nm: float = C_BAND_CENTER_M * 1e9
+    spacing_nm: float = 0.25
+    fsr_nm: float = 50.0
+
+    def max_channels(self) -> int:
+        """Theoretical channel count (paper: 50 / 0.25 = 200)."""
+        return int(self.fsr_nm / self.spacing_nm)
+
+    def wavelengths_nm(self, n_channels: int) -> np.ndarray:
+        """Channel wavelengths centred on ``center_nm``.
+
+        Raises if ``n_channels`` exceeds what the FSR supports, mirroring
+        the hard bound of Section V-B.
+        """
+        if n_channels <= 0:
+            raise ValueError("n_channels must be positive")
+        if n_channels > self.max_channels():
+            raise ValueError(
+                f"{n_channels} channels exceed FSR capacity {self.max_channels()}"
+            )
+        offsets = (np.arange(n_channels) - (n_channels - 1) / 2.0) * self.spacing_nm
+        return self.center_nm + offsets
+
+
+def laser_array_power_w(n_diodes: int, diode: LaserDiode | None = None) -> tuple[float, float]:
+    """(total optical, total electrical) power of an ``n_diodes`` array [W]."""
+    if n_diodes <= 0:
+        raise ValueError("n_diodes must be positive")
+    if diode is None:
+        diode = LaserDiode()
+    return n_diodes * diode.optical_power_w, n_diodes * diode.electrical_power_w

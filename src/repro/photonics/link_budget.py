@@ -1,0 +1,215 @@
+"""Optical link budget and maximum-VDPE-size solver (paper Eq. 4).
+
+Paper Eq. 4 balances, per wavelength, the laser power against every loss
+between a laser diode and the summation photodetector, requiring that the
+power arriving at the PD clears its sensitivity ``P_PD-opt``.  We express
+the budget in the dB domain as a list of *named* loss terms so tests and
+documentation can audit each contribution:
+
+``P_laser(dBm) - sum(losses dB) >= P_PD-opt(dBm)``
+
+Three waveguide organisations are modelled:
+
+* ``sconna``  - laser -> mux -> 1xM split -> N-OSM cascade -> filter MRR
+  bank -> PCA  (Fig. 4(a));
+* ``amm``     - Aggregation, Modulation(DIV), Modulation(DKV): light
+  traverses *two* N-element MRR modulation arrays after the split
+  (Fig. 2(a));
+* ``mam``     - Modulation(DIV), Aggregation, Modulation(DKV): one shared
+  modulator before aggregation, then one N-element array (Fig. 2(b)).
+
+The max-N solver walks N upward until the budget no longer closes; all
+loss terms grow monotonically with N, so the first failure is final
+(a property locked by ``tests/test_link_budget.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Literal
+
+from repro.photonics.waveguide import (
+    PassiveLossParams,
+    cascade_passby_loss_db,
+    propagation_loss_db,
+    splitter_loss_db,
+)
+
+Organization = Literal["sconna", "amm", "mam"]
+
+
+@dataclass(frozen=True)
+class LossTerm:
+    """One labelled contribution to the link budget."""
+
+    name: str
+    loss_db: float
+
+    def __post_init__(self) -> None:
+        if self.loss_db < 0:
+            raise ValueError(f"loss term {self.name!r} is negative: {self.loss_db}")
+
+
+@dataclass
+class LinkBudget:
+    """A fully-enumerated optical power budget for one wavelength path."""
+
+    laser_power_dbm: float
+    terms: list[LossTerm] = field(default_factory=list)
+
+    @property
+    def total_loss_db(self) -> float:
+        return sum(t.loss_db for t in self.terms)
+
+    @property
+    def received_power_dbm(self) -> float:
+        return self.laser_power_dbm - self.total_loss_db
+
+    def margin_db(self, sensitivity_dbm: float) -> float:
+        """Positive margin means the budget closes."""
+        return self.received_power_dbm - sensitivity_dbm
+
+    def closes(self, sensitivity_dbm: float) -> bool:
+        return self.margin_db(sensitivity_dbm) >= 0.0
+
+    def describe(self) -> str:
+        lines = [f"laser:       {self.laser_power_dbm:+.2f} dBm"]
+        for t in self.terms:
+            lines.append(f"  -{t.loss_db:6.3f} dB  {t.name}")
+        lines.append(f"received:    {self.received_power_dbm:+.2f} dBm")
+        return "\n".join(lines)
+
+
+def sconna_vdpc_budget(
+    n: int,
+    m: int,
+    laser_power_dbm: float = 10.0,
+    params: PassiveLossParams | None = None,
+) -> LinkBudget:
+    """Budget for one wavelength through a SCONNA VDPC (Fig. 4(a)).
+
+    Each wavelength is modulated by exactly one OSM in the N-long cascade
+    (``IL_OSM``), passes the other ``N-1`` off resonance (``OBL_OSM``),
+    is dropped by one filter MRR (``IL_MRR``) after skirting ``N-1``
+    others (``OBL_MRR``), and propagates along ``N`` OSM pitches of
+    waveguide.
+    """
+    if params is None:
+        params = PassiveLossParams()
+    if n < 1 or m < 1:
+        raise ValueError("n and m must be >= 1")
+    terms = [
+        LossTerm("single-mode fibre (IL_SMF)", params.il_smf_db),
+        LossTerm("fibre-to-chip coupling (IL_EC)", params.il_coupling_db),
+        LossTerm(f"1x{m} splitter", splitter_loss_db(m, params)),
+        LossTerm(
+            f"waveguide {n * params.osm_pitch_mm:.2f} mm",
+            propagation_loss_db(n * params.osm_pitch_mm, params),
+        ),
+        LossTerm("active OSM insertion (IL_OSM)", params.il_osm_db),
+        LossTerm(
+            f"{n - 1} off-resonance OSMs (OBL_OSM)",
+            cascade_passby_loss_db(n, params.obl_osm_db),
+        ),
+        LossTerm("filter MRR drop (IL_MRR)", params.il_mrr_db),
+        LossTerm(
+            f"{n - 1} off-resonance filter MRRs (OBL_MRR)",
+            cascade_passby_loss_db(n, params.obl_mrr_db),
+        ),
+        LossTerm("network penalty (IL_penalty)", params.il_penalty_db),
+    ]
+    return LinkBudget(laser_power_dbm, terms)
+
+
+def analog_vdpc_budget(
+    organization: Literal["amm", "mam"],
+    n: int,
+    m: int,
+    laser_power_dbm: float = 10.0,
+    params: PassiveLossParams | None = None,
+    il_modulator_db: float = 4.0,
+) -> LinkBudget:
+    """Budget for one wavelength through an analog AMM or MAM VDPC.
+
+    AMM: split first, then *two* N-element modulation arrays per arm
+    (DIV block and DKV block) - two active insertions and two pass-by
+    cascades.  MAM: one dedicated modulator per wavelength *before*
+    aggregation (active insertion but no cascade), then the DKV array.
+    This is why MAM supports a larger N than AMM in Table I.
+    """
+    if params is None:
+        params = PassiveLossParams()
+    if organization not in ("amm", "mam"):
+        raise ValueError(f"unknown analog organization {organization!r}")
+    if n < 1 or m < 1:
+        raise ValueError("n and m must be >= 1")
+
+    terms = [
+        LossTerm("single-mode fibre (IL_SMF)", params.il_smf_db),
+        LossTerm("fibre-to-chip coupling (IL_EC)", params.il_coupling_db),
+        LossTerm(f"1x{m} splitter", splitter_loss_db(m, params)),
+        LossTerm(
+            f"waveguide {n * params.osm_pitch_mm:.2f} mm",
+            propagation_loss_db(n * params.osm_pitch_mm, params),
+        ),
+        LossTerm("network penalty (IL_penalty)", params.il_penalty_db),
+    ]
+    if organization == "amm":
+        terms += [
+            LossTerm("DIV modulator array insertion", il_modulator_db),
+            LossTerm(
+                f"{n - 1} off-resonance DIV MRRs",
+                cascade_passby_loss_db(n, params.obl_mrr_db),
+            ),
+            LossTerm("DKV modulator array insertion", il_modulator_db),
+            LossTerm(
+                f"{n - 1} off-resonance DKV MRRs",
+                cascade_passby_loss_db(n, params.obl_mrr_db),
+            ),
+        ]
+    else:  # mam
+        terms += [
+            LossTerm("dedicated DIV modulator insertion", il_modulator_db),
+            LossTerm("DKV modulator array insertion", il_modulator_db),
+            LossTerm(
+                f"{n - 1} off-resonance DKV MRRs",
+                cascade_passby_loss_db(n, params.obl_mrr_db),
+            ),
+        ]
+    return LinkBudget(laser_power_dbm, terms)
+
+
+def solve_max_n(
+    budget_fn: Callable[[int, int], LinkBudget],
+    sensitivity_dbm: float,
+    m_equals_n: bool = True,
+    m_fixed: int | None = None,
+    n_max: int = 4096,
+) -> int:
+    """Largest N for which ``budget_fn(N, M)`` still closes.
+
+    ``budget_fn`` maps ``(n, m)`` to a :class:`LinkBudget`.  With
+    ``m_equals_n`` (the paper's assumption M=N) the splitter loss also
+    grows with N.  Returns 0 if even N=1 fails.
+    """
+    if m_equals_n and m_fixed is not None:
+        raise ValueError("specify either m_equals_n or m_fixed, not both")
+
+    def closes(n: int) -> bool:
+        m = n if m_equals_n else (m_fixed or 1)
+        return budget_fn(n, m).closes(sensitivity_dbm)
+
+    if not closes(1):
+        return 0
+    lo, hi = 1, 1
+    while hi < n_max and closes(hi):
+        lo, hi = hi, min(hi * 2, n_max)
+    if closes(hi):
+        return hi
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if closes(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

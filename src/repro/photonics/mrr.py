@@ -1,0 +1,173 @@
+"""Add-drop microring resonator (MRR) device model.
+
+The paper models its Optical AND Gate (OAG) and filter MRRs with
+Ansys/Lumerical; here we use the standard first-order (single-resonance)
+model of an add-drop ring, which captures everything the paper's analyses
+depend on:
+
+* a Lorentzian drop-port passband of width ``FWHM`` centred on the ring
+  resonance (Fig. 6(b) of the paper),
+* a free spectral range (``FSR``) that bounds how many DWDM channels one
+  ring cascade can address (Section V-B uses FSR = 50 nm and 0.25 nm
+  channel spacing, i.e. 200 theoretical channels),
+* resonance tuning: a slow *thermal* shift (integrated micro-heater, used
+  to program the operand-independent position ``eta``) plus fast
+  *electro-refractive* shifts from the embedded PN junctions (the operand
+  terminals), and
+* a photon-lifetime time constant that low-passes fast modulation - the
+  physical origin of the bitrate/FWHM trade-off reproduced in Fig. 7(a).
+
+All wavelengths are expressed in nanometres relative to the C band centre
+(1550 nm) unless noted otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.constants import C_BAND_CENTER_M, SPEED_OF_LIGHT
+
+
+@dataclass
+class MicroringResonator:
+    """First-order add-drop microring resonator.
+
+    Parameters
+    ----------
+    resonance_nm:
+        Fabrication-defined cold resonance wavelength (absolute, nm).
+        The paper calls this position ``gamma``.
+    fwhm_nm:
+        Full passband width at half maximum of the drop-port Lorentzian.
+    fsr_nm:
+        Free spectral range. Only the resonance nearest to the probe
+        wavelength matters for transmission; the FSR bounds the DWDM
+        channel count (``fsr_nm / channel_spacing_nm``).
+    drop_loss_db:
+        On-resonance drop-port insertion loss (``IL_MRR`` in Table III).
+    through_floor_db:
+        Residual through-port extinction on resonance; off resonance the
+        through port transmits ``1 - drop`` minus this floor.
+    thermal_shift_nm:
+        Current heater-programmed shift added to the cold resonance (the
+        programmed position ``eta`` = ``gamma`` + ``thermal_shift_nm``).
+    junction_shift_nm:
+        Electro-refractive blue/red shift contributed by *one* PN-junction
+        operand terminal driven to logic '1'.  Both OAG terminals use the
+        same magnitude.
+    """
+
+    resonance_nm: float = 1550.0
+    fwhm_nm: float = 0.8
+    fsr_nm: float = 50.0
+    drop_loss_db: float = 0.01
+    through_floor_db: float = 25.0
+    thermal_shift_nm: float = 0.0
+    junction_shift_nm: float = 0.4
+    _peak_drop: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.fwhm_nm <= 0:
+            raise ValueError(f"fwhm_nm must be positive, got {self.fwhm_nm}")
+        if self.fsr_nm <= 0:
+            raise ValueError(f"fsr_nm must be positive, got {self.fsr_nm}")
+        if self.fwhm_nm >= self.fsr_nm:
+            raise ValueError("fwhm_nm must be smaller than fsr_nm")
+        self._peak_drop = 10.0 ** (-self.drop_loss_db / 10.0)
+
+    # ------------------------------------------------------------------
+    # static spectral response
+    # ------------------------------------------------------------------
+    @property
+    def effective_resonance_nm(self) -> float:
+        """Programmed resonance position ``eta`` (cold + thermal shift)."""
+        return self.resonance_nm + self.thermal_shift_nm
+
+    @property
+    def quality_factor(self) -> float:
+        """Loaded Q = lambda / FWHM."""
+        return self.effective_resonance_nm / self.fwhm_nm
+
+    @property
+    def photon_lifetime_s(self) -> float:
+        """Cavity photon lifetime tau_p = lambda^2 / (2 pi c FWHM).
+
+        This is the time constant with which the drop-port power responds
+        to a resonance jump; it sets the intrinsic modulation bandwidth of
+        the ring (narrower linewidth -> longer lifetime -> slower ring).
+        """
+        lam = self.effective_resonance_nm * 1e-9
+        fwhm = self.fwhm_nm * 1e-9
+        return lam * lam / (2.0 * math.pi * SPEED_OF_LIGHT * fwhm)
+
+    @property
+    def optical_bandwidth_hz(self) -> float:
+        """Ring 3-dB optical bandwidth in Hz (c * FWHM / lambda^2)."""
+        lam = self.effective_resonance_nm * 1e-9
+        return SPEED_OF_LIGHT * (self.fwhm_nm * 1e-9) / (lam * lam)
+
+    def _wrapped_detuning_nm(self, wavelength_nm: np.ndarray | float) -> np.ndarray:
+        """Detuning to the *nearest* resonance, folding by the FSR."""
+        det = np.asarray(wavelength_nm, dtype=float) - self.effective_resonance_nm
+        half = self.fsr_nm / 2.0
+        return (det + half) % self.fsr_nm - half
+
+    def drop_transmission(
+        self,
+        wavelength_nm: np.ndarray | float,
+        extra_shift_nm: float = 0.0,
+    ) -> np.ndarray:
+        """Drop-port power transmission (linear, 0..1) at ``wavelength_nm``.
+
+        ``extra_shift_nm`` adds a fast (electro-refractive) displacement of
+        the resonance on top of the programmed position - used by the OAG
+        to move the passband with the operand bits.
+        """
+        det = self._wrapped_detuning_nm(
+            np.asarray(wavelength_nm, dtype=float) - extra_shift_nm
+        )
+        half_width = self.fwhm_nm / 2.0
+        lorentz = 1.0 / (1.0 + (det / half_width) ** 2)
+        return self._peak_drop * lorentz
+
+    def through_transmission(
+        self,
+        wavelength_nm: np.ndarray | float,
+        extra_shift_nm: float = 0.0,
+    ) -> np.ndarray:
+        """Through-port power transmission (energy-complement with a floor)."""
+        drop = self.drop_transmission(wavelength_nm, extra_shift_nm)
+        floor = 10.0 ** (-self.through_floor_db / 10.0)
+        return np.maximum(1.0 - drop / self._peak_drop, floor)
+
+    # ------------------------------------------------------------------
+    # tuning helpers
+    # ------------------------------------------------------------------
+    def program_to(self, target_resonance_nm: float) -> None:
+        """Thermally tune the ring so its resonance sits at ``target``.
+
+        Models the integrated micro-heater moving the passband from the
+        fabrication-defined position ``gamma`` to the programmed position
+        ``eta`` (paper Fig. 6(b)).
+        """
+        self.thermal_shift_nm = target_resonance_nm - self.resonance_nm
+
+    def operand_shift_nm(self, bits_high: int) -> float:
+        """Total electro-refractive shift for ``bits_high`` active junctions."""
+        if bits_high not in (0, 1, 2):
+            raise ValueError(f"bits_high must be 0, 1 or 2, got {bits_high}")
+        return self.junction_shift_nm * bits_high
+
+
+def max_dwdm_channels(fsr_nm: float, channel_spacing_nm: float) -> int:
+    """Theoretical DWDM channel count one ring cascade can serve.
+
+    Section V-B: FSR = 50 nm with 0.25 nm spacing allows N = 200
+    theoretical channels, before power-budget effects shrink it to 176.
+    """
+    if channel_spacing_nm <= 0:
+        raise ValueError("channel_spacing_nm must be positive")
+    return int(fsr_nm / channel_spacing_nm)

@@ -1,0 +1,341 @@
+"""Optical AND Gate (OAG): the photonic heart of the OSM (paper Section IV-B).
+
+The OAG is a single add-drop MRR with **two embedded PN-junction operand
+terminals**.  The micro-heater programs the operand-independent resonance
+to a position ``eta`` that is *two* junction-shifts away from the input
+wavelength ``lambda_in``; each operand bit at logic '1' electro-
+refractively moves the passband one junction-shift towards ``lambda_in``.
+Consequently only the ``(I, W) = (1, 1)`` combination parks the passband
+on ``lambda_in`` and lights up the drop port - a bit-wise logical AND of
+the two electrical streams, computed in the optical domain:
+
+==============  ==========================  =================
+operand (I, W)  resonance offset from       drop transmission
+                ``lambda_in``
+==============  ==========================  =================
+(0, 0)          2 x junction shift           ~0 (far off)
+(0, 1), (1, 0)  1 x junction shift           low (skirt)
+(1, 1)          0                            ~1 (on resonance)
+==============  ==========================  =================
+
+The module provides:
+
+* :class:`OpticalAndGate` - static truth-table evaluation plus a
+  time-domain transient simulation (reproduces paper Fig. 6(c), which the
+  authors obtained from Lumerical INTERCONNECT),
+* :func:`oma_at_bitrate` / :func:`max_bitrate_for_fwhm` - the optical
+  modulation amplitude (OMA) analysis behind paper Fig. 7(a): the highest
+  bitrate at which the worst-case eye still clears the PCA photodetector
+  sensitivity, as a function of ring FWHM.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.photonics.mrr import MicroringResonator
+from repro.utils.rng import make_rng
+from repro.utils.units import dbm_to_watts, watts_to_dbm
+
+
+@dataclass
+class OAGTimingModel:
+    """Electrical/optical time constants limiting OAG modulation speed.
+
+    ``driver_tau_s`` models the PN-junction + driver RC pole; the photon
+    lifetime of the ring is added on top (scaled by ``cavity_settle_factor``
+    because settling to within an LSB of the final level takes several
+    photon lifetimes).  Defaults are calibrated so the Fig. 7(a) curve
+    saturates at ~40 Gb/s for FWHM ~0.8 nm, as reported by the paper.
+    """
+
+    driver_tau_s: float = 8e-12
+    cavity_settle_factor: float = 17.0
+    max_driver_bitrate_hz: float = 40e9
+
+    def effective_tau_s(self, ring: MicroringResonator) -> float:
+        return self.driver_tau_s + self.cavity_settle_factor * ring.photon_lifetime_s
+
+
+@dataclass
+class OpticalAndGate:
+    """Add-drop MRR with two operand junctions acting as an optical AND.
+
+    Parameters
+    ----------
+    ring:
+        Underlying microring.  Its heater is (re)programmed at
+        construction so the gate is aligned to ``input_wavelength_nm``.
+    input_wavelength_nm:
+        The DWDM channel ``lambda_in`` this gate operates on.
+    input_power_dbm:
+        Optical power of that channel arriving at the gate input.
+    timing:
+        Modulation-speed model (see :class:`OAGTimingModel`).
+    """
+
+    ring: MicroringResonator = field(default_factory=MicroringResonator)
+    input_wavelength_nm: float = 1550.0
+    input_power_dbm: float = 0.0
+    timing: OAGTimingModel = field(default_factory=OAGTimingModel)
+
+    def __post_init__(self) -> None:
+        # Park the programmed resonance two junction-shifts below the
+        # input channel so that only (1,1) reaches resonance.
+        self.ring.program_to(
+            self.input_wavelength_nm - 2.0 * self.ring.junction_shift_nm
+        )
+
+    @classmethod
+    def sconna_operating_point(
+        cls, input_wavelength_nm: float = 1550.0, input_power_dbm: float = 0.0
+    ) -> "OpticalAndGate":
+        """Gate configured at SCONNA's Section V-B design point.
+
+        FWHM = 0.6 nm supports BR = 30 Gb/s under the Fig. 7(a) analysis
+        (the paper operates conservatively at 30 Gb/s for FWHM <= 0.8 nm);
+        a 0.75 nm junction shift gives > 7 dB of static extinction between
+        the (1,1) level and the worst single-operand '0'.
+        """
+        ring = MicroringResonator(
+            resonance_nm=input_wavelength_nm,
+            fwhm_nm=0.6,
+            junction_shift_nm=0.75,
+        )
+        return cls(
+            ring=ring,
+            input_wavelength_nm=input_wavelength_nm,
+            input_power_dbm=input_power_dbm,
+        )
+
+    # ------------------------------------------------------------------
+    # static behaviour
+    # ------------------------------------------------------------------
+    def drop_transmission_for(self, i_bit: int, w_bit: int) -> float:
+        """Linear drop-port transmission for one operand combination."""
+        for name, bit in (("i_bit", i_bit), ("w_bit", w_bit)):
+            if bit not in (0, 1):
+                raise ValueError(f"{name} must be 0 or 1, got {bit}")
+        shift = self.ring.operand_shift_nm(i_bit + w_bit)
+        return float(self.ring.drop_transmission(self.input_wavelength_nm, shift))
+
+    def truth_table(self) -> dict[tuple[int, int], float]:
+        """Drop transmission for all four operand combinations."""
+        return {
+            (i, w): self.drop_transmission_for(i, w)
+            for i in (0, 1)
+            for w in (0, 1)
+        }
+
+    def static_extinction_db(self) -> float:
+        """Extinction between the (1,1) level and the worst '0' level."""
+        tt = self.truth_table()
+        on = tt[(1, 1)]
+        off = max(tt[(0, 0)], tt[(0, 1)], tt[(1, 0)])
+        return 10.0 * math.log10(on / off)
+
+    def output_power_w(self, i_bit: int, w_bit: int) -> float:
+        """Static drop-port optical power [W] for one operand pair."""
+        return dbm_to_watts(self.input_power_dbm) * self.drop_transmission_for(
+            i_bit, w_bit
+        )
+
+    # ------------------------------------------------------------------
+    # transient simulation (paper Fig. 6(c))
+    # ------------------------------------------------------------------
+    def transient_response(
+        self,
+        i_bits: np.ndarray,
+        w_bits: np.ndarray,
+        bitrate_hz: float,
+        samples_per_bit: int = 32,
+    ) -> "OAGTransient":
+        """Time-domain simulation of the gate driven by two bit-streams.
+
+        The resonance position relaxes towards the operand-driven target
+        with the driver RC time constant; drop-port power additionally
+        relaxes with the cavity photon lifetime.  This reproduces the
+        finite rise/fall edges visible in the paper's Lumerical transient
+        (Fig. 6(c)) and the eye closure used for the Fig. 7(a) analysis.
+        """
+        i_bits = np.asarray(i_bits, dtype=np.int64)
+        w_bits = np.asarray(w_bits, dtype=np.int64)
+        if i_bits.shape != w_bits.shape or i_bits.ndim != 1:
+            raise ValueError("i_bits and w_bits must be equal-length 1-D arrays")
+        if not np.isin(i_bits, (0, 1)).all() or not np.isin(w_bits, (0, 1)).all():
+            raise ValueError("bit-streams must contain only 0/1")
+        if bitrate_hz <= 0:
+            raise ValueError("bitrate_hz must be positive")
+
+        n_bits = i_bits.size
+        dt = 1.0 / (bitrate_hz * samples_per_bit)
+        t = np.arange(n_bits * samples_per_bit) * dt
+
+        # Target resonance shift per sample (zero-order hold of the bits).
+        shifts = self.ring.junction_shift_nm * (i_bits + w_bits).astype(float)
+        target_shift = np.repeat(shifts, samples_per_bit)
+
+        # First-order relaxation of the electro-refractive shift.
+        tau_drv = self.timing.driver_tau_s
+        alpha_drv = 1.0 - math.exp(-dt / tau_drv)
+        shift_t = np.empty_like(target_shift)
+        state = target_shift[0]
+        for k in range(target_shift.size):
+            state += alpha_drv * (target_shift[k] - state)
+            shift_t[k] = state
+
+        # Instantaneous spectral response (vectorised over the per-sample
+        # resonance shift), then cavity low-pass.
+        det = (self.input_wavelength_nm - self.ring.effective_resonance_nm) - shift_t
+        half_width = self.ring.fwhm_nm / 2.0
+        inst = (10.0 ** (-self.ring.drop_loss_db / 10.0)) / (
+            1.0 + (det / half_width) ** 2
+        )
+
+        tau_ph = max(self.ring.photon_lifetime_s, 1e-15)
+        alpha_ph = 1.0 - math.exp(-dt / tau_ph)
+        out = np.empty_like(inst)
+        state = inst[0]
+        for k in range(inst.size):
+            state += alpha_ph * (inst[k] - state)
+            out[k] = state
+
+        p_in = dbm_to_watts(self.input_power_dbm)
+        tt = self.truth_table()
+        return OAGTransient(
+            time_s=t,
+            i_bits=i_bits,
+            w_bits=w_bits,
+            drop_power_w=p_in * out,
+            samples_per_bit=samples_per_bit,
+            bitrate_hz=bitrate_hz,
+            reference_on_w=p_in * tt[(1, 1)],
+            reference_off_w=p_in * max(tt[(0, 0)], tt[(0, 1)], tt[(1, 0)]),
+        )
+
+
+@dataclass
+class OAGTransient:
+    """Result of :meth:`OpticalAndGate.transient_response`."""
+
+    time_s: np.ndarray
+    i_bits: np.ndarray
+    w_bits: np.ndarray
+    drop_power_w: np.ndarray
+    samples_per_bit: int
+    bitrate_hz: float
+    reference_on_w: float = 1.0
+    reference_off_w: float = 0.0
+
+    def sampled_levels_w(self) -> np.ndarray:
+        """Drop power sampled at the eye centre of each bit slot [W]."""
+        idx = (
+            np.arange(self.i_bits.size) * self.samples_per_bit
+            + (3 * self.samples_per_bit) // 4
+        )
+        return self.drop_power_w[idx]
+
+    def decide_bits(self, threshold_w: float | None = None) -> np.ndarray:
+        """Threshold the sampled levels back into logic bits.
+
+        The default threshold is the midpoint between the gate's *static*
+        on level (both operands high) and its worst static off level, so
+        the decision stays well-defined even for degenerate streams
+        (e.g. all output bits equal).
+        """
+        levels = self.sampled_levels_w()
+        if threshold_w is None:
+            threshold_w = 0.5 * (self.reference_on_w + self.reference_off_w)
+        return (levels > threshold_w).astype(np.int64)
+
+    def expected_bits(self) -> np.ndarray:
+        return (self.i_bits & self.w_bits).astype(np.int64)
+
+    def oma_w(self) -> float:
+        """Worst-case optical modulation amplitude across the stream [W]."""
+        levels = self.sampled_levels_w()
+        expect = self.expected_bits().astype(bool)
+        if not expect.any() or expect.all():
+            raise ValueError("stream must contain both 0 and 1 output bits")
+        return float(levels[expect].min() - levels[~expect].max())
+
+
+def random_prbs(n_bits: int, seed: int | None = None, density: float = 0.5) -> np.ndarray:
+    """Pseudo-random binary stream used for the transient validation."""
+    rng = make_rng(seed)
+    return (rng.random(n_bits) < density).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# OMA analysis (paper Fig. 7(a))
+# ----------------------------------------------------------------------
+def oma_at_bitrate(
+    fwhm_nm: float,
+    bitrate_hz: float,
+    input_power_dbm: float = 0.0,
+    junction_shift_nm: float = 0.4,
+    timing: OAGTimingModel | None = None,
+) -> float:
+    """Worst-case OMA [dBm] of an OAG at a given bitrate and linewidth.
+
+    Closed-form eye model: with static '1' level ``T1`` and worst static
+    '0' level ``T0`` (single-operand detuning), a one-bit transition only
+    reaches within ``exp(-T_bit/tau)`` of its target, so
+
+    ``OMA = P_in * (T1 - T0) * (1 - 2*exp(-T_bit / tau))``.
+
+    ``tau`` combines the driver RC pole and the cavity photon lifetime;
+    wider FWHM shortens the photon lifetime (faster ring) but also raises
+    ``T0`` (worse static extinction), giving the saturating trade-off of
+    Fig. 7(a).
+    """
+    if timing is None:
+        timing = OAGTimingModel()
+    ring = MicroringResonator(fwhm_nm=fwhm_nm, junction_shift_nm=junction_shift_nm)
+    gate = OpticalAndGate(
+        ring=ring, input_power_dbm=input_power_dbm, timing=timing
+    )
+    tt = gate.truth_table()
+    t1 = tt[(1, 1)]
+    t0 = max(tt[(0, 1)], tt[(1, 0)], tt[(0, 0)])
+    tau = timing.effective_tau_s(ring)
+    t_bit = 1.0 / bitrate_hz
+    eye = (t1 - t0) * (1.0 - 2.0 * math.exp(-t_bit / tau))
+    p_in = dbm_to_watts(input_power_dbm)
+    oma_w = p_in * eye
+    if oma_w <= 0.0:
+        return -math.inf
+    return watts_to_dbm(oma_w)
+
+
+def max_bitrate_for_fwhm(
+    fwhm_nm: float,
+    oma_floor_dbm: float = -28.0,
+    input_power_dbm: float = 0.0,
+    junction_shift_nm: float = 0.4,
+    timing: OAGTimingModel | None = None,
+    tol_hz: float = 1e7,
+) -> float:
+    """Highest bitrate [Hz] keeping OMA >= the PD sensitivity floor.
+
+    Reproduces one point of paper Fig. 7(a); the curve saturates at the
+    driver limit (~40 Gb/s) once the ring is fast enough (FWHM ~0.8 nm).
+    Returns 0.0 if even DC operation cannot clear the floor.
+    """
+    if timing is None:
+        timing = OAGTimingModel()
+    lo, hi = 1e8, timing.max_driver_bitrate_hz
+    if oma_at_bitrate(fwhm_nm, lo, input_power_dbm, junction_shift_nm, timing) < oma_floor_dbm:
+        return 0.0
+    if oma_at_bitrate(fwhm_nm, hi, input_power_dbm, junction_shift_nm, timing) >= oma_floor_dbm:
+        return hi
+    while hi - lo > tol_hz:
+        mid = 0.5 * (lo + hi)
+        if oma_at_bitrate(fwhm_nm, mid, input_power_dbm, junction_shift_nm, timing) >= oma_floor_dbm:
+            lo = mid
+        else:
+            hi = mid
+    return lo

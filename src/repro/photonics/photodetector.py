@@ -1,0 +1,110 @@
+"""Photodetector and receiver-noise model (paper Eq. 3).
+
+The summation element of every optical VDPC - and the PCA of SCONNA -
+terminates in a photodetector whose noise floor determines both the
+achievable bit resolution (Eq. 2) and the optical power each wavelength
+must deliver (Eq. 4).  Paper Eq. 3 defines the input-referred noise
+current spectral density:
+
+``beta = sqrt( 2 q (R P + I_d)  +  4 k T / R_L  +  R^2 P^2 RIN )``
+
+with the three familiar contributions: shot noise of photo + dark
+current, thermal (Johnson) noise of the load, and laser relative
+intensity noise.  ``beta`` has units A/sqrt(Hz); multiplying by the
+square root of the receiver bandwidth (DR/2 for NRZ at data rate DR)
+yields the RMS noise current.
+
+Default parameter values are Table III of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.constants import BOLTZMANN, ELEMENTARY_CHARGE
+from repro.utils.units import dbm_to_watts
+
+
+@dataclass(frozen=True)
+class PhotodetectorParams:
+    """Receiver parameters (Table III defaults).
+
+    Attributes
+    ----------
+    responsivity_a_per_w:
+        ``R_PD`` - photocurrent per optical watt [A/W].
+    load_resistance_ohm:
+        ``R_L`` - transimpedance / load resistance [ohm].
+    dark_current_a:
+        ``I_d`` - dark current [A].
+    temperature_k:
+        ``T`` - absolute temperature [K].
+    rin_db_per_hz:
+        Laser relative intensity noise [dB/Hz] (negative number).
+    """
+
+    responsivity_a_per_w: float = 1.2
+    load_resistance_ohm: float = 50.0
+    dark_current_a: float = 35e-9
+    temperature_k: float = 300.0
+    rin_db_per_hz: float = -140.0
+
+    @property
+    def rin_linear_per_hz(self) -> float:
+        return 10.0 ** (self.rin_db_per_hz / 10.0)
+
+
+def photocurrent_a(optical_power_w: float, params: PhotodetectorParams) -> float:
+    """Mean photocurrent for a given incident optical power."""
+    if optical_power_w < 0:
+        raise ValueError("optical power cannot be negative")
+    return params.responsivity_a_per_w * optical_power_w
+
+
+def noise_spectral_density_a_per_rthz(
+    optical_power_w: float, params: PhotodetectorParams
+) -> float:
+    """Paper Eq. 3: input-referred noise density ``beta`` [A/sqrt(Hz)]."""
+    if optical_power_w < 0:
+        raise ValueError("optical power cannot be negative")
+    r = params.responsivity_a_per_w
+    shot = 2.0 * ELEMENTARY_CHARGE * (r * optical_power_w + params.dark_current_a)
+    thermal = 4.0 * BOLTZMANN * params.temperature_k / params.load_resistance_ohm
+    rin = (r * optical_power_w) ** 2 * params.rin_linear_per_hz
+    return math.sqrt(shot + thermal + rin)
+
+
+def rms_noise_current_a(
+    optical_power_w: float, data_rate_hz: float, params: PhotodetectorParams
+) -> float:
+    """RMS noise current over an NRZ receiver bandwidth of ``DR/2``."""
+    if data_rate_hz <= 0:
+        raise ValueError("data_rate_hz must be positive")
+    beta = noise_spectral_density_a_per_rthz(optical_power_w, params)
+    return beta * math.sqrt(data_rate_hz / 2.0)
+
+
+def snr_db(
+    optical_power_w: float, data_rate_hz: float, params: PhotodetectorParams
+) -> float:
+    """Electrical SNR (20 log10 of current ratio) at the receiver."""
+    signal = photocurrent_a(optical_power_w, params)
+    noise = rms_noise_current_a(optical_power_w, data_rate_hz, params)
+    if signal <= 0:
+        return -math.inf
+    return 20.0 * math.log10(signal / noise)
+
+
+def bit_resolution(
+    optical_power_dbm: float, data_rate_hz: float, params: PhotodetectorParams
+) -> float:
+    """Paper Eq. 2: achievable bit resolution ``B_Res`` at the receiver.
+
+    ``B_Res = (20 log10( R * P / (beta * sqrt(DR/2)) ) - 1.76) / 6.02``
+
+    - the ENOB form of the SNR: every 6.02 dB of electrical SNR buys one
+    bit of resolution on the summed analog levels.
+    """
+    p_w = dbm_to_watts(optical_power_dbm)
+    return (snr_db(p_w, data_rate_hz, params) - 1.76) / 6.02

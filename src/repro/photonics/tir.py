@@ -1,0 +1,133 @@
+"""Time-integrating receiver (TIR) - the analog half of the PCA circuit.
+
+Paper Section IV-C / Fig. 4(b): each optical logic '1' incident on the
+PCA photodetector produces a current pulse that deposits charge on the
+active integration capacitor; the accrued voltage (times an amplifier
+gain) is therefore proportional to the *count of '1' bits* across all
+incident bit-streams - exactly the unipolar unscaled addition stochastic
+computing needs.  Two capacitors ping-pong so one can discharge while the
+other integrates.
+
+Paper Section V-C fixes the component values by MultiSim simulation:
+``R = 50 ohm, C = 250 pF, amplifier gain = 80``, photodetector
+responsivity 1.2 A/W at sensitivity -28 dBm, and shows (Fig. 7(b)) that
+the output voltage stays linear up to ``alpha = 100 %`` of the maximum
+``176 x 256`` ones.  With those values the full-scale output is
+
+``V = G * N1 * R_pd * P1 * T_bit / C  ~  0.91 V``
+
+comfortably below a 1 V rail - which is the linearity the figure shows,
+and which this model reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.units import dbm_to_watts
+
+
+@dataclass(frozen=True)
+class TIRParams:
+    """Component values of one TIR integration branch (Section V-C)."""
+
+    capacitance_f: float = 250e-12
+    load_resistance_ohm: float = 50.0
+    amplifier_gain: float = 80.0
+    supply_rail_v: float = 1.0
+    responsivity_a_per_w: float = 1.2
+    one_level_power_dbm: float = -28.0
+    discharge_time_constants: float = 5.0
+
+    @property
+    def pulse_current_a(self) -> float:
+        """Photocurrent while an optical '1' is incident."""
+        return self.responsivity_a_per_w * dbm_to_watts(self.one_level_power_dbm)
+
+    def pulse_charge_c(self, bit_period_s: float) -> float:
+        """Charge deposited per optical '1' bit of duration ``bit_period_s``."""
+        if bit_period_s <= 0:
+            raise ValueError("bit_period_s must be positive")
+        return self.pulse_current_a * bit_period_s
+
+    def discharge_latency_s(self) -> float:
+        """Time to reset the capacitor through the load resistance."""
+        return (
+            self.discharge_time_constants
+            * self.load_resistance_ohm
+            * self.capacitance_f
+        )
+
+
+class TimeIntegratingReceiver:
+    """Charge-accumulating receiver with ping-pong capacitors.
+
+    The ideal (pre-amplifier, pre-rail) voltage is linear in the number
+    of accumulated ones; the post-amplifier output soft-saturates at the
+    supply rail.  :meth:`linearity_headroom` quantifies how far full
+    scale sits below the rail (paper Fig. 7(b) shows it never saturates).
+    """
+
+    def __init__(self, params: TIRParams | None = None) -> None:
+        self.params = params or TIRParams()
+
+    def output_voltage_v(
+        self, ones_count: np.ndarray | int | float, bit_period_s: float
+    ) -> np.ndarray:
+        """Amplifier output voltage after integrating ``ones_count`` pulses.
+
+        Vectorised over ``ones_count``.  Saturates (hard clip) at the
+        supply rail, which in the calibrated configuration is never
+        reached at alpha <= 100 %.
+        """
+        p = self.params
+        ones = np.asarray(ones_count, dtype=float)
+        if (ones < 0).any():
+            raise ValueError("ones_count cannot be negative")
+        q = ones * p.pulse_charge_c(bit_period_s)
+        v = p.amplifier_gain * q / p.capacitance_f
+        return np.minimum(v, p.supply_rail_v)
+
+    def full_scale_ones(self, n_channels: int, stream_bits: int) -> int:
+        """Maximum possible ones: all bits of all channels are '1'."""
+        if n_channels <= 0 or stream_bits <= 0:
+            raise ValueError("n_channels and stream_bits must be positive")
+        return n_channels * stream_bits
+
+    def alpha_sweep(
+        self,
+        n_channels: int,
+        stream_bits: int,
+        bit_period_s: float,
+        alphas: np.ndarray,
+    ) -> np.ndarray:
+        """Output voltage versus alpha (fraction of maximum ones).
+
+        This is exactly paper Fig. 7(b): x-axis
+        ``alpha = ones / (176 * 256) * 100 %``, y-axis analog output
+        voltage.
+        """
+        alphas = np.asarray(alphas, dtype=float)
+        if ((alphas < 0) | (alphas > 1)).any():
+            raise ValueError("alphas must lie in [0, 1]")
+        full = self.full_scale_ones(n_channels, stream_bits)
+        return self.output_voltage_v(alphas * full, bit_period_s)
+
+    def linearity_headroom(
+        self, n_channels: int, stream_bits: int, bit_period_s: float
+    ) -> float:
+        """Rail margin at alpha = 100 % (positive => never saturates)."""
+        v_full = float(
+            self.output_voltage_v(
+                self.full_scale_ones(n_channels, stream_bits), bit_period_s
+            )
+        )
+        return self.params.supply_rail_v - v_full
+
+    def is_linear_up_to(
+        self, n_channels: int, stream_bits: int, bit_period_s: float
+    ) -> bool:
+        """True if the ideal output stays below the rail at full scale."""
+        return self.linearity_headroom(n_channels, stream_bits, bit_period_s) > 0.0

@@ -1,0 +1,61 @@
+"""Passive photonic component losses (Table III of the paper).
+
+All values are expressed in dB so they can be summed directly by the
+link-budget solver.  Conventions:
+
+* *Insertion loss* (IL) terms are incurred once per traversal.
+* *Out-of-band loss* (OBL) terms are incurred once per **off-resonance**
+  device the light passes (an N-element OSM cascade costs
+  ``(N-1) * OBL_OSM`` because each wavelength is processed by exactly one
+  OSM and skirts past the other N-1).
+* The 1xM splitter costs the intrinsic ``10 log10(M)`` power division
+  plus ``EL_splitter`` of excess loss per binary stage (``log2 M``
+  stages).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PassiveLossParams:
+    """Table III passive-loss parameters (all dB unless noted)."""
+
+    il_smf_db: float = 0.0               #: single-mode fibre insertion loss
+    il_coupling_db: float = 1.6          #: fibre-to-chip coupling (IL_EC)
+    il_waveguide_db_per_mm: float = 0.3  #: silicon waveguide propagation
+    el_splitter_db: float = 0.01         #: splitter excess loss per stage
+    il_osm_db: float = 4.0               #: active OSM insertion loss
+    obl_osm_db: float = 0.01             #: off-resonance OSM pass-by loss
+    il_mrr_db: float = 0.01              #: filter MRR drop loss
+    obl_mrr_db: float = 0.01             #: off-resonance filter MRR loss
+    il_penalty_db: float = 7.3           #: network penalty (crosstalk, truncation)
+    osm_pitch_mm: float = 0.020          #: gap between adjacent OSMs (20 um)
+
+
+def splitter_loss_db(m_ways: int, params: PassiveLossParams) -> float:
+    """Total 1xM splitter loss: intrinsic division + per-stage excess."""
+    if m_ways < 1:
+        raise ValueError("m_ways must be >= 1")
+    if m_ways == 1:
+        return 0.0
+    stages = math.log2(m_ways)
+    return 10.0 * math.log10(m_ways) + params.el_splitter_db * stages
+
+
+def propagation_loss_db(length_mm: float, params: PassiveLossParams) -> float:
+    """Straight waveguide propagation loss over ``length_mm``."""
+    if length_mm < 0:
+        raise ValueError("length_mm cannot be negative")
+    return params.il_waveguide_db_per_mm * length_mm
+
+
+def cascade_passby_loss_db(
+    n_devices: int, obl_db: float
+) -> float:
+    """Loss from skirting past ``n_devices - 1`` off-resonance devices."""
+    if n_devices < 1:
+        raise ValueError("n_devices must be >= 1")
+    return (n_devices - 1) * obl_db

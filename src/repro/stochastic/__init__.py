@@ -1,0 +1,67 @@
+"""Stochastic-computing substrate for SCONNA.
+
+Implements unipolar stochastic numbers, the generator schemes whose
+pairings make AND-gate multiplication exact, the OSM lookup table, SC
+arithmetic in both bit-true and count domains, correlation metrics and
+the end-to-end error model.
+"""
+
+from repro.stochastic.bitstream import Bitstream, stream_length_for_precision
+from repro.stochastic.sng import (
+    DETERMINISTIC_SNGS,
+    bernoulli_stream,
+    bresenham_spread,
+    generate_pair,
+    lfsr_sequence,
+    lfsr_stream,
+    unary_prefix,
+    van_der_corput_stream,
+)
+from repro.stochastic.correlation import (
+    and_multiplication_error,
+    mean_pairwise_error,
+    scc,
+)
+from repro.stochastic.arithmetic import (
+    exact_sc_product,
+    sc_products,
+    sc_vdp,
+    sc_vdp_bit_true,
+    sc_vdp_relative_error,
+    stochastic_multiply,
+    unscaled_add,
+)
+from repro.stochastic.lut import OsmLookupTable, lut_storage_report
+from repro.stochastic.error_models import (
+    MonteCarloErrorStats,
+    SconnaErrorModel,
+    measure_vdp_error,
+)
+
+__all__ = [
+    "Bitstream",
+    "stream_length_for_precision",
+    "DETERMINISTIC_SNGS",
+    "bernoulli_stream",
+    "bresenham_spread",
+    "generate_pair",
+    "lfsr_sequence",
+    "lfsr_stream",
+    "unary_prefix",
+    "van_der_corput_stream",
+    "and_multiplication_error",
+    "mean_pairwise_error",
+    "scc",
+    "exact_sc_product",
+    "sc_products",
+    "sc_vdp",
+    "sc_vdp_bit_true",
+    "sc_vdp_relative_error",
+    "stochastic_multiply",
+    "unscaled_add",
+    "OsmLookupTable",
+    "lut_storage_report",
+    "MonteCarloErrorStats",
+    "SconnaErrorModel",
+    "measure_vdp_error",
+]

@@ -1,0 +1,144 @@
+"""Stochastic-computing arithmetic: multiplication and unscaled addition.
+
+Two equivalent views are provided and proved interchangeable by the
+property tests:
+
+* **bit-true**: materialise streams, AND them, count ones - what the
+  optical hardware physically does (OSM -> PCA);
+* **count-domain**: the closed-form result of the bit-true path under
+  SCONNA's unary/Bresenham LUT pairing, ``floor(ib * wb / 2**B)`` per
+  product, summed by the PCA.  The CNN-scale functional simulations use
+  this path (vectorised NumPy) - materialising 256-bit streams for every
+  MAC of ResNet-50 would be astronomically slower for an identical
+  result.
+
+Sign handling follows the paper's VDPE: the weight carries a sign bit
+that steers the AND-product stream to the positive (OWA) or negative
+(OWA') accumulation waveguide; the two PCA counts are subtracted in the
+electrical domain.  RELU-activated inputs are non-negative by
+construction (Section IV-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stochastic.bitstream import Bitstream
+from repro.stochastic.sng import generate_pair
+
+
+def stochastic_multiply(i_stream: Bitstream, w_stream: Bitstream) -> Bitstream:
+    """AND-gate multiplication of two unipolar streams (paper Fig. 3)."""
+    return i_stream & w_stream
+
+
+def unscaled_add(streams: "list[Bitstream]") -> int:
+    """Unipolar unscaled addition: total ones across all streams.
+
+    This is precisely what the PCA's photodetector computes when the N
+    product streams of a VDPE land on it (paper Section IV-C, citing
+    uGEMM's unscaled addition).
+    """
+    if not streams:
+        raise ValueError("streams must be non-empty")
+    length = len(streams[0])
+    if any(len(s) != length for s in streams):
+        raise ValueError("all streams must share one length")
+    return int(sum(s.popcount for s in streams))
+
+
+def exact_sc_product(ib: int, wb: int, precision_bits: int) -> int:
+    """Count-domain result of one OSM under the LUT pairing.
+
+    ``floor(ib * wb / 2**B)`` - the floor is the only deviation from the
+    ideal integer product, worth at most one count (< 0.4 % of full
+    scale at B = 8).
+    """
+    length = 1 << precision_bits
+    _check_operand(ib, length)
+    _check_operand(wb, length)
+    return (ib * wb) >> precision_bits
+
+
+def sc_products(
+    i_values: np.ndarray, w_values: np.ndarray, precision_bits: int
+) -> np.ndarray:
+    """Vectorised count-domain products ``floor(i * w / 2**B)``.
+
+    ``w_values`` may be signed: the sign is pulled out, the magnitude is
+    multiplied stochastically, and the sign is re-applied - mirroring the
+    sign-bit steering of the VDPE's filter MRRs.
+    """
+    i_arr = np.asarray(i_values, dtype=np.int64)
+    w_arr = np.asarray(w_values, dtype=np.int64)
+    length = 1 << precision_bits
+    if (i_arr < 0).any() or (i_arr > length).any():
+        raise ValueError(f"input values must lie in [0, {length}]")
+    if (np.abs(w_arr) > length).any():
+        raise ValueError(f"|weight| values must lie in [0, {length}]")
+    sign = np.sign(w_arr)
+    mags = (i_arr * np.abs(w_arr)) >> precision_bits
+    return sign * mags
+
+
+def sc_vdp(
+    i_values: np.ndarray,
+    w_values: np.ndarray,
+    precision_bits: int,
+) -> tuple[int, int]:
+    """Signed vector dot product through the SCONNA pipeline (count domain).
+
+    Returns ``(positive_count, negative_count)`` - the two PCA
+    accumulations of a VDPE (OWA and OWA' of Fig. 4(a)).  The signed VDP
+    result is their difference.
+    """
+    prods = sc_products(i_values, w_values, precision_bits)
+    positive = int(prods[prods > 0].sum())
+    negative = int(-prods[prods < 0].sum())
+    return positive, negative
+
+
+def sc_vdp_bit_true(
+    i_values: "list[int] | np.ndarray",
+    w_values: "list[int] | np.ndarray",
+    precision_bits: int,
+    scheme: str = "unary-bresenham",
+) -> tuple[int, int]:
+    """Bit-true VDP: materialise every stream, AND, count, sign-steer.
+
+    Slow (used by tests and small demos); equals :func:`sc_vdp` under the
+    default scheme.
+    """
+    length = 1 << precision_bits
+    positive = 0
+    negative = 0
+    for ib, wb in zip(i_values, w_values, strict=True):
+        _check_operand(int(ib), length)
+        if abs(int(wb)) > length:
+            raise ValueError(f"|weight| {wb} out of range [0, {length}]")
+        i_s, w_s = generate_pair(int(ib), abs(int(wb)), length, scheme)
+        count = stochastic_multiply(i_s, w_s).popcount
+        if wb < 0:
+            negative += count
+        else:
+            positive += count
+    return positive, negative
+
+
+def sc_vdp_relative_error(
+    i_values: np.ndarray, w_values: np.ndarray, precision_bits: int
+) -> float:
+    """Relative error of the SC VDP against the exact integer VDP."""
+    i_arr = np.asarray(i_values, dtype=np.int64)
+    w_arr = np.asarray(w_values, dtype=np.int64)
+    exact = int(np.dot(i_arr, w_arr))
+    pos, neg = sc_vdp(i_arr, w_arr, precision_bits)
+    measured = (pos - neg) * (1 << precision_bits)
+    if exact == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return abs(measured - exact) / abs(exact)
+
+
+def _check_operand(value: int, length: int) -> None:
+    if not (0 <= value <= length):
+        raise ValueError(f"operand {value} out of range [0, {length}]")

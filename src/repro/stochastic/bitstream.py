@@ -1,0 +1,130 @@
+"""Unipolar stochastic number representation (paper Section II-D).
+
+In SC's unipolar format a stochastic number (SN) is a bit-stream of
+``L`` bits representing a value ``v in [0, 1]`` as ``N1 / L`` where
+``N1`` is the number of ones.  SCONNA works with integer-quantized CNNs,
+so values are ``B``-bit unsigned integers and streams have ``L = 2**B``
+bits: integer ``k`` maps to probability ``k / 2**B``.
+
+:class:`Bitstream` is a thin typed wrapper over a ``uint8`` 0/1 array
+with the handful of operations the rest of the stack needs (popcount,
+AND, packing).  The hot paths of the CNN-scale simulations never
+materialise streams - they use the count-domain identities proved
+equivalent in ``tests/test_sc_arithmetic.py`` - so clarity beats
+micro-optimisation here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Bitstream:
+    """An immutable unipolar stochastic bit-stream."""
+
+    bits: np.ndarray
+
+    def __post_init__(self) -> None:
+        bits = np.asarray(self.bits, dtype=np.uint8)
+        if bits.ndim != 1:
+            raise ValueError("a bit-stream must be 1-D")
+        if bits.size == 0:
+            raise ValueError("a bit-stream cannot be empty")
+        if not np.isin(bits, (0, 1)).all():
+            raise ValueError("bit-stream values must be 0 or 1")
+        object.__setattr__(self, "bits", bits)
+        self.bits.setflags(write=False)
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_int(cls, value: int, length: int) -> "Bitstream":
+        """Unary-prefix encoding: the first ``value`` bits are ones.
+
+        This is the canonical deterministic encoding used for the OSM's
+        input stream ``I`` (see :mod:`repro.stochastic.sng` for the
+        complementary weight encoding).
+        """
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if not (0 <= value <= length):
+            raise ValueError(f"value {value} out of range [0, {length}]")
+        bits = np.zeros(length, dtype=np.uint8)
+        bits[:value] = 1
+        return cls(bits)
+
+    @classmethod
+    def from_probability(
+        cls, p: float, length: int, rng: np.random.Generator
+    ) -> "Bitstream":
+        """Bernoulli sampling - the textbook (noisy) SN generator."""
+        if not (0.0 <= p <= 1.0):
+            raise ValueError(f"probability {p} out of [0, 1]")
+        return cls((rng.random(length) < p).astype(np.uint8))
+
+    # -- observers -----------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.bits.size)
+
+    @property
+    def popcount(self) -> int:
+        """Number of ones (what the PCA physically accumulates)."""
+        return int(self.bits.sum())
+
+    @property
+    def value(self) -> float:
+        """Decoded unipolar value ``N1 / L``."""
+        return self.popcount / len(self)
+
+    def to_int(self, levels: int | None = None) -> int:
+        """Decode back to an integer on a ``levels``-point grid."""
+        if levels is None:
+            levels = len(self)
+        return round(self.value * levels)
+
+    # -- operations ----------------------------------------------------
+    def __and__(self, other: "Bitstream") -> "Bitstream":
+        """Bit-wise AND: unipolar stochastic multiplication (Fig. 3)."""
+        if len(self) != len(other):
+            raise ValueError(
+                f"stream lengths differ: {len(self)} vs {len(other)}"
+            )
+        return Bitstream(self.bits & other.bits)
+
+    def __or__(self, other: "Bitstream") -> "Bitstream":
+        if len(self) != len(other):
+            raise ValueError("stream lengths differ")
+        return Bitstream(self.bits | other.bits)
+
+    def __invert__(self) -> "Bitstream":
+        return Bitstream(1 - self.bits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitstream):
+            return NotImplemented
+        return np.array_equal(self.bits, other.bits)
+
+    def __hash__(self) -> int:  # immutable; hash the packed payload
+        return hash((len(self), self.packed().tobytes()))
+
+    def packed(self) -> np.ndarray:
+        """Pack into a ``uint8`` byte array (8 bits per byte, MSB first)."""
+        return np.packbits(self.bits)
+
+    @classmethod
+    def unpack(cls, data: np.ndarray, length: int) -> "Bitstream":
+        """Inverse of :meth:`packed`."""
+        bits = np.unpackbits(np.asarray(data, dtype=np.uint8))[:length]
+        return cls(bits)
+
+
+def stream_length_for_precision(precision_bits: int) -> int:
+    """Stream length ``2**B`` for a ``B``-bit integer operand.
+
+    Paper Section V-C: at B = 8 every SCONNA bit-stream has 256 bits.
+    """
+    if precision_bits <= 0:
+        raise ValueError("precision_bits must be positive")
+    return 1 << precision_bits

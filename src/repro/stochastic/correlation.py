@@ -1,0 +1,71 @@
+"""Stochastic cross-correlation (SCC) between bit-streams.
+
+AND-gate multiplication is exact only for *uncorrelated* streams: the
+marginal probability of one stream must equal its conditional
+probability given the other (paper Section II-D).  The standard metric
+is Alaghi & Hayes' SCC:
+
+* ``SCC = +1`` - maximal positive correlation (AND computes ``min``),
+* ``SCC =  0`` - uncorrelated (AND computes the product),
+* ``SCC = -1`` - maximal negative correlation (AND computes
+  ``max(p1 + p2 - 1, 0)``).
+
+Defined from the joint one-density ``p11`` as
+
+``SCC = (p11 - p1 p2) / (min(p1, p2) - p1 p2)``          if p11 > p1 p2
+``SCC = (p11 - p1 p2) / (p1 p2 - max(p1 + p2 - 1, 0))``  otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stochastic.bitstream import Bitstream
+
+
+def scc(a: Bitstream, b: Bitstream) -> float:
+    """Stochastic cross-correlation of two equal-length streams.
+
+    Returns 0.0 for the degenerate cases where either stream is constant
+    (all zeros or all ones): correlation is undefined there and AND is
+    trivially exact.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"stream lengths differ: {len(a)} vs {len(b)}")
+    n = len(a)
+    p1 = a.popcount / n
+    p2 = b.popcount / n
+    p11 = int((a.bits & b.bits).sum()) / n
+    independent = p1 * p2
+    if p1 in (0.0, 1.0) or p2 in (0.0, 1.0):
+        return 0.0
+    delta = p11 - independent
+    if delta > 0:
+        denom = min(p1, p2) - independent
+    else:
+        denom = independent - max(p1 + p2 - 1.0, 0.0)
+    if denom == 0.0:
+        return 0.0
+    return float(np.clip(delta / denom, -1.0, 1.0))
+
+
+def and_multiplication_error(a: Bitstream, b: Bitstream) -> float:
+    """Absolute error of AND-as-multiplication on the decoded values.
+
+    ``| popcount(a AND b)/L - value(a) * value(b) |`` - zero iff the
+    conditional-probability condition holds exactly.
+    """
+    if len(a) != len(b):
+        raise ValueError("stream lengths differ")
+    n = len(a)
+    measured = int((a.bits & b.bits).sum()) / n
+    return abs(measured - a.value * b.value)
+
+
+def mean_pairwise_error(
+    pairs: "list[tuple[Bitstream, Bitstream]]",
+) -> float:
+    """Mean multiplication error across a batch of stream pairs."""
+    if not pairs:
+        raise ValueError("pairs must be non-empty")
+    return float(np.mean([and_multiplication_error(a, b) for a, b in pairs]))

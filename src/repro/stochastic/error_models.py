@@ -1,0 +1,128 @@
+"""End-to-end error model of the SCONNA compute pipeline.
+
+The stochastic datapath has three error sources, applied to the
+count-domain VDP results in this order:
+
+1. **floor rounding** of each product (inherent to the finite stream
+   length; already part of :func:`repro.stochastic.arithmetic.sc_products`),
+2. **PCA analog accumulation** - ideal in the calibrated configuration
+   (Fig. 7(b) shows the TIR stays linear), but optional optical *skirt
+   leakage* can be enabled: sub-threshold light from single-operand '0'
+   slots deposits a small fraction of charge,
+3. **ADC conversion error** - 1.3 % MAPE (Section V-C), modelled by
+   :class:`repro.photonics.converters.AdcErrorModel`.
+
+:class:`SconnaErrorModel` bundles these into one object the CNN
+inference engine can apply per layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.photonics.converters import AdcErrorModel
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class SconnaErrorModel:
+    """Perturbs ideal count-domain VDP results like the hardware would.
+
+    Parameters
+    ----------
+    adc_mape:
+        Mean absolute percentage error of the PCA's ADC (paper: 1.3 %).
+    skirt_leakage:
+        Fraction of a full '1' charge deposited by each *non-product*
+        slot through the OAG's Lorentzian skirt (0 disables; a realistic
+        value for the 0.6 nm/0.75 nm operating point is ~0.01-0.05).
+        Requires per-VDP slot statistics, so it is applied as an expected
+        offset proportional to the operand activity passed in.
+    seed:
+        Seed for the ADC noise draw.
+    """
+
+    adc_mape: float = 0.013
+    skirt_leakage: float = 0.0
+    seed: int | None = None
+    _adc: AdcErrorModel = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.skirt_leakage < 1.0):
+            raise ValueError("skirt_leakage must be in [0, 1)")
+        self._adc = AdcErrorModel(mape=self.adc_mape, seed=self.seed)
+
+    def apply_to_counts(
+        self,
+        counts: np.ndarray,
+        skirt_slots: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Perturb ideal PCA counts.
+
+        ``skirt_slots`` (same shape as ``counts``) gives, per VDP, the
+        number of single-operand-'1' slots whose leakage charge lands on
+        the PCA; omitted when ``skirt_leakage == 0``.
+        """
+        vals = np.asarray(counts, dtype=float)
+        if self.skirt_leakage > 0.0:
+            if skirt_slots is None:
+                raise ValueError(
+                    "skirt_slots required when skirt_leakage is enabled"
+                )
+            vals = vals + self.skirt_leakage * np.asarray(skirt_slots, dtype=float)
+        return self._adc.apply(vals)
+
+    def ideal(self) -> bool:
+        return self.adc_mape == 0.0 and self.skirt_leakage == 0.0
+
+
+@dataclass
+class MonteCarloErrorStats:
+    """Empirical error statistics of the SC pipeline on random VDPs.
+
+    Used by the scalability/error analysis (Section V-C) and the SNG
+    ablation to quantify how each error source propagates to VDP
+    results.
+    """
+
+    mean_relative_error: float
+    max_relative_error: float
+    mape_percent: float
+
+
+def measure_vdp_error(
+    vdpe_size: int,
+    precision_bits: int,
+    model: SconnaErrorModel,
+    n_trials: int = 200,
+    seed: int | None = 0,
+) -> MonteCarloErrorStats:
+    """Monte-Carlo error of SC VDPs versus exact integer VDPs."""
+    from repro.stochastic.arithmetic import sc_vdp  # local: avoid cycle
+
+    rng = make_rng(seed)
+    length = 1 << precision_bits
+    rel_errors = []
+    for _ in range(n_trials):
+        i_vec = rng.integers(0, length, size=vdpe_size)
+        w_vec = rng.integers(-length // 2, length // 2, size=vdpe_size)
+        # Ideal (un-floored, noiseless) accumulations in the count domain.
+        prods = i_vec.astype(float) * w_vec.astype(float) / length
+        ideal_pos = prods[prods > 0].sum()
+        ideal_neg = -prods[prods < 0].sum()
+        pos, neg = sc_vdp(i_vec, w_vec, precision_bits)
+        pos_noisy, neg_noisy = model.apply_to_counts(np.array([pos, neg]))
+        measured = int(pos_noisy) - int(neg_noisy)
+        # Normalise by the total accumulated magnitude - the scale the
+        # paper's PCA/ADC MAPE is defined over (unsigned counts) - so a
+        # signed VDP that cancels to ~0 does not inflate the metric.
+        denom = max(ideal_pos + ideal_neg, 1.0)
+        rel_errors.append(abs(measured - (ideal_pos - ideal_neg)) / denom)
+    arr = np.asarray(rel_errors)
+    return MonteCarloErrorStats(
+        mean_relative_error=float(arr.mean()),
+        max_relative_error=float(arr.max()),
+        mape_percent=float(arr.mean() * 100.0),
+    )

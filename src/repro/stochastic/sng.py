@@ -1,0 +1,170 @@
+"""Stochastic number generators (SNGs).
+
+The correctness of AND-gate multiplication hinges on how the two streams
+are generated: the marginal probability of one stream must equal its
+conditional probability given the other (paper Section II-D, citing
+uGEMM).  The paper generates all combinations *offline* with "the
+unipolar circuit from [26]" and stores them in the OSM lookup table.
+
+We provide four generators:
+
+``unary_prefix``
+    Deterministic thermometer code - ones packed at the start.  Used for
+    the input stream ``I``.
+``bresenham_spread``
+    Deterministic *evenly-spread* code (Euclidean-rhythm / clock-division
+    encoding): the cumulative number of ones up to slot ``t`` is exactly
+    ``floor(t * k / L)``.  Used for the weight stream ``W``.  Paired with
+    ``unary_prefix`` it yields **exactly** ``floor(ib * wb / L)`` ones
+    after AND for every operand pair - the error-free multiplication the
+    paper's LUT is built to provide (proof in the module-level notes
+    below, locked by property tests).
+``lfsr_stream``
+    Classic pseudo-random LFSR + comparator SNG - included as the noisy
+    baseline the ablation study compares against.
+``van_der_corput_stream``
+    Low-discrepancy (bit-reversed counter) SNG - intermediate quality.
+
+Exactness of the unary/Bresenham pairing: AND-ing a unary prefix of
+``ib`` ones with a Bresenham stream of ``wb`` ones counts the Bresenham
+ones falling in slots ``[0, ib)``; by construction that cumulative count
+is ``floor(ib * wb / L)``.  The multiplicative error is therefore pure
+floor rounding, at most one count, for *all* operand pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stochastic.bitstream import Bitstream
+from repro.utils.rng import make_rng
+
+
+def _validate(value: int, length: int) -> None:
+    if length <= 0:
+        raise ValueError("length must be positive")
+    if not (0 <= value <= length):
+        raise ValueError(f"value {value} out of range [0, {length}]")
+
+
+def unary_prefix(value: int, length: int) -> Bitstream:
+    """Thermometer encoding: ones at slots ``0 .. value-1``."""
+    return Bitstream.from_int(value, length)
+
+
+def bresenham_spread(value: int, length: int) -> Bitstream:
+    """Evenly-spread encoding with cumulative count ``floor(t*value/L)``.
+
+    Slot ``t`` holds a one iff ``floor((t+1)*value/L) > floor(t*value/L)``.
+    """
+    _validate(value, length)
+    t = np.arange(length + 1, dtype=np.int64)
+    cum = (t * value) // length
+    return Bitstream(np.diff(cum).astype(np.uint8))
+
+
+def van_der_corput_stream(value: int, length: int) -> Bitstream:
+    """Low-discrepancy SNG: compare value against a bit-reversed counter.
+
+    ``length`` must be a power of two (the bit-reversal permutation needs
+    a full binary counter).
+    """
+    _validate(value, length)
+    if length & (length - 1):
+        raise ValueError("length must be a power of two")
+    n_bits = length.bit_length() - 1
+    t = np.arange(length, dtype=np.int64)
+    rev = np.zeros_like(t)
+    for b in range(n_bits):
+        rev |= ((t >> b) & 1) << (n_bits - 1 - b)
+    return Bitstream((rev < value).astype(np.uint8))
+
+
+#: maximal-length LFSR tap masks (Fibonacci form) per register width.
+_LFSR_TAPS: dict[int, int] = {
+    4: 0b1001,
+    6: 0b100001,
+    8: 0b10111000,
+    10: 0b1000000100,
+    12: 0b100000101001,
+    16: 0b1011010000000000,
+}
+
+
+def lfsr_sequence(n_bits: int, seed: int = 1) -> np.ndarray:
+    """Full period of a maximal-length ``n_bits`` Fibonacci LFSR.
+
+    Returns ``2**n_bits - 1`` register states (the all-zero state is
+    unreachable).  Raises for widths without a stored tap mask.
+    """
+    if n_bits not in _LFSR_TAPS:
+        raise ValueError(
+            f"no tap mask for {n_bits}-bit LFSR; available: {sorted(_LFSR_TAPS)}"
+        )
+    if not (1 <= seed < (1 << n_bits)):
+        raise ValueError("seed must be a nonzero n_bits-wide state")
+    taps = _LFSR_TAPS[n_bits]
+    state = seed
+    period = (1 << n_bits) - 1
+    out = np.empty(period, dtype=np.int64)
+    for k in range(period):
+        out[k] = state
+        feedback = bin(state & taps).count("1") & 1
+        state = ((state << 1) | feedback) & ((1 << n_bits) - 1)
+    return out
+
+
+def lfsr_stream(value: int, length: int, seed: int = 1) -> Bitstream:
+    """Pseudo-random SNG: ``bit_t = (lfsr_t <= value)``.
+
+    ``length`` must be a power of two; the LFSR of width ``log2(length)``
+    is cycled once (its period is ``length - 1``; the stream's final slot
+    re-uses the first state, the standard period-extension trick).
+    """
+    _validate(value, length)
+    if length & (length - 1):
+        raise ValueError("length must be a power of two")
+    n_bits = length.bit_length() - 1
+    seq = lfsr_sequence(n_bits, seed)
+    seq = np.concatenate([seq, seq[:1]])  # pad to 2**n
+    return Bitstream((seq <= value).astype(np.uint8))
+
+
+def bernoulli_stream(
+    value: int, length: int, seed: int | np.random.Generator | None = None
+) -> Bitstream:
+    """True-random Bernoulli SNG (the noisiest reference point)."""
+    _validate(value, length)
+    rng = make_rng(seed)
+    return Bitstream.from_probability(value / length, length, rng)
+
+
+#: registry used by the SNG ablation (benchmarks/bench_ablations.py)
+DETERMINISTIC_SNGS = {
+    "unary": unary_prefix,
+    "bresenham": bresenham_spread,
+    "van_der_corput": van_der_corput_stream,
+    "lfsr": lfsr_stream,
+}
+
+
+def generate_pair(
+    ib: int, wb: int, length: int, scheme: str = "unary-bresenham"
+) -> tuple[Bitstream, Bitstream]:
+    """Generate an (I, W) stream pair under a named pairing scheme.
+
+    ``unary-bresenham`` is SCONNA's LUT content (exact multiplication);
+    the others exist for the accuracy ablation.
+    """
+    if scheme == "unary-bresenham":
+        return unary_prefix(ib, length), bresenham_spread(wb, length)
+    if scheme == "lfsr-lfsr":
+        # two different seeds decorrelate the streams only approximately
+        return lfsr_stream(ib, length, seed=1), lfsr_stream(wb, length, seed=5)
+    if scheme == "unary-unary":
+        # maximally correlated: AND degenerates to min() - the failure
+        # mode the paper's uncorrelated-pair requirement guards against
+        return unary_prefix(ib, length), unary_prefix(wb, length)
+    if scheme == "vdc-unary":
+        return van_der_corput_stream(ib, length), unary_prefix(wb, length)
+    raise ValueError(f"unknown pairing scheme {scheme!r}")

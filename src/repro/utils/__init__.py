@@ -1,0 +1,45 @@
+"""Shared utilities: unit conversions, physical constants, table rendering.
+
+These helpers are deliberately dependency-light; every other subpackage
+builds on them.  All optical powers in the photonic models are tracked in
+dB/dBm wherever the paper's link-budget equations operate in the log
+domain, and converted at the boundaries with :func:`db_to_linear` /
+:func:`dbm_to_watts` so that unit bugs cannot hide inside ad-hoc ``10**``
+expressions scattered through device code.
+"""
+
+from repro.utils.units import (
+    db_to_linear,
+    linear_to_db,
+    dbm_to_watts,
+    watts_to_dbm,
+    dbm_to_mw,
+    mw_to_dbm,
+)
+from repro.utils.constants import (
+    ELEMENTARY_CHARGE,
+    BOLTZMANN,
+    SPEED_OF_LIGHT,
+    PLANCK,
+    C_BAND_CENTER_M,
+)
+from repro.utils.tables import Table, format_engineering, geometric_mean
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "dbm_to_mw",
+    "mw_to_dbm",
+    "ELEMENTARY_CHARGE",
+    "BOLTZMANN",
+    "SPEED_OF_LIGHT",
+    "PLANCK",
+    "C_BAND_CENTER_M",
+    "Table",
+    "format_engineering",
+    "geometric_mean",
+    "make_rng",
+]

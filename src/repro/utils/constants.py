@@ -1,0 +1,20 @@
+"""Physical constants (SI units) used by the photonic device models.
+
+Values follow CODATA 2018; the receiver-noise model (paper Eq. 3) is
+insensitive to digits beyond the fourth significant figure.
+"""
+
+#: Elementary charge ``q`` [C].
+ELEMENTARY_CHARGE: float = 1.602176634e-19
+
+#: Boltzmann constant ``k`` [J/K].
+BOLTZMANN: float = 1.380649e-23
+
+#: Speed of light in vacuum ``c`` [m/s].
+SPEED_OF_LIGHT: float = 2.99792458e8
+
+#: Planck constant ``h`` [J*s].
+PLANCK: float = 6.62607015e-34
+
+#: Conventional C-band centre wavelength used for the DWDM grid [m].
+C_BAND_CENTER_M: float = 1550e-9

@@ -1,0 +1,27 @@
+"""Deterministic random-number-generator construction.
+
+Every stochastic component in the repository accepts either a seed or a
+``numpy.random.Generator``; this helper normalises both so experiment
+harnesses stay reproducible run-to-run (the benchmarks print tables whose
+values must be stable enough to compare against the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def make_rng(seed: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for fresh OS entropy, an ``int`` for a seeded PCG64
+        generator, or an existing ``Generator`` which is returned as-is.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

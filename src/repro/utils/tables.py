@@ -1,0 +1,81 @@
+"""Plain-text table rendering for the experiment harnesses.
+
+The paper's evaluation artefacts are tables and bar/line figures; with no
+plotting stack available offline, every ``repro.analysis`` harness renders
+its result through :class:`Table` so `pytest benchmarks/` output shows the
+same rows/series the paper reports, next to the paper's published values.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+def format_engineering(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix (e.g. ``1.23 G``, ``45.6 m``).
+
+    Useful for FPS / power / latency columns spanning many decades.
+    """
+    if value == 0 or not math.isfinite(value):
+        return f"{value:g} {unit}".rstrip()
+    prefixes = [
+        (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+        (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"), (1e-15, "f"),
+    ]
+    mag = abs(value)
+    for scale, prefix in prefixes:
+        if mag >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper reports all cross-CNN speedups as gmean."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+class Table:
+    """Monospace table builder.
+
+    >>> t = Table(["model", "FPS"], title="Fig 9(a)")
+    >>> t.add_row(["ResNet50", "12.3"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.headers = [str(h) for h in headers]
+        self.title = title
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Sequence[object]) -> None:
+        cells = [str(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.render()

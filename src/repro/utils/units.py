@@ -1,0 +1,46 @@
+"""Log-domain unit conversions.
+
+The paper's scalability analysis (Eqs. 2-4, Table III) mixes dB losses,
+dBm powers and linear quantities.  Centralising the conversions keeps the
+link-budget code readable and makes the property tests
+(`tests/test_utils.py`) trivial to state: the pairs below are exact
+inverses of each other.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a dB ratio to a linear ratio (``10**(db/10)``)."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB.  ``ratio`` must be positive."""
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be positive, got {ratio!r}")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_mw(dbm: float) -> float:
+    """Convert a power in dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def mw_to_dbm(mw: float) -> float:
+    """Convert a power in milliwatts to dBm.  ``mw`` must be positive."""
+    if mw <= 0.0:
+        raise ValueError(f"power must be positive, got {mw!r}")
+    return 10.0 * math.log10(mw)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert a power in dBm to watts."""
+    return dbm_to_mw(dbm) * 1e-3
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert a power in watts to dBm.  ``watts`` must be positive."""
+    return mw_to_dbm(watts * 1e3)

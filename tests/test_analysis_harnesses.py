@@ -1,0 +1,89 @@
+"""Tests for the experiment harnesses (fast artifacts only).
+
+The heavy harnesses (Fig 9 full grid, Table V training) are exercised by
+``benchmarks/``; here we verify the light ones end-to-end and the report
+infrastructure.
+"""
+
+import pytest
+
+from repro.analysis import (
+    ExperimentResult,
+    run_ablation_sng,
+    run_fig6c,
+    run_fig7a,
+    run_fig7b,
+    run_scalability,
+    run_table1,
+    run_table2,
+)
+from repro.analysis.fig9 import Fig9Data, simulate_all
+from repro.utils.tables import Table
+
+
+class TestReport:
+    def test_render_contains_everything(self):
+        t = Table(["a"], title="demo")
+        t.add_row(["1"])
+        r = ExperimentResult(
+            "EX", "demo exp", t, notes=["a note"], checks={"ok": True}
+        )
+        out = r.render()
+        assert "EX" in out and "demo exp" in out
+        assert "[PASS] ok" in out
+        assert "note: a note" in out
+
+    def test_failed_check_shows_miss(self):
+        r = ExperimentResult("EX", "t", Table(["a"]), checks={"bad": False})
+        assert "[MISS]" in r.render()
+        assert not r.all_checks_pass
+
+    def test_no_checks_passes(self):
+        assert ExperimentResult("EX", "t", Table(["a"])).all_checks_pass
+
+
+class TestLightHarnesses:
+    @pytest.mark.parametrize(
+        "runner",
+        [run_table1, run_table2, run_fig7a, run_fig7b, run_scalability],
+        ids=["table1", "table2", "fig7a", "fig7b", "scalability"],
+    )
+    def test_harness_passes_all_checks(self, runner):
+        result = runner()
+        assert result.all_checks_pass, result.render()
+        assert result.table.rows  # non-empty artifact
+
+    def test_fig6c_harness(self):
+        result = run_fig6c(n_bits=64)
+        assert result.all_checks_pass, result.render()
+
+    def test_sng_ablation(self):
+        result = run_ablation_sng(n_samples=100)
+        assert result.all_checks_pass, result.render()
+
+
+class TestFig9Infra:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return simulate_all()
+
+    def test_grid_complete(self, data: Fig9Data):
+        assert len(data.results) == 12  # 4 CNNs x 3 accelerators
+
+    def test_ratios_positive(self, data: Fig9Data):
+        for metric in ("fps", "fps_per_watt", "fps_per_watt_mm2"):
+            for pair in data.ratios(metric).values():
+                assert pair[0] > 1.0 and pair[1] > 1.0
+
+    def test_gmean_ordering(self, data: Fig9Data):
+        """FPS/W uplift exceeds FPS uplift (the Fig 9b observation)."""
+        fps = data.gmean_ratios("fps")
+        eff = data.gmean_ratios("fps_per_watt")
+        assert eff[0] > fps[0]
+        assert eff[1] > fps[1]
+
+    def test_area_efficiency_tracks_energy_efficiency(self, data: Fig9Data):
+        """Areas are matched, so Fig 9(c) ~ Fig 9(b) (paper Section VI-C)."""
+        eff = data.gmean_ratios("fps_per_watt")
+        area = data.gmean_ratios("fps_per_watt_mm2")
+        assert area[0] == pytest.approx(eff[0], rel=0.05)

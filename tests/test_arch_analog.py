@@ -1,0 +1,123 @@
+"""Tests for the analog baselines and the Table I scalability solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.analog import (
+    AMM_DEAPCNN,
+    MAM_HOLYLIGHT,
+    AnalogVdpcConfig,
+    analog_lsb_margin,
+    analog_max_n,
+    table1_grid,
+)
+
+
+class TestTable1Solver:
+    #: paper Table I values
+    PAPER = {
+        ("amm", 4, 1.0): 31, ("amm", 4, 3.0): 20, ("amm", 4, 5.0): 16,
+        ("amm", 4, 10.0): 11, ("amm", 6, 1.0): 6, ("amm", 6, 3.0): 3,
+        ("amm", 6, 5.0): 2, ("amm", 6, 10.0): 1,
+        ("mam", 4, 1.0): 44, ("mam", 4, 3.0): 29, ("mam", 4, 5.0): 22,
+        ("mam", 4, 10.0): 16, ("mam", 6, 1.0): 12, ("mam", 6, 3.0): 7,
+        ("mam", 6, 5.0): 5, ("mam", 6, 10.0): 3,
+    }
+
+    def test_grid_close_to_paper(self):
+        """Every Table I cell within +-3 of the paper's value."""
+        grid = table1_grid()
+        for key, ours in grid.items():
+            assert abs(ours - self.PAPER[key]) <= 3, (key, ours)
+
+    def test_anchor_cells_nearly_exact(self):
+        grid = table1_grid()
+        assert grid[("mam", 4, 1.0)] in (43, 44)       # calibration anchor
+        assert grid[("mam", 4, 5.0)] in (20, 21, 22)   # evaluation point
+        assert grid[("amm", 4, 10.0)] == 11            # exact in our model
+
+    def test_mam_beats_amm_everywhere(self):
+        grid = table1_grid()
+        for b in (4, 6):
+            for dr in (1.0, 3.0, 5.0, 10.0):
+                assert grid[("mam", b, dr)] >= grid[("amm", b, dr)]
+
+    def test_n_falls_with_data_rate(self):
+        grid = table1_grid()
+        for org in ("amm", "mam"):
+            for b in (4, 6):
+                ns = [grid[(org, b, dr)] for dr in (1.0, 3.0, 5.0, 10.0)]
+                assert ns == sorted(ns, reverse=True)
+
+    def test_n_falls_with_precision(self):
+        grid = table1_grid()
+        for org in ("amm", "mam"):
+            for dr in (1.0, 3.0, 5.0, 10.0):
+                assert grid[(org, 4, dr)] > grid[(org, 6, dr)]
+
+    def test_8bit_collapse(self):
+        """Section III: N collapses to ~1 at 8-bit precision."""
+        assert analog_max_n("mam", 8, 1e9) <= 2
+        assert analog_max_n("mam", 8, 5e9) <= 1
+
+    def test_margin_monotone_in_n(self):
+        margins = [
+            analog_lsb_margin("mam", n, 4, 5e9) for n in (4, 16, 64)
+        ]
+        assert margins == sorted(margins, reverse=True)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            analog_lsb_margin("mam", 0, 4, 1e9)
+        with pytest.raises(ValueError):
+            analog_lsb_margin("mam", 4, 0, 1e9)
+
+    @given(st.floats(min_value=0.2, max_value=0.8))
+    @settings(max_examples=15, deadline=None)
+    def test_max_n_monotone_in_kappa(self, kappa):
+        """A stricter margin requirement can only shrink N."""
+        loose = analog_max_n("mam", 4, 5e9, kappa=kappa)
+        tight = analog_max_n("mam", 4, 5e9, kappa=kappa + 0.1)
+        assert tight <= loose
+
+
+class TestAnalogVdpcConfig:
+    def test_paper_evaluation_points(self):
+        assert MAM_HOLYLIGHT.vdpe_size == 22
+        assert AMM_DEAPCNN.vdpe_size == 16
+        assert MAM_HOLYLIGHT.slicing_factor == 2
+        assert MAM_HOLYLIGHT.data_rate_hz == 5e9
+
+    def test_issue_interval_dac_limited(self):
+        # DAC latency (0.78 ns) exceeds the 5 GS/s symbol (0.2 ns)
+        assert MAM_HOLYLIGHT.vdp_issue_interval_s == pytest.approx(0.78e-9)
+
+    def test_pieces_and_psums(self):
+        # paper Section III-A: S=4608 at N=22 -> C=210 pieces, x2 slices
+        assert MAM_HOLYLIGHT.pieces(4608) == 210
+        assert MAM_HOLYLIGHT.psums_per_output(4608) == 420
+        assert AMM_DEAPCNN.psums_per_output(4608) == 576
+
+    def test_reduction_ops(self):
+        # 420 psums -> 419 accumulates + 1 slice combine
+        assert MAM_HOLYLIGHT.reduction_ops_per_output(4608) == 420
+        # depthwise S=9: 2 psums -> 1 accumulate + 1 combine
+        assert MAM_HOLYLIGHT.reduction_ops_per_output(9) == 2
+
+    def test_dac_counts(self):
+        # MAM shares the DIV bank: N + N/M per VDPE
+        assert MAM_HOLYLIGHT.dacs_per_vdpe() == pytest.approx(22 + 1.0)
+        # AMM owns both banks
+        assert AMM_DEAPCNN.dacs_per_vdpe() == pytest.approx(32.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnalogVdpcConfig("mam", vdpe_size=0, vdpes_per_vdpc=4)
+        with pytest.raises(ValueError):
+            AnalogVdpcConfig(
+                "mam", vdpe_size=4, vdpes_per_vdpc=4,
+                native_precision_bits=3, target_precision_bits=8,
+            )
+        with pytest.raises(ValueError):
+            MAM_HOLYLIGHT.pieces(0)

@@ -1,0 +1,164 @@
+"""Tests for accelerator designs, area-proportionate scaling and the
+transaction-level simulator (the Fig. 9 machinery)."""
+
+import pytest
+
+from repro.arch.designs import (
+    analog_design,
+    area_proportionate_vdpes,
+    build_evaluated_designs,
+    sconna_design,
+)
+from repro.arch.analog import AMM_DEAPCNN, MAM_HOLYLIGHT
+from repro.arch.simulator import AcceleratorSimulator, simulate_inference
+from repro.cnn.shapes import ConvLayerShape, ModelDescriptor
+from repro.cnn.zoo import build_model
+from repro.core.config import SconnaConfig
+
+
+@pytest.fixture(scope="module")
+def designs():
+    return build_evaluated_designs()
+
+
+class TestSconnaDesign:
+    def test_paper_configuration(self, designs):
+        s = designs["SCONNA"]
+        assert s.total_vdpes == 1024
+        assert s.vdpe_size == 176
+        assert s.slicing_factor == 1
+        assert s.temporal_pieces
+
+    def test_no_shared_reduction_traffic(self, designs):
+        s = designs["SCONNA"]
+        assert s.reduction_ops_per_output(4608) == 0
+        assert s.psums_per_output(4608) == 7  # local ADC readouts
+
+    def test_power_dominated_by_lasers_and_serializers(self, designs):
+        p = designs["SCONNA"].power.items
+        assert p["lasers"] > 1000.0
+        assert p["serializers"] > 800.0
+        assert p["lasers"] + p["serializers"] > 0.9 * sum(p.values())
+
+    def test_temporal_mapping_slots(self, designs):
+        s = designs["SCONNA"]
+        assert s.weight_slots(4608, 512) == 512          # one slot/kernel
+        assert s.passes_per_position(4608) == 27
+        assert s.slot_weight_words(4608) == 4608
+
+
+class TestAnalogDesigns:
+    def test_spatial_mapping_slots(self, designs):
+        m = designs["MAM"]
+        assert not m.temporal_pieces
+        assert m.weight_slots(4608, 512) == 512 * 210 * 2
+        assert m.passes_per_position(4608) == 1
+        assert m.slot_weight_words(4608) == 22
+
+    def test_area_proportionate_counts_near_paper(self, designs):
+        # paper Section VI-B: 3971 MAM / 3172 AMM VDPEs
+        assert designs["MAM"].total_vdpes == pytest.approx(3971, rel=0.15)
+        assert designs["AMM"].total_vdpes == pytest.approx(3172, rel=0.15)
+        assert designs["MAM"].total_vdpes > designs["AMM"].total_vdpes
+
+    def test_areas_match_sconna(self, designs):
+        a0 = designs["SCONNA"].area.total_mm2
+        for name in ("MAM", "AMM"):
+            assert designs[name].area.total_mm2 == pytest.approx(a0, rel=0.02)
+
+    def test_analog_power_exceeds_sconna(self, designs):
+        # DAC armies dominate: the energy-efficiency gap of Fig. 9(b)
+        assert designs["MAM"].power.total_w > designs["SCONNA"].power.total_w
+        assert designs["AMM"].power.total_w > designs["SCONNA"].power.total_w
+
+    def test_scaler_function(self):
+        s = sconna_design()
+        assert area_proportionate_vdpes(s, MAM_HOLYLIGHT) > 3000
+        assert area_proportionate_vdpes(s, AMM_DEAPCNN) > 2000
+
+
+def tiny_model() -> ModelDescriptor:
+    m = ModelDescriptor("tiny")
+    m.add(ConvLayerShape("c1", 3, 16, 3, 1, 1, 16, 16))
+    m.add(ConvLayerShape("c2", 16, 32, 3, 2, 1, 16, 16))
+    return m
+
+
+class TestSimulator:
+    def test_layer_timing_fields_positive(self, designs):
+        sim = AcceleratorSimulator(designs["SCONNA"])
+        t = sim.layer_timing(tiny_model().layers[0])
+        assert t.compute_s > 0
+        assert t.latency_s >= t.compute_s
+        assert t.bottleneck in (
+            "compute", "reduction", "memory", "activation", "weight_io"
+        )
+
+    def test_sconna_layer_has_zero_reduction(self, designs):
+        sim = AcceleratorSimulator(designs["SCONNA"])
+        t = sim.layer_timing(tiny_model().layers[0])
+        assert t.reduction_s == 0.0
+
+    def test_total_latency_sums_layers(self, designs):
+        res = simulate_inference(designs["SCONNA"], tiny_model())
+        assert res.latency_s == pytest.approx(
+            sum(l.latency_s for l in res.layers), rel=1e-9
+        )
+        assert len(res.layers) == 2
+
+    def test_metrics_consistency(self, designs):
+        res = simulate_inference(designs["SCONNA"], tiny_model())
+        assert res.fps == pytest.approx(1.0 / res.latency_s)
+        assert res.avg_power_w == pytest.approx(res.energy_j / res.latency_s)
+        assert res.fps_per_watt_mm2 == pytest.approx(
+            res.fps_per_watt / res.area_mm2
+        )
+
+    def test_energy_exceeds_static_floor(self, designs):
+        d = designs["SCONNA"]
+        res = simulate_inference(d, tiny_model())
+        assert res.energy_j >= d.power.total_w * res.latency_s
+
+    def test_fig9_orderings_on_googlenet(self, designs):
+        """The headline result: SCONNA > MAM > AMM on FPS, FPS/W and
+        FPS/W/mm2, with double-digit FPS gains."""
+        model = build_model("GoogleNet")
+        res = {k: simulate_inference(d, model) for k, d in designs.items()}
+        s, m, a = res["SCONNA"], res["MAM"], res["AMM"]
+        assert s.fps > 10 * m.fps > 10 * a.fps / 2
+        assert m.fps > a.fps
+        assert s.fps_per_watt > m.fps_per_watt > a.fps_per_watt
+        assert s.fps_per_watt_mm2 > m.fps_per_watt_mm2 > a.fps_per_watt_mm2
+        # energy-efficiency uplift exceeds the raw FPS uplift (Fig 9b)
+        assert (s.fps_per_watt / m.fps_per_watt) > (s.fps / m.fps)
+
+    def test_large_cnn_gains_exceed_small_cnn_gains(self, designs):
+        """Paper Section VI-C: improvements are more evident for large
+        CNNs than for the depthwise-separable MobileNet/ShuffleNet."""
+        big = build_model("ResNet50")
+        small = build_model("MobileNet_V2")
+        ratios = {}
+        for name, model in (("big", big), ("small", small)):
+            s = simulate_inference(designs["SCONNA"], model)
+            m = simulate_inference(designs["MAM"], model)
+            ratios[name] = s.fps / m.fps
+        assert ratios["big"] > 3 * ratios["small"]
+
+    def test_analog_is_reduction_bound(self, designs):
+        res = simulate_inference(designs["MAM"], build_model("ResNet50"))
+        hist = res.bottleneck_histogram()
+        assert hist.get("reduction", 0) > len(res.layers) * 0.7
+
+    def test_multipass_ablation_slows_sconna(self):
+        """Disabling multi-pass PCA accumulation costs throughput."""
+        base = sconna_design()
+        single = sconna_design(SconnaConfig(pca_design_activity=1.0))
+        model = build_model("ResNet50")
+        fast = simulate_inference(base, model)
+        slow = simulate_inference(single, model)
+        assert fast.fps >= slow.fps
+
+    def test_bottleneck_histogram(self, designs):
+        res = simulate_inference(designs["SCONNA"], tiny_model())
+        hist = res.bottleneck_histogram()
+        assert sum(hist.values()) == 2

@@ -1,0 +1,154 @@
+"""Tests for the discrete-event kernel and resources."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.events import (
+    BusyTracker,
+    EventKernel,
+    Resource,
+    SimulationError,
+    TransactionLog,
+)
+
+
+class TestEventKernel:
+    def test_events_fire_in_time_order(self):
+        k = EventKernel()
+        order = []
+        k.schedule(3.0, lambda: order.append("c"))
+        k.schedule(1.0, lambda: order.append("a"))
+        k.schedule(2.0, lambda: order.append("b"))
+        k.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tie_breaking(self):
+        k = EventKernel()
+        order = []
+        for tag in "abc":
+            k.schedule(1.0, lambda t=tag: order.append(t))
+        k.run()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_overrides_fifo(self):
+        k = EventKernel()
+        order = []
+        k.schedule(1.0, lambda: order.append("late"), priority=5)
+        k.schedule(1.0, lambda: order.append("early"), priority=1)
+        k.run()
+        assert order == ["early", "late"]
+
+    def test_nested_scheduling(self):
+        k = EventKernel()
+        seen = []
+
+        def first():
+            seen.append(k.now)
+            k.schedule(2.0, lambda: seen.append(k.now))
+
+        k.schedule(1.0, first)
+        end = k.run()
+        assert seen == [1.0, 3.0]
+        assert end == 3.0
+
+    def test_run_until_bound(self):
+        k = EventKernel()
+        fired = []
+        k.schedule(1.0, lambda: fired.append(1))
+        k.schedule(10.0, lambda: fired.append(10))
+        k.run(until=5.0)
+        assert fired == [1]
+        assert k.now == 5.0
+        assert len(k) == 1
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventKernel().schedule(-1.0, lambda: None)
+
+    def test_schedule_at(self):
+        k = EventKernel()
+        times = []
+        k.schedule_at(4.0, lambda: times.append(k.now))
+        k.run()
+        assert times == [4.0]
+
+    def test_event_count(self):
+        k = EventKernel()
+        for _ in range(5):
+            k.schedule(1.0, lambda: None)
+        k.run()
+        assert k.events_processed == 5
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_time_property(self, delays):
+        k = EventKernel()
+        seen = []
+        for d in delays:
+            k.schedule(d, lambda: seen.append(k.now))
+        k.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(delays)
+
+
+class TestResource:
+    def test_single_unit_serialises(self):
+        k = EventKernel()
+        r = Resource(k, "red")
+        s1, f1 = r.acquire(5.0)
+        s2, f2 = r.acquire(3.0)
+        assert (s1, f1) == (0.0, 5.0)
+        assert (s2, f2) == (5.0, 8.0)
+
+    def test_multi_unit_parallelises(self):
+        k = EventKernel()
+        r = Resource(k, "red", n_units=2)
+        _, f1 = r.acquire(5.0)
+        _, f2 = r.acquire(5.0)
+        _, f3 = r.acquire(5.0)
+        assert f1 == 5.0 and f2 == 5.0
+        assert f3 == 10.0  # third waits for a unit
+
+    def test_busy_time_and_utilization(self):
+        k = EventKernel()
+        r = Resource(k, "x", n_units=2)
+        r.acquire(4.0)
+        r.acquire(4.0)
+        assert r.busy_time == 8.0
+        assert r.utilization(4.0) == pytest.approx(1.0)
+        assert r.utilization(8.0) == pytest.approx(0.5)
+
+    def test_request_at_future_time(self):
+        k = EventKernel()
+        r = Resource(k, "x")
+        s, f = r.acquire(1.0, at=10.0)
+        assert (s, f) == (10.0, 11.0)
+
+    def test_invalid_args(self):
+        k = EventKernel()
+        with pytest.raises(ValueError):
+            Resource(k, "x", n_units=0)
+        with pytest.raises(ValueError):
+            Resource(k, "x").acquire(-1.0)
+
+    def test_zero_elapsed_utilization(self):
+        k = EventKernel()
+        assert Resource(k, "x").utilization(0.0) == 0.0
+
+
+class TestTrackersAndLogs:
+    def test_busy_tracker(self):
+        t = BusyTracker("adc")
+        t.add(1.0)
+        t.add(2.5)
+        assert t.busy_s == 3.5
+        with pytest.raises(ValueError):
+            t.add(-1.0)
+
+    def test_transaction_log(self):
+        log = TransactionLog()
+        log.record("psum", 10, 1e-6)
+        log.record("psum", 5, 2e-6)
+        assert log.counts["psum"] == 15
+        assert log.time_s["psum"] == pytest.approx(3e-6)

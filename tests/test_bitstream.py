@@ -1,0 +1,115 @@
+"""Tests for the unipolar stochastic number representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stochastic.bitstream import Bitstream, stream_length_for_precision
+from repro.utils.rng import make_rng
+
+
+class TestConstruction:
+    def test_from_int_prefix(self):
+        s = Bitstream.from_int(3, 8)
+        assert list(s.bits) == [1, 1, 1, 0, 0, 0, 0, 0]
+
+    def test_from_int_bounds(self):
+        assert Bitstream.from_int(0, 4).popcount == 0
+        assert Bitstream.from_int(4, 4).popcount == 4
+        with pytest.raises(ValueError):
+            Bitstream.from_int(5, 4)
+        with pytest.raises(ValueError):
+            Bitstream.from_int(-1, 4)
+        with pytest.raises(ValueError):
+            Bitstream.from_int(0, 0)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            Bitstream(np.array([0, 1, 2], dtype=np.uint8))
+
+    def test_rejects_empty_and_2d(self):
+        with pytest.raises(ValueError):
+            Bitstream(np.array([], dtype=np.uint8))
+        with pytest.raises(ValueError):
+            Bitstream(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_from_probability(self):
+        s = Bitstream.from_probability(0.5, 10_000, make_rng(0))
+        assert 0.45 < s.value < 0.55
+        with pytest.raises(ValueError):
+            Bitstream.from_probability(1.5, 8, make_rng(0))
+
+    def test_immutability(self):
+        s = Bitstream.from_int(2, 4)
+        with pytest.raises(ValueError):
+            s.bits[0] = 0
+
+
+class TestDecoding:
+    @given(st.integers(min_value=1, max_value=10), st.data())
+    def test_roundtrip_exact(self, b, data):
+        """Encode->decode is exact for every value at every precision."""
+        length = 1 << b
+        v = data.draw(st.integers(min_value=0, max_value=length))
+        s = Bitstream.from_int(v, length)
+        assert s.popcount == v
+        assert s.to_int() == v
+        assert s.value == pytest.approx(v / length)
+
+    def test_paper_example_fig3(self):
+        """Fig. 3: I=4/8, W=6/8, AND -> 3/8."""
+        i = Bitstream(np.array([1, 0, 1, 0, 1, 0, 1, 0], dtype=np.uint8))
+        w = Bitstream(np.array([1, 1, 1, 1, 1, 1, 0, 0], dtype=np.uint8))
+        a = i & w
+        assert i.value == 4 / 8
+        assert w.value == 6 / 8
+        assert a.value == 3 / 8  # == (4/8)*(6/8)
+
+
+class TestOperations:
+    def test_and_is_elementwise(self):
+        a = Bitstream(np.array([1, 1, 0, 0], dtype=np.uint8))
+        b = Bitstream(np.array([1, 0, 1, 0], dtype=np.uint8))
+        assert list((a & b).bits) == [1, 0, 0, 0]
+
+    def test_or_and_invert(self):
+        a = Bitstream(np.array([1, 0], dtype=np.uint8))
+        b = Bitstream(np.array([0, 0], dtype=np.uint8))
+        assert list((a | b).bits) == [1, 0]
+        assert list((~a).bits) == [0, 1]
+
+    def test_length_mismatch_rejected(self):
+        a = Bitstream.from_int(1, 4)
+        b = Bitstream.from_int(1, 8)
+        with pytest.raises(ValueError):
+            _ = a & b
+
+    def test_equality_and_hash(self):
+        a = Bitstream.from_int(3, 8)
+        b = Bitstream.from_int(3, 8)
+        c = Bitstream.from_int(4, 8)
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_pack_unpack_roundtrip(self):
+        s = Bitstream(np.array([1, 0, 1, 1, 0, 0, 1, 0, 1, 1], dtype=np.uint8))
+        assert Bitstream.unpack(s.packed(), len(s)) == s
+
+    @given(st.integers(min_value=0, max_value=64), st.integers(min_value=0, max_value=64))
+    @settings(max_examples=50)
+    def test_demorgan(self, x, y):
+        a = Bitstream.from_int(x, 64)
+        b = Bitstream.from_int(y, 64)
+        assert ~(a & b) == (~a) | (~b)
+
+
+class TestStreamLength:
+    def test_paper_stream_length(self):
+        # B=8 -> 256-bit streams (Section V-C).
+        assert stream_length_for_precision(8) == 256
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            stream_length_for_precision(0)

@@ -1,0 +1,182 @@
+"""Tests for the NumPy CNN kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnn.functional import (
+    avg_pool2d,
+    batchnorm_inference,
+    channel_shuffle,
+    conv2d,
+    conv2d_direct,
+    conv_output_hw,
+    global_avg_pool,
+    im2col,
+    linear,
+    max_pool2d,
+    relu,
+    softmax,
+)
+
+
+class TestOutputGeometry:
+    def test_basic(self):
+        assert conv_output_hw(224, 224, 7, 2, 3) == (112, 112)
+        assert conv_output_hw(56, 56, 3, 1, 1) == (56, 56)
+        assert conv_output_hw(8, 8, 2, 2, 0) == (4, 4)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_hw(2, 2, 5, 1, 0)
+
+
+class TestIm2col:
+    def test_shape(self):
+        x = np.arange(2 * 3 * 5 * 5, dtype=float).reshape(2, 3, 5, 5)
+        cols = im2col(x, 3, 1, 1)
+        assert cols.shape == (2, 27, 25)
+
+    def test_single_image_squeeze(self):
+        x = np.zeros((3, 5, 5))
+        assert im2col(x, 3).shape == (27, 9)
+
+    def test_column_is_receptive_field(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols = im2col(x, 2, 1, 0)
+        # first output pixel's patch: [0,1,4,5]
+        assert list(cols[0, :, 0]) == [0.0, 1.0, 4.0, 5.0]
+
+
+class TestConv2d:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(1, 3), st.integers(1, 4), st.integers(1, 3),
+        st.integers(1, 2), st.integers(0, 2), st.integers(5, 9),
+    )
+    def test_matches_direct_reference(self, c, l, k, stride, pad, hw):
+        rng = np.random.default_rng(c * 100 + l * 10 + k)
+        if hw + 2 * pad < k:
+            return
+        x = rng.normal(size=(c, hw, hw))
+        w = rng.normal(size=(l, c, k, k))
+        fast = conv2d(x, w, stride, pad)
+        slow = conv2d_direct(x, w, stride, pad)
+        assert np.allclose(fast, slow, atol=1e-10)
+
+    def test_batch_dimension(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 3, 8, 8))
+        w = rng.normal(size=(5, 3, 3, 3))
+        out = conv2d(x, w, padding=1)
+        assert out.shape == (4, 5, 8, 8)
+        assert np.allclose(out[2], conv2d(x[2], w, padding=1))
+
+    def test_depthwise_groups(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(6, 8, 8))
+        w = rng.normal(size=(6, 1, 3, 3))
+        out = conv2d(x, w, padding=1, groups=6)
+        # each output channel is a single-channel conv of its input channel
+        for ch in range(6):
+            ref = conv2d(x[ch : ch + 1], w[ch : ch + 1], padding=1)
+            assert np.allclose(out[ch], ref[0])
+
+    def test_grouped_conv_channels(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(4, 6, 6))
+        w = rng.normal(size=(8, 2, 1, 1))  # 2 groups of 2-in 4-out
+        out = conv2d(x, w, groups=2)
+        assert out.shape == (8, 6, 6)
+
+    def test_bias(self):
+        x = np.zeros((1, 4, 4))
+        w = np.zeros((3, 1, 1, 1))
+        out = conv2d(x, w, bias=np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(out[1], 2.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            conv2d(np.zeros((3, 5, 5)), np.zeros((2, 3, 3, 2)))  # non-square
+        with pytest.raises(ValueError):
+            conv2d(np.zeros((3, 5, 5)), np.zeros((2, 2, 3, 3)))  # chan mismatch
+        with pytest.raises(ValueError):
+            conv2d(np.zeros((4, 5, 5)), np.zeros((2, 2, 1, 1)), groups=3)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.array([[[1, 2, 3, 4], [5, 6, 7, 8], [1, 1, 1, 1], [2, 2, 2, 9]]], dtype=float)
+        out = max_pool2d(x, 2)
+        assert out.shape == (1, 2, 2)
+        assert np.array_equal(out[0], [[6, 8], [2, 9]])
+
+    def test_avg_pool_values(self):
+        x = np.ones((2, 4, 4))
+        assert np.allclose(avg_pool2d(x, 2), 1.0)
+
+    def test_pool_batch(self):
+        x = np.random.default_rng(0).normal(size=(3, 2, 6, 6))
+        assert max_pool2d(x, 2).shape == (3, 2, 3, 3)
+
+    def test_global_avg_pool(self):
+        x = np.random.default_rng(0).normal(size=(2, 5, 4, 4))
+        out = global_avg_pool(x)
+        assert out.shape == (2, 5)
+        assert np.allclose(out, x.mean(axis=(2, 3)))
+
+    def test_max_ge_avg(self):
+        x = np.random.default_rng(1).normal(size=(2, 8, 8))
+        assert (max_pool2d(x, 2) >= avg_pool2d(x, 2) - 1e-12).all()
+
+
+class TestElementwise:
+    def test_relu(self):
+        assert np.array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_softmax_normalised(self):
+        p = softmax(np.random.default_rng(0).normal(size=(4, 10)))
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert (p > 0).all()
+
+    def test_softmax_shift_invariant(self):
+        x = np.random.default_rng(1).normal(size=(2, 5))
+        assert np.allclose(softmax(x), softmax(x + 100.0))
+
+    def test_linear(self):
+        x = np.array([[1.0, 2.0]])
+        w = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        out = linear(x, w, bias=np.array([0.0, 0.0, 1.0]))
+        assert np.allclose(out, [[1.0, 2.0, 4.0]])
+
+    def test_batchnorm_identity(self):
+        x = np.random.default_rng(2).normal(size=(3, 4, 4))
+        out = batchnorm_inference(
+            x, mean=np.zeros(3), var=np.ones(3) - 1e-5,
+            gamma=np.ones(3), beta=np.zeros(3),
+        )
+        assert np.allclose(out, x, atol=1e-5)
+
+    def test_batchnorm_standardises(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(5.0, 3.0, size=(1, 2, 50, 50))
+        mean = x.mean(axis=(0, 2, 3))
+        var = x.var(axis=(0, 2, 3))
+        out = batchnorm_inference(x, mean, var, np.ones(2), np.zeros(2))
+        assert abs(out.mean()) < 1e-6
+        assert abs(out.std() - 1.0) < 1e-3
+
+    def test_channel_shuffle_roundtrip(self):
+        x = np.arange(8 * 2 * 2, dtype=float).reshape(8, 2, 2)
+        y = channel_shuffle(channel_shuffle(x, 2), 4)
+        assert np.array_equal(y, x)
+
+    def test_channel_shuffle_interleaves(self):
+        x = np.arange(4, dtype=float).reshape(4, 1, 1)
+        y = channel_shuffle(x, 2)
+        assert list(y[:, 0, 0]) == [0.0, 2.0, 1.0, 3.0]
+
+    def test_channel_shuffle_validation(self):
+        with pytest.raises(ValueError):
+            channel_shuffle(np.zeros((5, 2, 2)), 2)

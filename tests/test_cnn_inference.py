@@ -1,0 +1,177 @@
+"""Tests for the quantized/SCONNA inference engine and datasets."""
+
+import numpy as np
+import pytest
+
+from repro.cnn.datasets import (
+    IMAGE_SHAPE,
+    N_CLASSES,
+    Dataset,
+    generate_dataset,
+    make_image,
+    train_test_split,
+)
+from repro.cnn.inference import QuantizedModel, evaluate_accuracy
+from repro.cnn.micro import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from repro.cnn.train import PROXY_MODELS, build_proxy
+from repro.core.config import SconnaConfig
+from repro.stochastic.error_models import SconnaErrorModel
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def tiny_setup():
+    """A tiny trained-ish model + data, shared across tests."""
+    rng = make_rng(0)
+    model = Sequential(
+        Conv2d(3, 6, 3, padding=1, rng=rng), ReLU(), MaxPool2d(4),
+        Flatten(), Linear(6 * 6 * 6, N_CLASSES, rng=rng),
+    )
+    ds = generate_dataset(8, seed=3)
+    qm = QuantizedModel.from_trained(model, ds.images[:32])
+    return model, ds, qm
+
+
+class TestDataset:
+    def test_image_shape_and_range(self):
+        rng = make_rng(0)
+        img = make_image(3, rng)
+        assert img.shape == IMAGE_SHAPE
+        assert img.min() >= 0.0 and img.max() <= 1.0
+        assert img.dtype == np.float32
+
+    def test_invalid_class(self):
+        with pytest.raises(ValueError):
+            make_image(10, make_rng(0))
+
+    def test_generate_balanced(self):
+        ds = generate_dataset(5, seed=0)
+        assert len(ds) == 50
+        counts = np.bincount(ds.labels, minlength=N_CLASSES)
+        assert (counts == 5).all()
+
+    def test_split_preserves_all(self):
+        ds = generate_dataset(8, seed=1)
+        tr, te = train_test_split(ds, test_fraction=0.25)
+        assert len(tr) + len(te) == len(ds)
+        assert len(te) == 20
+
+    def test_classes_are_distinguishable(self):
+        """Inter-class pixel distance exceeds intra-class for structurally
+        distinct families (gratings vs checkerboards).  Phase-jittered
+        same-frequency pairs are intentionally harder - the CNN separates
+        them in feature space, which `bench_table5` measures."""
+        rng = make_rng(5)
+        a1 = np.stack([make_image(0, rng).ravel() for _ in range(20)])
+        a2 = np.stack([make_image(0, rng).ravel() for _ in range(20)])
+        b = np.stack([make_image(6, rng).ravel() for _ in range(20)])
+        intra = np.linalg.norm(a1 - a2, axis=1).mean()
+        inter = np.linalg.norm(a1 - b, axis=1).mean()
+        assert inter > intra
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_dataset(0)
+        with pytest.raises(ValueError):
+            train_test_split(generate_dataset(2), test_fraction=1.5)
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 3, 24, 24)), np.zeros(2, dtype=np.int64))
+
+    def test_batches_cover_dataset(self):
+        ds = generate_dataset(3, seed=2)
+        seen = sum(len(lbl) for _, lbl in ds.batches(7))
+        assert seen == len(ds)
+
+
+class TestQuantizedModel:
+    def test_float_mode_matches_original(self, tiny_setup):
+        model, ds, qm = tiny_setup
+        x = ds.images[:8]
+        assert np.allclose(
+            qm.forward(x, mode="float"), model.forward(x.astype(np.float64))
+        )
+
+    def test_int8_close_to_float(self, tiny_setup):
+        _, ds, qm = tiny_setup
+        x = ds.images[:8]
+        f = qm.forward(x, mode="float")
+        q = qm.forward(x, mode="int8")
+        # quantization error is small relative to logit scale
+        assert np.abs(f - q).max() < 0.25 * np.abs(f).max() + 0.1
+
+    def test_sconna_ideal_close_to_int8(self, tiny_setup):
+        """With no ADC error, SC differs from int8 only by floor rounding."""
+        _, ds, qm = tiny_setup
+        x = ds.images[:8]
+        q = qm.forward(x, mode="int8")
+        s = qm.forward(
+            x, mode="sconna", error_model=SconnaErrorModel(adc_mape=0.0)
+        )
+        # floor rounding biases downward slightly but stays close
+        assert np.abs(q - s).mean() < 0.15 * np.abs(q).mean() + 0.1
+
+    def test_sconna_noisy_reproducible(self, tiny_setup):
+        _, ds, qm = tiny_setup
+        x = ds.images[:4]
+        a = qm.forward(x, mode="sconna", error_model=SconnaErrorModel(seed=9))
+        b = qm.forward(x, mode="sconna", error_model=SconnaErrorModel(seed=9))
+        assert np.allclose(a, b)
+
+    def test_unknown_mode_rejected(self, tiny_setup):
+        _, ds, qm = tiny_setup
+        with pytest.raises(ValueError):
+            qm.forward(ds.images[:2], mode="fp16")
+
+    def test_topk_monotone_in_k(self, tiny_setup):
+        _, ds, qm = tiny_setup
+        top1 = qm.top_k_accuracy(ds.images, ds.labels, k=1, mode="float")
+        top5 = qm.top_k_accuracy(ds.images, ds.labels, k=5, mode="float")
+        assert top5 >= top1
+
+    def test_accuracy_report_fields(self, tiny_setup):
+        _, ds, qm = tiny_setup
+        rep = evaluate_accuracy(
+            "tiny", qm, ds.images[:40], ds.labels[:40],
+            error_model=SconnaErrorModel(seed=0),
+        )
+        assert rep.top5_float >= rep.top1_float
+        assert rep.top1_drop_percent == pytest.approx(
+            (rep.top1_int8 - rep.top1_sconna) * 100.0
+        )
+
+    def test_multipass_config_changes_grouping_not_result_much(self, tiny_setup):
+        """PSum grouping affects where ADC error applies, not ideal math."""
+        model, ds, _ = tiny_setup
+        x = ds.images[:4]
+        qm1 = QuantizedModel.from_trained(
+            model, ds.images[:32], config=SconnaConfig()
+        )
+        qm2 = QuantizedModel.from_trained(
+            model, ds.images[:32],
+            config=SconnaConfig(pca_design_activity=1.0),
+        )
+        ideal = SconnaErrorModel(adc_mape=0.0)
+        a = qm1.forward(x, mode="sconna", error_model=ideal)
+        b = qm2.forward(x, mode="sconna", error_model=ideal)
+        assert np.allclose(a, b)  # identical without ADC noise
+
+
+class TestProxies:
+    def test_all_proxies_build_and_run(self):
+        ds = generate_dataset(2, seed=0)
+        for name in PROXY_MODELS:
+            model = build_proxy(name)
+            logits = model.forward(ds.images[:4].astype(np.float64))
+            assert logits.shape == (4, N_CLASSES)
+
+    def test_unknown_proxy(self):
+        with pytest.raises(ValueError):
+            build_proxy("lenet")
+
+    def test_proxy_capacity_ordering(self):
+        """Large proxies have more parameters than compact ones."""
+        def n_params(m):
+            return sum(p.size for p, _ in m.parameters())
+
+        assert n_params(build_proxy("rnet_proxy")) > n_params(build_proxy("mnet_proxy"))
+        assert n_params(build_proxy("gnet_proxy")) > n_params(build_proxy("snet_proxy"))

@@ -1,0 +1,156 @@
+"""Tests for the trainable micro-framework: gradient checks and training."""
+
+import numpy as np
+import pytest
+
+from repro.cnn.functional import im2col
+from repro.cnn.micro import (
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    col2im,
+    softmax_cross_entropy,
+)
+
+
+def numerical_grad(f, x, eps=1e-6):
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        old = x[idx]
+        x[idx] = old + eps
+        hi = f()
+        x[idx] = old - eps
+        lo = f()
+        x[idx] = old
+        g[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return g
+
+
+class TestCol2Im:
+    def test_adjoint_of_im2col(self):
+        """<im2col(x), y> == <x, col2im(y)> - the defining property."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols = im2col(x, 3, 2, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 2, 1)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestGradients:
+    def test_conv_weight_gradient(self):
+        rng = np.random.default_rng(1)
+        conv = Conv2d(2, 3, 3, stride=1, padding=1, rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+
+        def loss():
+            return float((conv.forward(x) ** 2).sum() / 2)
+
+        loss()  # populate cache
+        conv.grad_weight[...] = 0.0
+        conv.backward(conv.forward(x))
+        num = numerical_grad(loss, conv.weight)
+        assert np.allclose(conv.grad_weight, num, atol=1e-4)
+
+    def test_conv_input_gradient(self):
+        rng = np.random.default_rng(2)
+        conv = Conv2d(1, 2, 3, stride=2, padding=1, rng=rng)
+        x = rng.normal(size=(1, 1, 6, 6))
+
+        def loss():
+            return float((conv.forward(x) ** 2).sum() / 2)
+
+        dx = conv.backward(conv.forward(x))
+        num = numerical_grad(loss, x)
+        assert np.allclose(dx, num, atol=1e-4)
+
+    def test_linear_gradients(self):
+        rng = np.random.default_rng(3)
+        lin = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+
+        def loss():
+            return float((lin.forward(x) ** 2).sum() / 2)
+
+        lin.grad_weight[...] = 0.0
+        lin.grad_bias[...] = 0.0
+        dx = lin.backward(lin.forward(x))
+        assert np.allclose(lin.grad_weight, numerical_grad(loss, lin.weight), atol=1e-5)
+        assert np.allclose(lin.grad_bias, numerical_grad(loss, lin.bias), atol=1e-5)
+        assert np.allclose(dx, numerical_grad(loss, x), atol=1e-5)
+
+    def test_maxpool_gradient_routes_to_argmax(self):
+        pool = MaxPool2d(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        pool.forward(x)
+        dx = pool.backward(np.array([[[[1.0]]]]))
+        assert dx[0, 0, 1, 1] == 1.0
+        assert dx.sum() == 1.0
+
+    def test_relu_gradient_masks(self):
+        r = ReLU()
+        x = np.array([[-1.0, 2.0]])
+        r.forward(x)
+        assert np.array_equal(r.backward(np.ones((1, 2))), [[0.0, 1.0]])
+
+    def test_softmax_ce_gradient(self):
+        rng = np.random.default_rng(4)
+        logits = rng.normal(size=(6, 5))
+        labels = rng.integers(0, 5, size=6)
+
+        def loss():
+            return softmax_cross_entropy(logits, labels)[0]
+
+        _, grad = softmax_cross_entropy(logits, labels)
+        assert np.allclose(grad, numerical_grad(loss, logits), atol=1e-6)
+
+    def test_backward_before_forward_raises(self):
+        for layer in (Conv2d(1, 1, 1), ReLU(), MaxPool2d(2), Flatten(), Linear(2, 2)):
+            with pytest.raises(RuntimeError):
+                layer.backward(np.zeros((1, 1, 2, 2)))
+
+
+class TestSequentialTraining:
+    def test_tiny_net_learns_xor_like_task(self):
+        """End-to-end: a conv net separates two texture classes."""
+        from repro.cnn.datasets import Dataset
+        from repro.cnn.train import train
+
+        rng = np.random.default_rng(0)
+        n = 80
+        images = np.zeros((n, 3, 24, 24), dtype=np.float32)
+        labels = np.zeros(n, dtype=np.int64)
+        for k in range(n):
+            cls = k % 2
+            labels[k] = cls
+            stripe = np.sin(np.arange(24) * (0.5 if cls else 1.5))
+            img = np.tile(stripe, (24, 1)) if cls else np.tile(stripe[:, None], (1, 24))
+            images[k] = img[None] + rng.normal(0, 0.1, (3, 24, 24))
+        ds = Dataset(images, labels)
+
+        model = Sequential(
+            Conv2d(3, 4, 3, padding=1, rng=rng), ReLU(), MaxPool2d(4),
+            Flatten(), Linear(4 * 6 * 6, 2, rng=rng),
+        )
+        result = train(model, ds, epochs=5, batch_size=16, lr=0.05, test_set=ds)
+        assert result.train_losses[-1] < result.train_losses[0]
+        assert result.test_accuracy > 0.9
+
+    def test_zero_grad(self):
+        model = Sequential(Linear(2, 2))
+        x = np.ones((1, 2))
+        model.backward(model.forward(x))
+        model.zero_grad()
+        for _, g in model.parameters():
+            assert np.all(g == 0.0)
+
+    def test_empty_sequential_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential()

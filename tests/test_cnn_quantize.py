@@ -1,0 +1,89 @@
+"""Tests for post-training quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnn.quantize import (
+    QuantParams,
+    calibrate_activation,
+    calibrate_weight,
+    dequantize,
+    quantization_error,
+    quantize,
+)
+
+
+class TestCalibration:
+    def test_activation_unsigned(self):
+        p = calibrate_activation(np.linspace(0, 2, 1000))
+        assert not p.signed
+        assert p.levels == 256
+        assert p.scale == pytest.approx(2.0 / 256, rel=0.01)
+
+    def test_weight_symmetric(self):
+        p = calibrate_weight(np.array([-0.5, 0.25, 0.1]))
+        assert p.signed
+        assert p.scale == pytest.approx(0.5 / 256)
+
+    def test_percentile_clips_outliers(self):
+        data = np.concatenate([np.ones(10_000), [1e6]])
+        p = calibrate_activation(data, percentile=99.0)
+        assert p.scale < 1.0  # the outlier did not blow up the scale
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_activation(np.array([]))
+        with pytest.raises(ValueError):
+            calibrate_weight(np.array([]))
+
+    def test_precision_parameter(self):
+        p = calibrate_activation(np.linspace(0, 1, 100), precision_bits=4)
+        assert p.levels == 16
+
+
+class TestQuantizeDequantize:
+    def test_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, size=10_000)
+        p = calibrate_activation(x, percentile=100.0)
+        assert quantization_error(x, p) <= p.scale / 2 + 1e-12
+
+    def test_signed_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(0, 0.1, size=10_000)
+        p = calibrate_weight(w)
+        assert quantization_error(w, p) <= p.scale / 2 + 1e-12
+
+    def test_unsigned_clips_negative(self):
+        p = QuantParams(scale=0.01, levels=256, signed=False)
+        assert quantize(np.array([-1.0]), p)[0] == 0
+
+    def test_signed_clips_to_range(self):
+        p = QuantParams(scale=0.01, levels=256, signed=True)
+        assert quantize(np.array([100.0]), p)[0] == 256
+        assert quantize(np.array([-100.0]), p)[0] == -256
+
+    def test_integer_output_dtype(self):
+        p = QuantParams(scale=0.5, levels=256, signed=False)
+        assert quantize(np.array([1.0]), p).dtype == np.int64
+
+    def test_dequantize_inverse_on_grid(self):
+        p = QuantParams(scale=0.25, levels=16, signed=True)
+        grid = np.arange(-16, 17)
+        assert np.allclose(quantize(dequantize(grid, p), p), grid)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=0.0, levels=256, signed=False)
+        with pytest.raises(ValueError):
+            QuantParams(scale=1.0, levels=0, signed=False)
+
+    @given(st.integers(2, 10))
+    @settings(max_examples=9, deadline=None)
+    def test_error_shrinks_with_precision(self, bits):
+        x = np.linspace(0, 1, 1000)
+        lo = calibrate_activation(x, precision_bits=bits, percentile=100.0)
+        hi = calibrate_activation(x, precision_bits=bits + 1, percentile=100.0)
+        assert quantization_error(x, hi) <= quantization_error(x, lo) + 1e-12

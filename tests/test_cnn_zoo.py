@@ -1,0 +1,140 @@
+"""Tests for the layer-shape IR and the six-model zoo (Table II source)."""
+
+import pytest
+
+from repro.cnn.shapes import ConvLayerShape, fc_shape
+from repro.cnn.stats import kernel_size_stats, psum_workload, vector_size_histogram
+from repro.cnn.zoo import (
+    EVALUATION_MODELS,
+    MODEL_BUILDERS,
+    TABLE2_MODELS,
+    build_model,
+)
+
+
+class TestConvLayerShape:
+    def test_vector_size_standard(self):
+        l = ConvLayerShape("c", 64, 128, 3, 1, 1, 56, 56)
+        assert l.vector_size == 3 * 3 * 64
+
+    def test_vector_size_depthwise(self):
+        l = ConvLayerShape("dw", 96, 96, 3, 1, 1, 28, 28, groups=96)
+        assert l.vector_size == 9  # D = 1 per group
+
+    def test_vdp_and_mac_counts(self):
+        l = ConvLayerShape("c", 3, 64, 7, 2, 3, 224, 224)
+        assert l.out_hw == (112, 112)
+        assert l.n_vdps == 112 * 112 * 64
+        assert l.macs == l.n_vdps * 147
+
+    def test_fc_shape(self):
+        l = fc_shape("fc", 2048, 1000)
+        assert l.vector_size == 2048
+        assert l.n_vdps == 1000
+        assert l.is_fc
+
+    def test_inner_1x1_conv_is_not_fc(self):
+        l = ConvLayerShape("pw", 64, 128, 1, 1, 0, 56, 56)
+        assert not l.is_fc
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvLayerShape("bad", 0, 1, 3, 1, 1, 8, 8)
+        with pytest.raises(ValueError):
+            ConvLayerShape("bad", 4, 6, 3, 1, 1, 8, 8, groups=4)
+
+
+class TestZooStructure:
+    def test_all_models_build(self):
+        for name in MODEL_BUILDERS:
+            m = build_model(name)
+            assert len(m.layers) > 10
+            assert m.total_macs > 1e8
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            build_model("AlexNet")
+
+    def test_resnet50_structure(self):
+        m = build_model("ResNet50")
+        # 1 stem + 16 bottlenecks x 3 convs + 4 downsamples + 1 fc = 54
+        assert len(m.layers) == 54
+        assert m.max_vector_size() == 4608  # the paper's S example
+        assert m.total_macs == pytest.approx(4.1e9, rel=0.05)
+
+    def test_googlenet_structure(self):
+        m = build_model("GoogleNet")
+        # 3 stem convs + 9 inceptions x 6 convs + 1 fc = 58
+        assert len(m.layers) == 58
+        assert m.total_macs == pytest.approx(1.58e9, rel=0.05)
+
+    def test_vgg16_structure(self):
+        m = build_model("VGG16")
+        assert len(m.layers) == 16  # 13 convs + 3 fc
+        assert m.total_macs == pytest.approx(15.5e9, rel=0.05)
+        assert m.max_vector_size() == 25088  # fc6
+
+    def test_densenet_structure(self):
+        m = build_model("DenseNet")
+        # 1 stem + 58 dense layers x 2 + 3 transitions + 1 fc = 121 named
+        assert len(m.layers) == 1 + 58 * 2 + 3 + 1
+        assert m.total_macs == pytest.approx(2.85e9, rel=0.05)
+
+    def test_mobilenet_depthwise_dominates(self):
+        m = build_model("MobileNet_V2")
+        hist = vector_size_histogram(m)
+        assert hist.get(9, 0) > 1000  # depthwise kernels with S=9
+        assert m.total_macs == pytest.approx(0.3e9, rel=0.1)
+
+    def test_shufflenet_structure(self):
+        m = build_model("ShuffleNet_V2")
+        assert m.total_macs == pytest.approx(0.19e9, rel=0.15)
+        hist = vector_size_histogram(m)
+        assert hist.get(9, 0) > 1000
+
+    def test_input_hw_parameter(self):
+        small = build_model("VGG16", input_hw=32)
+        assert small.total_macs < build_model("VGG16").total_macs
+
+
+class TestTable2Stats:
+    """Our S>44 kernel counts match paper Table II within a few percent."""
+
+    PAPER = {
+        "ResNet50": (1, 26562),
+        "GoogleNet": (13, 7554),
+        "VGG16": (69, 4168),
+        "DenseNet": (1, 10242),
+    }
+
+    @pytest.mark.parametrize("name", TABLE2_MODELS)
+    def test_large_kernel_counts_close_to_paper(self, name):
+        stats = kernel_size_stats(name)  # exclude_fc=True convention
+        _, paper_large = self.PAPER[name]
+        assert stats.large_kernels == pytest.approx(paper_large, rel=0.05)
+
+    def test_over_98_percent_need_large_vdpes(self):
+        """Section III-B: >98 % of kernels have S > 44 for these CNNs."""
+        for name in ["ResNet50", "VGG16", "DenseNet"]:
+            stats = kernel_size_stats(name)
+            assert stats.large_fraction > 0.98
+
+    def test_small_models_have_many_small_kernels(self):
+        for name in ["MobileNet_V2", "ShuffleNet_V2"]:
+            stats = kernel_size_stats(name)
+            assert stats.small_kernels > 1000  # depthwise-heavy
+
+    def test_threshold_parameter(self):
+        all_small = kernel_size_stats("VGG16", threshold=10**6)
+        assert all_small.large_kernels == 0
+
+
+class TestPsumWorkload:
+    def test_sconna_needs_fewer_pieces(self):
+        at_176 = psum_workload("ResNet50", 176)
+        at_22 = psum_workload("ResNet50", 22)
+        assert at_22["total_pieces"] > 6 * at_176["total_pieces"]
+
+    def test_eval_model_list(self):
+        assert set(EVALUATION_MODELS) <= set(MODEL_BUILDERS)
+        assert len(EVALUATION_MODELS) == 4

@@ -1,0 +1,83 @@
+"""Tests for the SCONNA configuration and its derived quantities."""
+
+import pytest
+
+from repro.core.config import SconnaConfig
+
+
+class TestDefaults:
+    def test_paper_design_point(self):
+        cfg = SconnaConfig()
+        assert cfg.precision_bits == 8
+        assert cfg.vdpe_size == 176
+        assert cfg.bitrate_hz == 30e9
+        assert cfg.total_vdpes == 1024  # 16 tiles x 4 VDPCs x 16 VDPEs
+
+    def test_stream_geometry(self):
+        cfg = SconnaConfig()
+        assert cfg.stream_length == 256
+        assert cfg.stream_duration_s == pytest.approx(256 / 30e9)
+
+    def test_issue_interval_is_stream_dominated(self):
+        cfg = SconnaConfig()
+        assert cfg.vdp_issue_interval_s == pytest.approx(cfg.stream_duration_s)
+
+    def test_pipeline_latency_sums_stages(self):
+        cfg = SconnaConfig()
+        expected = 2e-9 + 2e-9 + 0.03e-9 + 256 / 30e9 + 0.78e-9
+        assert cfg.vdp_pipeline_latency_s == pytest.approx(expected)
+
+    def test_low_precision_issue_lut_dominated(self):
+        # at B=4 the 16-bit stream (0.53 ns) is shorter than LUT access
+        cfg = SconnaConfig(precision_bits=4)
+        assert cfg.vdp_issue_interval_s == pytest.approx(cfg.lut_latency_s)
+
+
+class TestPcaAccumulation:
+    def test_capacity_exceeds_one_full_pass(self):
+        cfg = SconnaConfig()
+        assert cfg.pca_capacity_ones > 176 * 256
+
+    def test_paper_design_activity_gives_4_passes(self):
+        assert SconnaConfig().pca_accumulation_passes == 4
+
+    def test_worst_case_activity_single_pass(self):
+        cfg = SconnaConfig(pca_design_activity=1.0)
+        assert cfg.pca_accumulation_passes == 1
+
+    def test_electrical_psums_resnet_vector(self):
+        # S=4608: 27 optical pieces -> 7 electrical psums at 4 passes.
+        cfg = SconnaConfig()
+        assert cfg.electrical_psums(4608) == 7
+
+    def test_electrical_psums_small_vector(self):
+        cfg = SconnaConfig()
+        assert cfg.electrical_psums(9) == 1  # depthwise conv: one pass
+        assert cfg.electrical_psums(176) == 1
+        assert cfg.electrical_psums(177) == 1  # 2 passes, 1 readout
+
+    def test_electrical_psums_validation(self):
+        with pytest.raises(ValueError):
+            SconnaConfig().electrical_psums(0)
+
+
+class TestValidationAndOverrides:
+    def test_invalid_fields_rejected(self):
+        with pytest.raises(ValueError):
+            SconnaConfig(precision_bits=0)
+        with pytest.raises(ValueError):
+            SconnaConfig(vdpe_size=0)
+        with pytest.raises(ValueError):
+            SconnaConfig(bitrate_hz=0)
+        with pytest.raises(ValueError):
+            SconnaConfig(pca_design_activity=0.0)
+
+    def test_with_overrides(self):
+        cfg = SconnaConfig().with_overrides(vdpe_size=44, bitrate_hz=10e9)
+        assert cfg.vdpe_size == 44
+        assert cfg.bitrate_hz == 10e9
+        assert cfg.precision_bits == 8  # untouched
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SconnaConfig().vdpe_size = 10  # type: ignore[misc]

@@ -1,0 +1,120 @@
+"""Tests for the OSM and PCA component models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SconnaConfig
+from repro.core.osm import OpticalStochasticMultiplier
+from repro.core.pca import PhotoChargeAccumulator, SignedPcaPair
+
+operand8 = st.integers(min_value=0, max_value=255)
+
+
+@pytest.fixture(scope="module")
+def osm():
+    return OpticalStochasticMultiplier()
+
+
+class TestOsm:
+    def test_count_matches_streams(self, osm):
+        for ib, wb in [(0, 0), (255, 255), (200, 100), (1, 255)]:
+            assert osm.multiply(ib, wb) == osm.multiply_streams(ib, wb)
+
+    def test_optical_path_agrees(self, osm):
+        """Device-level transient == count-domain result at 30 Gb/s."""
+        for ib, wb in [(200, 100), (37, 220), (255, 3)]:
+            assert osm.multiply_optical(ib, wb) == osm.multiply(ib, wb)
+
+    @given(operand8, operand8)
+    @settings(max_examples=40, deadline=None)
+    def test_stream_path_equivalence_property(self, ib, wb):
+        osm = OpticalStochasticMultiplier()
+        assert osm.multiply_streams(ib, wb) == (ib * wb) // 256
+
+    def test_timing_breakdown(self, osm):
+        t = osm.timing()
+        assert t.stream_s == pytest.approx(256 / 30e9)
+        assert t.total_s == pytest.approx(
+            2e-9 + 2e-9 + 0.03e-9 + 256 / 30e9
+        )
+
+    def test_configured_bitrate_within_envelope(self, osm):
+        assert osm.supported_bitrate_ok()
+
+    def test_too_narrow_ring_fails_envelope(self):
+        cfg = SconnaConfig(oag_fwhm_nm=0.1)
+        osm = OpticalStochasticMultiplier(cfg)
+        assert not osm.supported_bitrate_ok()
+
+
+class TestPca:
+    def test_accumulate_and_ideal_drain(self):
+        pca = PhotoChargeAccumulator()
+        pca.accumulate(100)
+        pca.accumulate(50)
+        assert pca.pending_ones == 150
+        assert pca.drain() == 150
+        assert pca.pending_ones == 0
+
+    def test_readout_resets(self):
+        pca = PhotoChargeAccumulator(seed=0)
+        pca.accumulate(1000)
+        r = pca.readout()
+        assert pca.pending_ones == 0
+        assert not r.saturated
+        assert r.ones_accumulated == 1000
+
+    def test_readout_voltage_proportional(self):
+        pca = PhotoChargeAccumulator(seed=0)
+        pca.accumulate(1000)
+        v1 = pca.readout().analog_voltage_v
+        pca.accumulate(2000)
+        v2 = pca.readout().analog_voltage_v
+        assert v2 == pytest.approx(2 * v1, rel=1e-9)
+
+    def test_adc_error_near_calibrated_mape(self):
+        pca = PhotoChargeAccumulator(seed=3)
+        errs = []
+        for _ in range(3000):
+            pca.accumulate(10_000)
+            errs.append(abs(pca.readout().converted_count - 10_000) / 10_000)
+        assert np.mean(errs) == pytest.approx(0.013, rel=0.15)
+
+    def test_saturation_flagged(self):
+        cfg = SconnaConfig()
+        pca = PhotoChargeAccumulator(cfg, seed=0)
+        pca.accumulate(cfg.pca_capacity_ones + 1000)
+        r = pca.readout()
+        assert r.saturated
+        assert r.converted_count <= cfg.pca_capacity_ones * 1.1
+
+    def test_would_saturate(self):
+        cfg = SconnaConfig()
+        pca = PhotoChargeAccumulator(cfg)
+        assert not pca.would_saturate(cfg.pca_capacity_ones)
+        pca.accumulate(cfg.pca_capacity_ones)
+        assert pca.would_saturate(1)
+
+    def test_negative_ones_rejected(self):
+        with pytest.raises(ValueError):
+            PhotoChargeAccumulator().accumulate(-1)
+
+
+class TestSignedPair:
+    def test_signed_readout_ideal(self):
+        pair = SignedPcaPair()
+        pair.accumulate(500, 200)
+        assert pair.drain_signed_ideal() == 300
+
+    def test_signed_readout_noisy_close(self):
+        pair = SignedPcaPair(seed=1)
+        pair.accumulate(20_000, 5_000)
+        out = pair.readout_signed()
+        assert abs(out - 15_000) < 1500
+
+    def test_pending_tracks_both(self):
+        pair = SignedPcaPair()
+        pair.accumulate(7, 3)
+        assert pair.pending() == (7, 3)

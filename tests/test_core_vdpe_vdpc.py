@@ -1,0 +1,161 @@
+"""Tests for the SCONNA VDPE/VDPC and the Section V scalability report."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SconnaConfig
+from repro.core.scalability import (
+    analyze_scalability,
+    psum_counts_for_vector,
+    stream_bits_vs_precision,
+    sweep_max_n_vs_laser_power,
+)
+from repro.core.vdpc import SconnaVDPC
+from repro.core.vdpe import SconnaVDPE
+
+
+def rand_vectors(size, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, 257, size=size),
+        rng.integers(-256, 257, size=size),
+    )
+
+
+class TestVdpe:
+    def test_matches_exact_reference_no_noise(self):
+        i, w = rand_vectors(4608, seed=1)
+        v = SconnaVDPE()
+        res = v.compute_vdp(i, w, apply_adc_error=False)
+        assert res.signed_count == SconnaVDPE.exact_reference(i, w, 8)
+
+    def test_pass_and_psum_counts_resnet_vector(self):
+        i, w = rand_vectors(4608, seed=2)
+        res = SconnaVDPE().compute_vdp(i, w, apply_adc_error=False)
+        assert res.optical_passes == 27  # ceil(4608/176)
+        assert res.electrical_psums == 7  # ceil(27/4)
+
+    def test_single_piece_vector(self):
+        i, w = rand_vectors(100, seed=3)
+        res = SconnaVDPE().compute_vdp(i, w, apply_adc_error=False)
+        assert res.optical_passes == 1
+        assert res.electrical_psums == 1
+
+    def test_latency_grows_with_vector_size(self):
+        v = SconnaVDPE()
+        short = v.compute_vdp(*rand_vectors(100, 4), apply_adc_error=False)
+        long = v.compute_vdp(*rand_vectors(2000, 4), apply_adc_error=False)
+        assert long.latency_s > short.latency_s
+
+    def test_noisy_result_close_to_exact(self):
+        i = np.full(4608, 128)
+        w = np.full(4608, 128)
+        exact = SconnaVDPE.exact_reference(i, w, 8)
+        res = SconnaVDPE(seed=7).compute_vdp(i, w)
+        assert abs(res.signed_count - exact) / exact < 0.05
+
+    def test_input_validation(self):
+        v = SconnaVDPE()
+        with pytest.raises(ValueError):
+            v.compute_vdp(np.array([1, 2]), np.array([1]))
+        with pytest.raises(ValueError):
+            v.compute_vdp(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            v.compute_piece(np.arange(200), np.arange(200))  # > N
+
+    @given(st.integers(min_value=1, max_value=600))
+    @settings(max_examples=25, deadline=None)
+    def test_reference_equivalence_property(self, size):
+        i, w = rand_vectors(size, seed=size)
+        res = SconnaVDPE().compute_vdp(i, w, apply_adc_error=False)
+        assert res.signed_count == SconnaVDPE.exact_reference(i, w, 8)
+
+    def test_multi_pass_grouping_vs_single_pass_config(self):
+        """pca_design_activity=1 forces one readout per optical pass."""
+        i, w = rand_vectors(1000, seed=9)
+        grouped = SconnaVDPE(SconnaConfig()).compute_vdp(i, w, False)
+        single = SconnaVDPE(
+            SconnaConfig(pca_design_activity=1.0)
+        ).compute_vdp(i, w, False)
+        assert grouped.signed_count == single.signed_count
+        assert grouped.electrical_psums < single.electrical_psums
+        assert single.electrical_psums == single.optical_passes
+
+
+class TestVdpc:
+    def test_batch_runs_per_arm(self):
+        vdpc = SconnaVDPC()
+        ivs = [rand_vectors(300, s)[0] for s in range(4)]
+        wvs = [rand_vectors(300, s)[1] for s in range(4)]
+        out = vdpc.compute_batch(ivs, wvs, apply_adc_error=False)
+        assert out.signed_counts.shape == (4,)
+        for k in range(4):
+            assert out.signed_counts[k] == SconnaVDPE.exact_reference(
+                ivs[k], wvs[k], 8
+            )
+
+    def test_batch_size_bounds(self):
+        vdpc = SconnaVDPC()
+        i, w = rand_vectors(10)
+        with pytest.raises(ValueError):
+            vdpc.compute_batch([], [])
+        with pytest.raises(ValueError):
+            vdpc.compute_batch([i] * 17, [w] * 17)
+        with pytest.raises(ValueError):
+            vdpc.compute_batch([i, i], [w])
+
+    def test_link_budget_closes_at_design_point(self):
+        vdpc = SconnaVDPC()
+        # N=176, M=16: splitter loses less than the M=N=176 worst case,
+        # so the budget closes with margin at -30 dBm.
+        assert vdpc.link_budget().closes(-30.0)
+
+    def test_laser_power(self):
+        vdpc = SconnaVDPC()
+        # 176 diodes x 10 mW optical / 0.1 WPE = 17.6 W electrical
+        assert vdpc.laser_electrical_power_w() == pytest.approx(17.6)
+
+    def test_wavelength_comb(self):
+        w = SconnaVDPC().wavelengths_nm()
+        assert w.size == 176
+        assert np.allclose(np.diff(w), 0.25)
+
+    def test_oversized_vdpe_rejected(self):
+        with pytest.raises(ValueError):
+            SconnaVDPC(SconnaConfig(vdpe_size=201))
+
+
+class TestScalabilityReport:
+    def test_paper_numbers(self):
+        rep = analyze_scalability()
+        assert rep.paper_published_n == 176
+        assert rep.max_n_at_minus_30_dbm == 176
+        assert 120 <= rep.max_n_at_paper_sensitivity <= 150
+        assert rep.max_bitrate_at_fwhm_hz >= 30e9
+        assert rep.pca_linear_at_full_scale
+        assert rep.pca_accumulation_passes == 4
+        assert rep.pca_capacity_ones > rep.pca_full_scale_ones
+
+    def test_psum_counts_table(self):
+        d = psum_counts_for_vector(4608)
+        assert d["optical_passes"] == 27
+        assert d["electrical_psums"] == 7
+        assert d["mam_psums_8bit"] == 420
+        assert d["amm_psums_8bit"] == 576
+        with pytest.raises(ValueError):
+            psum_counts_for_vector(0)
+
+    def test_laser_power_sweep_monotone(self):
+        out = sweep_max_n_vs_laser_power([4.0, 7.0, 10.0, 13.0])
+        ns = [n for _, n in out]
+        assert ns == sorted(ns)
+        assert ns[-1] > ns[0]
+
+    def test_stream_bits_exponential(self):
+        rows = stream_bits_vs_precision(10)
+        assert rows[0] == (1, 2)
+        assert rows[7] == (8, 256)
+        with pytest.raises(ValueError):
+            stream_bits_vs_precision(0)

@@ -1,0 +1,142 @@
+"""Tests for SCC correlation and the OSM lookup table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stochastic.bitstream import Bitstream
+from repro.stochastic.correlation import (
+    and_multiplication_error,
+    mean_pairwise_error,
+    scc,
+)
+from repro.stochastic.lut import OsmLookupTable, lut_storage_report
+from repro.stochastic.sng import bresenham_spread, unary_prefix
+
+
+class TestScc:
+    def test_identical_streams_scc_plus_one(self):
+        s = unary_prefix(100, 256)
+        assert scc(s, s) == pytest.approx(1.0)
+
+    def test_complementary_streams_scc_minus_one(self):
+        s = unary_prefix(128, 256)
+        assert scc(s, ~s) == pytest.approx(-1.0)
+
+    def test_unary_bresenham_nearly_zero(self):
+        a = unary_prefix(128, 256)
+        b = bresenham_spread(85, 256)
+        assert abs(scc(a, b)) < 0.05
+
+    def test_constant_stream_defined_as_zero(self):
+        ones = Bitstream(np.ones(64, dtype=np.uint8))
+        s = unary_prefix(30, 64)
+        assert scc(ones, s) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            scc(unary_prefix(1, 8), unary_prefix(1, 16))
+
+    @given(
+        st.integers(min_value=1, max_value=255),
+        st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scc_bounded(self, a, b):
+        assert -1.0 <= scc(unary_prefix(a, 256), bresenham_spread(b, 256)) <= 1.0
+
+
+class TestMultiplicationError:
+    def test_uncorrelated_error_below_floor_bound(self):
+        a = unary_prefix(200, 256)
+        b = bresenham_spread(100, 256)
+        # floor rounding: at most 1/256 absolute error on values
+        assert and_multiplication_error(a, b) <= 1 / 256
+
+    def test_correlated_error_large(self):
+        a = unary_prefix(128, 256)
+        b = unary_prefix(128, 256)
+        # min(0.5,0.5)=0.5 vs product 0.25 -> error 0.25
+        assert and_multiplication_error(a, b) == pytest.approx(0.25)
+
+    def test_mean_pairwise(self):
+        pairs = [
+            (unary_prefix(50, 256), bresenham_spread(60, 256)),
+            (unary_prefix(200, 256), bresenham_spread(10, 256)),
+        ]
+        assert 0.0 <= mean_pairwise_error(pairs) <= 1 / 256
+
+    def test_mean_pairwise_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_pairwise_error([])
+
+
+class TestOsmLookupTable:
+    def test_paper_geometry_8bit(self):
+        """Section IV-B: 2^B entries, each two 2^B-bit vectors."""
+        lut = OsmLookupTable(8)
+        assert lut.n_entries == 256
+        assert lut.entry_bits == 512
+        assert lut.total_storage_bits == 256 * 512
+
+    def test_storage_report(self):
+        rep = lut_storage_report(8)
+        assert rep["total_bytes"] == 16 * 1024  # 16 KiB per OSM
+
+    def test_fetch_returns_correct_densities(self):
+        lut = OsmLookupTable(6)
+        i_s, w_s = lut.fetch(17, 40)
+        assert i_s.popcount == 17
+        assert w_s.popcount == 40
+
+    def test_fetch_product_exact(self):
+        lut = OsmLookupTable(8)
+        for ib, wb in [(0, 0), (255, 255), (128, 64), (3, 200)]:
+            assert lut.fetch_product_count(ib, wb) == (ib * wb) // 256
+
+    def test_xor_hash(self):
+        lut = OsmLookupTable(4)
+        assert lut.xor_hash(0b1010, 0b0110) == 0b1100
+
+    def test_operand_range_enforced(self):
+        lut = OsmLookupTable(4)
+        with pytest.raises(ValueError):
+            lut.fetch(16, 0)
+        with pytest.raises(ValueError):
+            lut.xor_hash(0, 16)
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            OsmLookupTable(0)
+        with pytest.raises(ValueError):
+            OsmLookupTable(17)
+
+    @given(st.integers(min_value=0, max_value=63), st.integers(min_value=0, max_value=63))
+    @settings(max_examples=60, deadline=None)
+    def test_all_pairs_multiply_exactly_6bit(self, ib, wb):
+        """Product exactness holds for *every* operand pair."""
+        lut = OsmLookupTable(6)
+        assert lut.fetch_product_count(ib, wb) == (ib * wb) // 64
+
+    @given(st.integers(min_value=0, max_value=63), st.integers(min_value=0, max_value=63))
+    @settings(max_examples=40, deadline=None)
+    def test_pairs_uncorrelated_up_to_floor_6bit(self, ib, wb):
+        """Joint density deviates from independence by at most one count.
+
+        This is the precise 'uncorrelated' statement for finite streams:
+        |p11 - p1*p2| <= 1/L (pure floor rounding).  The SCC *ratio* can
+        look large at short lengths because its denominator shrinks with
+        density, so we assert the underlying deviation instead.
+        """
+        lut = OsmLookupTable(6)
+        i_s, w_s = lut.fetch(ib, wb)
+        assert and_multiplication_error(i_s, w_s) <= 1 / 64
+
+    def test_8bit_midrange_scc_small(self):
+        """At the paper's L=256, mid-range SCC is near zero."""
+        lut = OsmLookupTable(8)
+        vals = [(128, 85), (200, 50), (64, 192), (100, 100)]
+        for ib, wb in vals:
+            i_s, w_s = lut.fetch(ib, wb)
+            assert abs(scc(i_s, w_s)) < 0.1

@@ -1,0 +1,197 @@
+"""Cross-module integration tests.
+
+Each test exercises a chain that crosses at least two subpackages,
+locking the contracts the experiment harnesses rely on:
+
+photonics -> core        (device envelopes feed the design point)
+stochastic -> core       (bit-true streams == VDPE count domain)
+core -> cnn              (VDPE results == quantized conv outputs)
+cnn -> arch              (zoo shapes drive the simulator consistently)
+arch end-to-end          (event kernel + designs + NoC agree)
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch.designs import build_evaluated_designs, sconna_design
+from repro.arch.simulator import AcceleratorSimulator, simulate_inference
+from repro.cnn.functional import conv2d, im2col
+from repro.cnn.shapes import ConvLayerShape, ModelDescriptor
+from repro.cnn.stats import psum_workload
+from repro.cnn.zoo import build_model
+from repro.core.config import SconnaConfig
+from repro.core.osm import OpticalStochasticMultiplier
+from repro.core.vdpe import SconnaVDPE
+from repro.photonics.oag import max_bitrate_for_fwhm
+from repro.stochastic.arithmetic import sc_products
+from repro.utils.rng import make_rng
+
+
+class TestDeviceToDesignPoint:
+    def test_design_bitrate_inside_device_envelope(self):
+        """The SconnaConfig operating point must be physically reachable
+        by its own OAG (Fig 7a envelope)."""
+        cfg = SconnaConfig()
+        assert max_bitrate_for_fwhm(cfg.oag_fwhm_nm) >= cfg.bitrate_hz
+
+    def test_design_n_inside_budget(self):
+        """N=176 with M=16 closes the Eq. 4 budget with margin."""
+        from repro.photonics.link_budget import sconna_vdpc_budget
+
+        cfg = SconnaConfig()
+        budget = sconna_vdpc_budget(
+            cfg.vdpe_size, cfg.vdpes_per_vdpc, cfg.laser_power_dbm
+        )
+        assert budget.closes(-30.0)
+
+    def test_osm_device_matches_count_domain_at_design_point(self):
+        """Full ring transient == arithmetic for random operands."""
+        osm = OpticalStochasticMultiplier()
+        rng = make_rng(3)
+        for _ in range(10):
+            ib = int(rng.integers(0, 256))
+            wb = int(rng.integers(0, 256))
+            assert osm.multiply_optical(ib, wb) == osm.multiply(ib, wb)
+
+
+class TestVdpeEqualsQuantizedConv:
+    def test_conv_output_via_vdpe_pipeline(self):
+        """One conv output pixel computed by a SCONNA VDPE equals the
+        count-domain result of the quantized convolution."""
+        rng = make_rng(5)
+        x_q = rng.integers(0, 257, size=(8, 6, 6))       # quantized acts
+        w_q = rng.integers(-256, 257, size=(4, 8, 3, 3))  # quantized weights
+        cols = im2col(x_q, 3, 1, 1)                       # (72, 36)
+        vdpe = SconnaVDPE()
+        for l in range(4):
+            for p in (0, 17, 35):
+                i_vec = cols[:, p]
+                w_vec = w_q[l].reshape(-1)
+                res = vdpe.compute_vdp(i_vec, w_vec, apply_adc_error=False)
+                expected = int(sc_products(i_vec, w_vec, 8).sum())
+                assert res.signed_count == expected
+
+    def test_count_domain_tracks_float_conv(self):
+        """Dequantized SC conv approximates the float conv."""
+        rng = make_rng(6)
+        x = rng.uniform(0, 1, size=(3, 8, 8))
+        w = rng.normal(0, 0.2, size=(2, 3, 3, 3))
+        from repro.cnn.quantize import (
+            calibrate_activation,
+            calibrate_weight,
+            quantize,
+        )
+
+        act = calibrate_activation(x, percentile=100.0)
+        wq = calibrate_weight(w)
+        x_q = quantize(x, act)
+        w_q = quantize(w, wq)
+        cols = im2col(x_q, 3, 1, 1)  # (27, 64) with padding 1 on 8x8
+        n_pos = cols.shape[1]
+        sc_out = np.zeros((2, n_pos))
+        for l in range(2):
+            for p in range(n_pos):
+                sc_out[l, p] = sc_products(cols[:, p], w_q[l].ravel(), 8).sum()
+        sc_float = sc_out.reshape(2, 8, 8) * act.scale * wq.scale * 256
+        ref = conv2d(x, w, padding=1)
+        err = np.abs(sc_float - ref)
+        assert err.mean() < 0.05 * np.abs(ref).mean() + 0.02
+
+
+class TestZooToSimulator:
+    def test_workload_invariant_pieces(self):
+        """The simulator's per-layer piece counts agree with the stats
+        module's independent accounting."""
+        design = sconna_design()
+        model = build_model("ShuffleNet_V2")
+        expected = psum_workload(model, design.vdpe_size)["total_pieces"]
+        total = sum(
+            layer.n_vdps * design.pieces(layer.vector_size)
+            for layer in model.layers
+        )
+        assert total == expected
+
+    def test_fps_scales_with_model_size(self):
+        """Smaller workloads run faster on every design."""
+        designs = build_evaluated_designs()
+        small = build_model("ShuffleNet_V2")
+        big = build_model("ResNet50")
+        for design in designs.values():
+            assert (
+                simulate_inference(design, small).fps
+                > simulate_inference(design, big).fps
+            )
+
+    def test_simulator_deterministic(self):
+        design = sconna_design()
+        model = build_model("MobileNet_V2")
+        a = simulate_inference(design, model)
+        b = simulate_inference(design, model)
+        assert a.latency_s == b.latency_s
+        assert a.energy_j == b.energy_j
+
+    def test_more_vdpes_never_slower(self):
+        """Scaling the SCONNA array up cannot reduce FPS."""
+        model = build_model("GoogleNet")
+        small = sconna_design(SconnaConfig(n_tiles=16))
+        # 64 tiles => 4096 VDPEs (same tile organisation)
+        big = sconna_design(SconnaConfig(n_tiles=64))
+        assert (
+            simulate_inference(big, model).fps
+            >= simulate_inference(small, model).fps
+        )
+
+
+class TestFailureInjection:
+    def test_pca_saturation_detected_on_overload(self):
+        """Driving a VDPE beyond its PCA capacity flags saturation."""
+        from repro.core.pca import PhotoChargeAccumulator
+
+        cfg = SconnaConfig()
+        pca = PhotoChargeAccumulator(cfg, seed=0)
+        pca.accumulate(2 * cfg.pca_capacity_ones)
+        out = pca.readout()
+        assert out.saturated
+        assert out.converted_count <= cfg.pca_capacity_ones * 1.05
+
+    def test_skirt_leakage_degrades_accuracy_monotonically(self):
+        """Optical crosstalk (skirt leakage) inflates counts."""
+        from repro.stochastic.error_models import SconnaErrorModel
+
+        counts = np.full(1000, 5000.0)
+        slots = np.full(1000, 20000.0)
+        clean = SconnaErrorModel(adc_mape=0.0, skirt_leakage=0.0)
+        leaky = SconnaErrorModel(adc_mape=0.0, skirt_leakage=0.05)
+        c = clean.apply_to_counts(counts)
+        l = leaky.apply_to_counts(counts, skirt_slots=slots)
+        assert (l > c).all()
+        assert l.mean() == pytest.approx(6000.0, rel=0.01)
+
+    def test_degenerate_layer_shapes_rejected_early(self):
+        with pytest.raises(ValueError):
+            ConvLayerShape("bad", 3, 8, 9, 1, 0, 4, 4)  # kernel > input
+
+    def test_simulator_handles_single_layer_model(self):
+        m = ModelDescriptor("one")
+        m.add(ConvLayerShape("only", 3, 8, 3, 1, 1, 8, 8))
+        res = simulate_inference(sconna_design(), m)
+        assert res.latency_s > 0
+        assert len(res.layers) == 1
+
+
+class TestEventDrivenPath:
+    def test_simulator_uses_event_kernel(self):
+        """Layer sequencing goes through the DES kernel."""
+        design = sconna_design()
+        sim = AcceleratorSimulator(design)
+        model = build_model("ShuffleNet_V2")
+        res = sim.simulate(model)
+        assert res.log.counts["layers"] == len(model.layers)
+
+    def test_reduction_resource_idle_for_sconna(self):
+        design = sconna_design()
+        sim = AcceleratorSimulator(design)
+        m = ModelDescriptor("t")
+        m.add(ConvLayerShape("c", 64, 64, 3, 1, 1, 8, 8))
+        res = sim.simulate(m)
+        assert all(l.reduction_s == 0.0 for l in res.layers)

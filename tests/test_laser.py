@@ -1,0 +1,56 @@
+"""Tests for the laser diode array and DWDM grid."""
+
+import numpy as np
+import pytest
+
+from repro.photonics.laser import DwdmGrid, LaserDiode, laser_array_power_w
+
+
+class TestLaserDiode:
+    def test_table_iii_power(self):
+        ld = LaserDiode()
+        assert ld.power_dbm == 10.0
+        assert ld.optical_power_w == pytest.approx(10e-3)
+
+    def test_wall_plug_efficiency(self):
+        ld = LaserDiode(power_dbm=10.0, eta_wpe=0.1)
+        assert ld.electrical_power_w == pytest.approx(0.1)
+
+    def test_invalid_wpe_rejected(self):
+        with pytest.raises(ValueError):
+            _ = LaserDiode(eta_wpe=0.0).electrical_power_w
+
+
+class TestDwdmGrid:
+    def test_paper_capacity_200(self):
+        assert DwdmGrid().max_channels() == 200
+
+    def test_wavelengths_centered_and_spaced(self):
+        grid = DwdmGrid()
+        w = grid.wavelengths_nm(176)
+        assert w.size == 176
+        assert np.allclose(np.diff(w), 0.25)
+        assert w.mean() == pytest.approx(grid.center_nm)
+
+    def test_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            DwdmGrid().wavelengths_nm(201)
+
+    def test_positive_channel_count_required(self):
+        with pytest.raises(ValueError):
+            DwdmGrid().wavelengths_nm(0)
+
+    def test_all_unique(self):
+        w = DwdmGrid().wavelengths_nm(200)
+        assert np.unique(w).size == 200
+
+
+class TestLaserArray:
+    def test_array_power_scales(self):
+        opt, elec = laser_array_power_w(176)
+        assert opt == pytest.approx(176 * 10e-3)
+        assert elec == pytest.approx(176 * 0.1)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            laser_array_power_w(0)

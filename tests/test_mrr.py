@@ -1,0 +1,114 @@
+"""Tests for the microring resonator device model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.photonics.mrr import MicroringResonator, max_dwdm_channels
+
+
+class TestLorentzianResponse:
+    def test_peak_on_resonance(self):
+        ring = MicroringResonator(drop_loss_db=0.0)
+        assert ring.drop_transmission(ring.resonance_nm) == pytest.approx(1.0)
+
+    def test_drop_loss_scales_peak(self):
+        ring = MicroringResonator(drop_loss_db=3.0103)
+        assert ring.drop_transmission(ring.resonance_nm) == pytest.approx(0.5, rel=1e-4)
+
+    def test_half_power_at_half_fwhm(self):
+        ring = MicroringResonator(fwhm_nm=0.8, drop_loss_db=0.0)
+        t = ring.drop_transmission(ring.resonance_nm + 0.4)
+        assert t == pytest.approx(0.5, rel=1e-6)
+
+    def test_symmetric_about_resonance(self):
+        ring = MicroringResonator(fwhm_nm=0.5)
+        up = ring.drop_transmission(ring.resonance_nm + 0.3)
+        dn = ring.drop_transmission(ring.resonance_nm - 0.3)
+        assert up == pytest.approx(dn)
+
+    def test_monotone_decay_off_resonance(self):
+        ring = MicroringResonator(fwhm_nm=0.4)
+        dets = np.linspace(0, 5.0, 50)
+        t = ring.drop_transmission(ring.resonance_nm + dets)
+        assert (np.diff(t) < 0).all()
+
+    def test_fsr_periodicity(self):
+        ring = MicroringResonator(fsr_nm=50.0)
+        t0 = ring.drop_transmission(ring.resonance_nm + 0.1)
+        t1 = ring.drop_transmission(ring.resonance_nm + 0.1 + 50.0)
+        assert t0 == pytest.approx(t1, rel=1e-9)
+
+    def test_through_complements_drop(self):
+        ring = MicroringResonator(drop_loss_db=0.0, through_floor_db=60.0)
+        lam = ring.resonance_nm + np.linspace(-10, 10, 81)
+        drop = ring.drop_transmission(lam)
+        through = ring.through_transmission(lam)
+        assert np.all(drop + through <= 1.0 + 1e-6)
+        # far off resonance (many FWHM away), nearly all power passes
+        assert through[0] > 0.99
+
+    def test_extra_shift_moves_passband(self):
+        ring = MicroringResonator(fwhm_nm=0.4, drop_loss_db=0.0)
+        # shifting the resonance onto the probe restores the peak
+        probe = ring.resonance_nm + 0.8
+        assert ring.drop_transmission(probe) < 0.1
+        assert ring.drop_transmission(probe, extra_shift_nm=0.8) == pytest.approx(1.0)
+
+
+class TestRingProperties:
+    def test_quality_factor(self):
+        ring = MicroringResonator(resonance_nm=1550.0, fwhm_nm=0.8)
+        assert ring.quality_factor == pytest.approx(1550.0 / 0.8)
+
+    def test_photon_lifetime_vs_fwhm(self):
+        narrow = MicroringResonator(fwhm_nm=0.1)
+        wide = MicroringResonator(fwhm_nm=0.8)
+        assert narrow.photon_lifetime_s > wide.photon_lifetime_s
+        # 0.8 nm at 1550 nm -> ~1.6 ps
+        assert wide.photon_lifetime_s == pytest.approx(1.59e-12, rel=0.05)
+
+    def test_bandwidth_lifetime_product(self):
+        ring = MicroringResonator(fwhm_nm=0.4)
+        # tau_p * (2 pi f_3dB) == 1 by construction
+        assert ring.photon_lifetime_s * 2 * np.pi * ring.optical_bandwidth_hz == (
+            pytest.approx(1.0, rel=1e-6)
+        )
+
+    def test_program_to_sets_effective_resonance(self):
+        ring = MicroringResonator(resonance_nm=1550.0)
+        ring.program_to(1551.2)
+        assert ring.effective_resonance_nm == pytest.approx(1551.2)
+
+    def test_operand_shift_validation(self):
+        ring = MicroringResonator()
+        assert ring.operand_shift_nm(0) == 0.0
+        assert ring.operand_shift_nm(2) == pytest.approx(2 * ring.junction_shift_nm)
+        with pytest.raises(ValueError):
+            ring.operand_shift_nm(3)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            MicroringResonator(fwhm_nm=0.0)
+        with pytest.raises(ValueError):
+            MicroringResonator(fsr_nm=-1.0)
+        with pytest.raises(ValueError):
+            MicroringResonator(fwhm_nm=60.0, fsr_nm=50.0)
+
+    @given(st.floats(min_value=0.05, max_value=2.0))
+    def test_transmission_bounded(self, fwhm):
+        ring = MicroringResonator(fwhm_nm=fwhm)
+        lam = ring.resonance_nm + np.linspace(-25, 25, 101)
+        t = ring.drop_transmission(lam)
+        assert np.all((t >= 0.0) & (t <= 1.0))
+
+
+class TestDwdmCapacity:
+    def test_paper_channel_count(self):
+        # Section V-B: FSR 50 nm / 0.25 nm spacing = 200 channels.
+        assert max_dwdm_channels(50.0, 0.25) == 200
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ValueError):
+            max_dwdm_channels(50.0, 0.0)

@@ -1,0 +1,132 @@
+"""Tests for the receiver noise model (Eq. 3) and sensitivity solver (Eq. 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.photonics.photodetector import (
+    PhotodetectorParams,
+    bit_resolution,
+    noise_spectral_density_a_per_rthz,
+    photocurrent_a,
+    rms_noise_current_a,
+    snr_db,
+)
+from repro.photonics.sensitivity import (
+    max_resolution_bits,
+    sensitivity_curve_dbm,
+    solve_sensitivity_dbm,
+)
+from repro.utils.units import dbm_to_watts
+
+
+class TestNoiseModel:
+    def test_thermal_floor_dominates_at_low_power(self):
+        p = PhotodetectorParams()
+        beta = noise_spectral_density_a_per_rthz(0.0, p)
+        # 4kT/RL with T=300K, RL=50 ohm -> sqrt(3.31e-22) = 1.82e-11 A/rtHz
+        assert beta == pytest.approx(1.82e-11, rel=0.02)
+
+    def test_beta_grows_with_power(self):
+        p = PhotodetectorParams()
+        b0 = noise_spectral_density_a_per_rthz(1e-6, p)
+        b1 = noise_spectral_density_a_per_rthz(1e-3, p)
+        assert b1 > b0
+
+    def test_rin_dominates_at_high_power(self):
+        p = PhotodetectorParams()
+        power = 10e-3  # 10 mW on the PD
+        beta = noise_spectral_density_a_per_rthz(power, p)
+        rin_term = math.sqrt(
+            (p.responsivity_a_per_w * power) ** 2 * p.rin_linear_per_hz
+        )
+        assert rin_term / beta > 0.9
+
+    def test_photocurrent_responsivity(self):
+        p = PhotodetectorParams()
+        assert photocurrent_a(dbm_to_watts(-28.0), p) == pytest.approx(
+            1.2 * 1.585e-6, rel=1e-3
+        )
+
+    def test_negative_power_rejected(self):
+        p = PhotodetectorParams()
+        with pytest.raises(ValueError):
+            photocurrent_a(-1.0, p)
+        with pytest.raises(ValueError):
+            noise_spectral_density_a_per_rthz(-1.0, p)
+
+    def test_rms_noise_scales_sqrt_bandwidth(self):
+        p = PhotodetectorParams()
+        n1 = rms_noise_current_a(1e-6, 1e9, p)
+        n4 = rms_noise_current_a(1e-6, 4e9, p)
+        assert n4 == pytest.approx(2 * n1, rel=1e-9)
+
+    def test_snr_increases_with_power(self):
+        p = PhotodetectorParams()
+        assert snr_db(1e-5, 1e9, p) > snr_db(1e-6, 1e9, p)
+
+    @given(st.floats(min_value=-40, max_value=0), st.floats(min_value=1e8, max_value=1e11))
+    @settings(max_examples=50, deadline=None)
+    def test_bit_resolution_monotone_in_power(self, p_dbm, dr):
+        p = PhotodetectorParams()
+        assert bit_resolution(p_dbm + 3.0, dr, p) > bit_resolution(p_dbm, dr, p)
+
+
+class TestSensitivitySolver:
+    def test_solution_satisfies_eq2(self):
+        p = PhotodetectorParams()
+        s = solve_sensitivity_dbm(1.0, 30e9, p)
+        assert bit_resolution(s, 30e9, p) == pytest.approx(1.0, abs=1e-4)
+
+    def test_higher_rate_needs_more_power(self):
+        assert solve_sensitivity_dbm(1.0, 10e9) < solve_sensitivity_dbm(1.0, 40e9)
+
+    def test_more_bits_need_more_power(self):
+        assert solve_sensitivity_dbm(1.0, 5e9) < solve_sensitivity_dbm(4.0, 5e9)
+
+    def test_analog_multibit_vastly_harder_than_digital(self):
+        # SCONNA needs BRes=1; an analog VDPC resolving a summed output
+        # needs B + log2(N) bits on the same receiver.  In the thermal-
+        # limited regime each extra bit costs ~3 dB of optical power
+        # (6.02 dB electrical), so 6 extra bits cost ~18 dB.
+        digital = solve_sensitivity_dbm(1.0, 1e9)
+        analog = solve_sensitivity_dbm(7.0, 1e9)
+        assert analog - digital > 15.0
+
+    def test_analog_8bit_large_n_simply_unreachable(self):
+        # B=8 with N=16 would need 12 receiver bits at 5 GS/s - beyond
+        # the RIN ceiling entirely: the Section III motivation that N
+        # collapses to ~1 at 8-bit precision.
+        with pytest.raises(ValueError, match="unreachable"):
+            solve_sensitivity_dbm(12.0, 5e9)
+
+    def test_unreachable_resolution_raises(self):
+        # RIN-limited ceiling: ask for far more bits than the ceiling.
+        with pytest.raises(ValueError, match="unreachable"):
+            solve_sensitivity_dbm(20.0, 10e9)
+
+    def test_max_resolution_matches_ceiling(self):
+        p = PhotodetectorParams()
+        ceiling = max_resolution_bits(10e9, p)
+        # just below the ceiling must be solvable
+        s = solve_sensitivity_dbm(ceiling - 1.0, 10e9, p)
+        assert s < 30.0
+
+    def test_curve_is_monotone(self):
+        curve = sensitivity_curve_dbm(1.0, [1e9, 3e9, 5e9, 10e9])
+        assert curve == sorted(curve)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            solve_sensitivity_dbm(0.0, 1e9)
+        with pytest.raises(ValueError):
+            solve_sensitivity_dbm(1.0, 0.0)
+
+    @given(st.floats(min_value=1.0, max_value=6.0))
+    @settings(max_examples=20, deadline=None)
+    def test_sensitivity_monotone_in_bits(self, bits):
+        assert solve_sensitivity_dbm(bits, 5e9) <= solve_sensitivity_dbm(
+            bits + 0.5, 5e9
+        )

@@ -1,0 +1,153 @@
+"""Tests for SC arithmetic: multiply, unscaled add, VDP, and the
+bit-true == count-domain equivalence that the CNN simulations rely on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stochastic.arithmetic import (
+    exact_sc_product,
+    sc_products,
+    sc_vdp,
+    sc_vdp_bit_true,
+    sc_vdp_relative_error,
+    stochastic_multiply,
+    unscaled_add,
+)
+from repro.stochastic.bitstream import Bitstream
+from repro.stochastic.sng import generate_pair
+
+operand8 = st.integers(min_value=0, max_value=256)
+
+
+class TestMultiply:
+    def test_fig3_multiplication(self):
+        """Paper Fig. 3: I=4/8, W=6/8 -> AND has 3/8 = (4/8)*(6/8) ones."""
+        i = Bitstream(np.array([1, 0, 1, 0, 1, 0, 1, 0], dtype=np.uint8))
+        w = Bitstream(np.array([1, 1, 1, 1, 1, 1, 0, 0], dtype=np.uint8))
+        assert i.value == pytest.approx(4 / 8)
+        assert w.value == pytest.approx(6 / 8)
+        assert stochastic_multiply(i, w).value == pytest.approx(3 / 8)
+
+    @given(operand8, operand8)
+    @settings(max_examples=100, deadline=None)
+    def test_exact_product_matches_bit_true(self, ib, wb):
+        i_s, w_s = generate_pair(ib, wb, 256)
+        bit_true = stochastic_multiply(i_s, w_s).popcount
+        assert bit_true == exact_sc_product(ib, wb, 8)
+
+    def test_exact_product_floor_semantics(self):
+        assert exact_sc_product(255, 255, 8) == (255 * 255) // 256
+        assert exact_sc_product(1, 1, 8) == 0  # underflow to zero
+        assert exact_sc_product(256, 256, 8) == 256
+
+    def test_exact_product_range_check(self):
+        with pytest.raises(ValueError):
+            exact_sc_product(257, 1, 8)
+
+
+class TestUnscaledAdd:
+    def test_counts_all_ones(self):
+        streams = [Bitstream.from_int(k, 16) for k in (1, 2, 3)]
+        assert unscaled_add(streams) == 6
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            unscaled_add([])
+
+    def test_rejects_mixed_lengths(self):
+        with pytest.raises(ValueError):
+            unscaled_add([Bitstream.from_int(1, 8), Bitstream.from_int(1, 16)])
+
+
+class TestVectorisedProducts:
+    def test_signed_weights(self):
+        i = np.array([100, 100])
+        w = np.array([50, -50])
+        out = sc_products(i, w, 8)
+        assert out[0] == (100 * 50) // 256
+        assert out[1] == -((100 * 50) // 256)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            sc_products(np.array([300]), np.array([1]), 8)
+        with pytest.raises(ValueError):
+            sc_products(np.array([1]), np.array([-300]), 8)
+
+    @given(
+        st.lists(operand8, min_size=1, max_size=32),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_vdp_equals_bit_true_pipeline(self, i_vals, data):
+        """Count-domain VDP == physically AND-ing LUT streams, always."""
+        w_vals = data.draw(
+            st.lists(
+                st.integers(min_value=-256, max_value=256),
+                min_size=len(i_vals),
+                max_size=len(i_vals),
+            )
+        )
+        fast = sc_vdp(np.array(i_vals), np.array(w_vals), 8)
+        slow = sc_vdp_bit_true(i_vals, w_vals, 8)
+        assert fast == slow
+
+
+class TestVdp:
+    def test_sign_split_counts(self):
+        i = np.array([256, 256, 256])
+        w = np.array([256, -256, 256])
+        pos, neg = sc_vdp(i, w, 8)
+        assert pos == 512
+        assert neg == 256
+
+    def test_signed_result_is_difference(self):
+        rngi = np.random.default_rng(0)
+        i = rngi.integers(0, 257, size=64)
+        w = rngi.integers(-256, 257, size=64)
+        pos, neg = sc_vdp(i, w, 8)
+        prods = sc_products(i, w, 8)
+        assert pos - neg == int(prods.sum())
+
+    def test_relative_error_small_for_large_vdp(self):
+        """Floor rounding stays sub-percent for realistic VDP sizes."""
+        rng = np.random.default_rng(1)
+        i = rng.integers(0, 257, size=176)
+        w = rng.integers(1, 257, size=176)  # positive: no cancellation
+        assert sc_vdp_relative_error(i, w, 8) < 0.01
+
+    def test_relative_error_zero_cases(self):
+        z = np.zeros(4, dtype=np.int64)
+        assert sc_vdp_relative_error(z, z, 8) == 0.0
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_precision_sweep_error_shrinks(self, b):
+        """Higher precision (longer streams) cannot increase VDP error."""
+        rng = np.random.default_rng(42)
+        size = 64
+        # fixed real-valued operands quantized at each precision
+        i_real = rng.random(size)
+        w_real = rng.random(size)
+        levels = 1 << b
+        i_q = (i_real * levels).astype(np.int64)
+        w_q = (w_real * levels).astype(np.int64)
+        pos, neg = sc_vdp(i_q, w_q, b)
+        measured = pos - neg  # count domain: one count = levels worth
+        exact = float(np.dot(i_q, w_q)) / levels
+        # floor rounding loses at most one count per vector element
+        assert exact - measured <= size + 1e-9
+        assert measured <= exact + 1e-9
+
+
+class TestBitTrueValidation:
+    def test_bit_true_rejects_bad_operands(self):
+        with pytest.raises(ValueError):
+            sc_vdp_bit_true([300], [1], 8)
+        with pytest.raises(ValueError):
+            sc_vdp_bit_true([1], [300], 8)
+
+    def test_bit_true_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            sc_vdp_bit_true([1, 2], [1], 8)

@@ -1,0 +1,124 @@
+"""Tests for stochastic number generators and their pairing properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stochastic.correlation import scc
+from repro.stochastic.sng import (
+    bernoulli_stream,
+    bresenham_spread,
+    generate_pair,
+    lfsr_sequence,
+    lfsr_stream,
+    unary_prefix,
+    van_der_corput_stream,
+)
+
+operand8 = st.integers(min_value=0, max_value=256)
+
+
+class TestEncodings:
+    @given(operand8)
+    def test_unary_density_exact(self, v):
+        assert unary_prefix(v, 256).popcount == v
+
+    @given(operand8)
+    def test_bresenham_density_exact(self, v):
+        assert bresenham_spread(v, 256).popcount == v
+
+    @given(st.integers(min_value=0, max_value=256))
+    def test_vdc_density_exact(self, v):
+        assert van_der_corput_stream(v, 256).popcount == v
+
+    def test_bresenham_even_spread(self):
+        """Ones are spread: no two in adjacent slots for density <= 1/2."""
+        s = bresenham_spread(64, 256).bits
+        ones = np.flatnonzero(s)
+        assert np.diff(ones).min() >= 2
+
+    def test_bresenham_cumulative_identity(self):
+        """cumsum(bits)[t] == floor(t*k/L) - the exactness workhorse."""
+        k, L = 77, 256
+        bits = bresenham_spread(k, L).bits
+        cum = np.concatenate([[0], np.cumsum(bits)])
+        t = np.arange(L + 1)
+        assert np.array_equal(cum, (t * k) // L)
+
+    def test_vdc_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            van_der_corput_stream(3, 100)
+
+    def test_out_of_range_rejected(self):
+        for gen in (unary_prefix, bresenham_spread):
+            with pytest.raises(ValueError):
+                gen(257, 256)
+            with pytest.raises(ValueError):
+                gen(-1, 256)
+
+
+class TestLfsr:
+    def test_maximal_period_8bit(self):
+        seq = lfsr_sequence(8)
+        assert seq.size == 255
+        assert np.unique(seq).size == 255  # every nonzero state once
+        assert 0 not in seq
+
+    def test_maximal_period_4bit(self):
+        seq = lfsr_sequence(4)
+        assert np.unique(seq).size == 15
+
+    def test_unknown_width_rejected(self):
+        with pytest.raises(ValueError):
+            lfsr_sequence(5)
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ValueError):
+            lfsr_sequence(8, seed=0)
+        with pytest.raises(ValueError):
+            lfsr_sequence(8, seed=256)
+
+    def test_stream_density_close(self):
+        # LFSR density is exact to within 1 count (state 0 never occurs).
+        for v in (0, 1, 100, 255, 256):
+            pc = lfsr_stream(v, 256).popcount
+            assert abs(pc - v) <= 2
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            lfsr_stream(3, 100)
+
+
+class TestPairGeneration:
+    def test_default_scheme_uncorrelated(self):
+        i_s, w_s = generate_pair(128, 77, 256)
+        assert abs(scc(i_s, w_s)) < 0.05
+
+    def test_unary_unary_fully_correlated(self):
+        i_s, w_s = generate_pair(128, 77, 256, scheme="unary-unary")
+        assert scc(i_s, w_s) == pytest.approx(1.0)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            generate_pair(1, 1, 256, scheme="nope")
+
+    def test_bernoulli_stream_density(self):
+        s = bernoulli_stream(2048, 4096, seed=0)
+        assert abs(s.value - 0.5) < 0.05
+
+    @given(operand8, operand8)
+    @settings(max_examples=100, deadline=None)
+    def test_unary_bresenham_exact_product(self, ib, wb):
+        """The paper's error-free multiplication: AND-count == floor(ib*wb/256)."""
+        i_s, w_s = generate_pair(ib, wb, 256)
+        count = int((i_s.bits & w_s.bits).sum())
+        assert count == (ib * wb) // 256
+
+    @given(operand8, operand8)
+    @settings(max_examples=50, deadline=None)
+    def test_unary_unary_computes_min(self, ib, wb):
+        """Correlated streams degrade AND into min() - the failure mode."""
+        i_s, w_s = generate_pair(ib, wb, 256, scheme="unary-unary")
+        count = int((i_s.bits & w_s.bits).sum())
+        assert count == min(ib, wb)

@@ -1,0 +1,157 @@
+"""Tests for the TIR/PCA analog stage (Fig 7b) and ADC/DAC models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.photonics.converters import (
+    ANALOG_ADC,
+    ANALOG_DAC,
+    SCONNA_ADC,
+    AdcErrorModel,
+    ConverterSpec,
+    QuantizingADC,
+)
+from repro.photonics.tir import TIRParams, TimeIntegratingReceiver
+
+BIT_30G = 1.0 / 30e9
+
+
+class TestTIR:
+    def test_paper_full_scale_voltage(self):
+        """Section V-C configuration: ~0.9 V at alpha=100 % - no saturation."""
+        tir = TimeIntegratingReceiver()
+        v = tir.alpha_sweep(176, 256, BIT_30G, np.array([1.0]))[0]
+        assert 0.85 < v < 1.0
+
+    def test_linear_in_alpha(self):
+        tir = TimeIntegratingReceiver()
+        alphas = np.linspace(0.0, 1.0, 21)
+        v = tir.alpha_sweep(176, 256, BIT_30G, alphas)
+        # linearity: second differences vanish
+        assert np.allclose(np.diff(v, 2), 0.0, atol=1e-12)
+
+    def test_never_saturates_at_paper_point(self):
+        assert TimeIntegratingReceiver().is_linear_up_to(176, 256, BIT_30G)
+
+    def test_saturates_with_small_capacitor(self):
+        params = TIRParams(capacitance_f=25e-12)  # 10x smaller than paper
+        tir = TimeIntegratingReceiver(params)
+        assert not tir.is_linear_up_to(176, 256, BIT_30G)
+        v = tir.alpha_sweep(176, 256, BIT_30G, np.array([1.0]))[0]
+        assert v == pytest.approx(params.supply_rail_v)
+
+    def test_pulse_charge_value(self):
+        p = TIRParams()
+        # 1.2 A/W * 1.585 uW * 33.3 ps = 6.34e-17 C
+        assert p.pulse_charge_c(BIT_30G) == pytest.approx(6.34e-17, rel=0.01)
+
+    def test_voltage_proportional_to_ones(self):
+        tir = TimeIntegratingReceiver()
+        v1 = tir.output_voltage_v(1000, BIT_30G)
+        v2 = tir.output_voltage_v(2000, BIT_30G)
+        assert float(v2) == pytest.approx(2 * float(v1), rel=1e-9)
+
+    def test_discharge_latency(self):
+        p = TIRParams()
+        assert p.discharge_latency_s() == pytest.approx(
+            5.0 * 50.0 * 250e-12, rel=1e-9
+        )
+
+    def test_negative_ones_rejected(self):
+        with pytest.raises(ValueError):
+            TimeIntegratingReceiver().output_voltage_v(-1, BIT_30G)
+
+    def test_bad_bit_period_rejected(self):
+        with pytest.raises(ValueError):
+            TIRParams().pulse_charge_c(0.0)
+
+    def test_alpha_out_of_range_rejected(self):
+        tir = TimeIntegratingReceiver()
+        with pytest.raises(ValueError):
+            tir.alpha_sweep(176, 256, BIT_30G, np.array([1.5]))
+
+    @given(st.integers(min_value=1, max_value=45056))
+    @settings(max_examples=50)
+    def test_monotone_in_ones(self, n):
+        tir = TimeIntegratingReceiver()
+        assert float(tir.output_voltage_v(n, BIT_30G)) >= float(
+            tir.output_voltage_v(n - 1, BIT_30G)
+        )
+
+
+class TestQuantizingADC:
+    def test_endpoints(self):
+        adc = QuantizingADC(SCONNA_ADC, full_scale=1.0)
+        assert adc.convert(0.0) == 0
+        assert adc.convert(1.0) == 255
+
+    def test_clipping(self):
+        adc = QuantizingADC(SCONNA_ADC, full_scale=1.0)
+        assert adc.convert(2.0) == 255
+        assert adc.convert(-1.0) == 0
+
+    def test_roundtrip_error_bounded_by_half_lsb(self):
+        adc = QuantizingADC(SCONNA_ADC, full_scale=1.0)
+        v = np.linspace(0, 1, 1001)
+        err = np.abs(adc.reconstruct(adc.convert(v)) - v)
+        assert err.max() <= 0.5 / adc.levels + 1e-12
+
+    def test_invalid_full_scale(self):
+        with pytest.raises(ValueError):
+            QuantizingADC(SCONNA_ADC, full_scale=0.0)
+
+
+class TestConverterSpecs:
+    def test_table_iv_sconna_adc(self):
+        assert SCONNA_ADC.power_w == pytest.approx(2.55e-3)
+        assert SCONNA_ADC.area_mm2 == pytest.approx(0.002)
+        assert SCONNA_ADC.latency_s == pytest.approx(0.78e-9)
+
+    def test_table_iv_analog_converters(self):
+        assert ANALOG_ADC.power_w == pytest.approx(29e-3)
+        assert ANALOG_DAC.power_w == pytest.approx(30e-3)
+
+    def test_sconna_adc_10x_cheaper_than_analog(self):
+        assert ANALOG_ADC.power_w / SCONNA_ADC.power_w > 10
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            ConverterSpec("bad", 0, 1e-9, 1e-3, 1e-3)
+        with pytest.raises(ValueError):
+            ConverterSpec("bad", 8, -1e-9, 1e-3, 1e-3)
+
+
+class TestAdcErrorModel:
+    def test_calibrated_mape(self):
+        """Section V-C: the PCA's ADC shows 1.3 % MAPE."""
+        m = AdcErrorModel(mape=0.013, seed=7)
+        assert m.measured_mape() == pytest.approx(0.013, rel=0.05)
+
+    def test_zero_mape_is_identity_rounding(self):
+        m = AdcErrorModel(mape=0.0)
+        vals = np.array([1.0, 2.4, 7.6])
+        assert np.array_equal(m.apply(vals), np.array([1, 2, 8]))
+
+    def test_apply_returns_integers(self):
+        m = AdcErrorModel(seed=1)
+        out = m.apply(np.array([100.0, 200.0]))
+        assert out.dtype == np.int64
+
+    def test_error_centered_on_truth(self):
+        m = AdcErrorModel(seed=2)
+        vals = np.full(100_000, 1000.0)
+        out = m.apply(vals)
+        assert abs(out.mean() - 1000.0) < 1.0
+
+    def test_invalid_mape_rejected(self):
+        with pytest.raises(ValueError):
+            AdcErrorModel(mape=1.5)
+        with pytest.raises(ValueError):
+            AdcErrorModel(mape=-0.1)
+
+    def test_seeded_reproducibility(self):
+        a = AdcErrorModel(seed=9).apply(np.arange(100, 200, dtype=float))
+        b = AdcErrorModel(seed=9).apply(np.arange(100, 200, dtype=float))
+        assert np.array_equal(a, b)

@@ -1,0 +1,144 @@
+"""Tests for repro.utils: unit conversions, tables, rng."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import (
+    Table,
+    db_to_linear,
+    dbm_to_mw,
+    dbm_to_watts,
+    format_engineering,
+    geometric_mean,
+    linear_to_db,
+    make_rng,
+    mw_to_dbm,
+    watts_to_dbm,
+)
+
+
+class TestUnitConversions:
+    def test_db_zero_is_unity(self):
+        assert db_to_linear(0.0) == 1.0
+
+    def test_db_10_is_ten(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_db_3_is_about_two(self):
+        assert db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_negative_db_attenuates(self):
+        assert db_to_linear(-20.0) == pytest.approx(0.01)
+
+    def test_dbm_zero_is_one_mw(self):
+        assert dbm_to_mw(0.0) == pytest.approx(1.0)
+        assert dbm_to_watts(0.0) == pytest.approx(1e-3)
+
+    def test_table_iii_laser_power(self):
+        # Table III: 10 dBm laser = 10 mW.
+        assert dbm_to_mw(10.0) == pytest.approx(10.0)
+
+    def test_pd_sensitivity_minus_28_dbm(self):
+        # Section V: P_PD-opt = -28 dBm = 1.585 uW.
+        assert dbm_to_watts(-28.0) == pytest.approx(1.585e-6, rel=1e-3)
+
+    def test_linear_to_db_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+        with pytest.raises(ValueError):
+            linear_to_db(-1.0)
+
+    def test_mw_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            mw_to_dbm(0.0)
+
+    @given(st.floats(min_value=-80.0, max_value=80.0))
+    def test_db_roundtrip(self, db):
+        assert linear_to_db(db_to_linear(db)) == pytest.approx(db, abs=1e-9)
+
+    @given(st.floats(min_value=-80.0, max_value=40.0))
+    def test_dbm_roundtrip(self, dbm):
+        assert mw_to_dbm(dbm_to_mw(dbm)) == pytest.approx(dbm, abs=1e-9)
+        assert watts_to_dbm(dbm_to_watts(dbm)) == pytest.approx(dbm, abs=1e-9)
+
+
+class TestGeometricMean:
+    def test_singleton(self):
+        assert geometric_mean([7.0]) == pytest.approx(7.0)
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_paper_style_speedups(self):
+        # gmean of per-CNN speedups is how the paper reports 66.5x.
+        vals = [100.0, 80.0, 40.0, 60.0]
+        expected = math.exp(sum(math.log(v) for v in vals) / 4)
+        assert geometric_mean(vals) == pytest.approx(expected)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=20))
+    def test_between_min_and_max(self, vals):
+        g = geometric_mean(vals)
+        assert min(vals) * (1 - 1e-9) <= g <= max(vals) * (1 + 1e-9)
+
+
+class TestFormatEngineering:
+    def test_giga(self):
+        assert format_engineering(30e9, "bps") == "30 Gbps"
+
+    def test_milli(self):
+        assert format_engineering(2.55e-3, "W") == "2.55 mW"
+
+    def test_zero(self):
+        assert format_engineering(0.0, "W") == "0 W"
+
+    def test_unit_scale(self):
+        assert format_engineering(5.0, "s") == "5 s"
+
+
+class TestTable:
+    def test_render_contains_headers_and_rows(self):
+        t = Table(["model", "FPS"], title="demo")
+        t.add_row(["ResNet50", "12.3"])
+        out = t.render()
+        assert "demo" in out
+        assert "ResNet50" in out
+        assert "FPS" in out
+
+    def test_row_width_mismatch_raises(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(["only-one"])
+
+    def test_column_alignment(self):
+        t = Table(["name", "v"])
+        t.add_row(["x", "1"])
+        t.add_row(["longer-name", "2"])
+        lines = t.render().splitlines()
+        # all data lines share the same width
+        assert len(lines[1]) == len(lines[3])
+
+
+class TestMakeRng:
+    def test_seeded_reproducible(self):
+        a = make_rng(42).random(5)
+        b = make_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
