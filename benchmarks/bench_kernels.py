@@ -4,15 +4,22 @@ Not paper artifacts - these keep the substrate fast enough for the
 experiment harnesses and catch performance regressions:
 
 * count-domain SC vector dot products (the functional simulator's core),
-* bit-true LUT multiplication,
+* the vectorized SCONNA quantized-conv engine vs. the per-channel
+  reference (the Table V / Fig. 9 bottleneck),
+* bit-true LUT multiplication (scalar and array form),
 * im2col convolution,
-* the discrete-event kernel, and
+* the discrete-event kernel (per-event and batch scheduling), and
 * one SCONNA VDPE pass at full N.
+
+``python benchmarks/run_bench_kernels.py`` runs the same operations
+standalone and records wall-times in ``BENCH_kernels.json`` at the repo
+root so successive PRs accumulate a perf trajectory.
 """
 
 import numpy as np
 
 from repro.arch.events import EventKernel
+from repro.cnn.engine import SconnaEngine, compile_layer_plan, sconna_matmul_reference
 from repro.cnn.functional import conv2d
 from repro.core.vdpe import SconnaVDPE
 from repro.stochastic.arithmetic import sc_vdp
@@ -33,12 +40,49 @@ def test_lut_bit_true_multiply(benchmark):
     assert out == (200 * 100) // 256
 
 
+def test_lut_bit_true_multiply_array(benchmark):
+    """Array-API form: one call for 10k operand pairs."""
+    lut = OsmLookupTable(8)
+    rng = np.random.default_rng(3)
+    i = rng.integers(0, 256, size=10_000)
+    w = rng.integers(0, 256, size=10_000)
+    out = benchmark(lambda: lut.fetch_product_counts(i, w))
+    assert np.array_equal(out, (i * w) >> 8)
+
+
 def test_conv2d_im2col(benchmark):
     rng = np.random.default_rng(1)
     x = rng.normal(size=(3, 32, 32))
     w = rng.normal(size=(16, 3, 3, 3))
     out = benchmark(lambda: conv2d(x, w, padding=1))
     assert out.shape == (16, 32, 32)
+
+
+def _sconna_conv_workload():
+    """The acceptance-criteria layer: 64x(32,3,3) kernels on 32x32 @ batch 8."""
+    rng = np.random.default_rng(5)
+    cols = rng.integers(0, 257, size=(8, 32 * 3 * 3, 32 * 32)).astype(np.int64)
+    w = rng.integers(-256, 257, size=(64, 32 * 3 * 3)).astype(np.int64)
+    return cols, w
+
+
+def test_sconna_quant_conv_vectorized(benchmark):
+    """Vectorized count-domain engine on a ResNet-scale conv layer."""
+    cols, w = _sconna_conv_workload()
+    engine = SconnaEngine()
+    plan = compile_layer_plan(w, 8, 704)
+    out = benchmark(lambda: engine.matmul(plan, cols))
+    # spot-check bit-exactness against the seed implementation
+    assert np.array_equal(
+        out[:1, :4], sconna_matmul_reference(cols[:1], w[:4], 8, 704)
+    )
+
+
+def test_sconna_quant_conv_reference(benchmark):
+    """Seed per-output-channel implementation (the before number)."""
+    cols, w = _sconna_conv_workload()
+    out = benchmark(lambda: sconna_matmul_reference(cols, w, 8, 704))
+    assert out.shape == (8, 64, 1024)
 
 
 def test_event_kernel_throughput(benchmark):
@@ -49,6 +93,18 @@ def test_event_kernel_throughput(benchmark):
         return k.run()
 
     end = benchmark(run_10k_events)
+    assert end > 0
+
+
+def test_event_kernel_batch_throughput(benchmark):
+    """Batch scheduling: one O(n) heapify instead of 10k sift-ups."""
+
+    def run_10k_events_batched():
+        k = EventKernel()
+        k.schedule_batch((j * 1e-9 for j in range(10_000)), lambda: None)
+        return k.run()
+
+    end = benchmark(run_10k_events_batched)
     assert end > 0
 
 

@@ -41,6 +41,14 @@ from repro.cnn.datasets import (
     train_test_split,
 )
 from repro.cnn.train import PROXY_MODELS, TrainResult, build_proxy, evaluate_top_k, train
+from repro.cnn.engine import (
+    SconnaEngine,
+    SconnaLayerPlan,
+    compile_layer_plan,
+    psum_group_size,
+    sconna_matmul_reference,
+    vector_path_supported,
+)
 from repro.cnn.inference import (
     AccuracyReport,
     QuantizedModel,
@@ -76,6 +84,12 @@ __all__ = [
     "build_proxy",
     "evaluate_top_k",
     "train",
+    "SconnaEngine",
+    "SconnaLayerPlan",
+    "compile_layer_plan",
+    "psum_group_size",
+    "sconna_matmul_reference",
+    "vector_path_supported",
     "AccuracyReport",
     "QuantizedModel",
     "evaluate_accuracy",

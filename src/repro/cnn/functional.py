@@ -37,13 +37,23 @@ def conv_output_hw(
 
 
 def im2col(
-    x: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+    x: np.ndarray,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Unfold ``(B, C, H, W)`` into ``(B, C*K*K, out_h*out_w)`` patches.
 
     Column ``j`` of the result is the flattened receptive field of output
     pixel ``j`` - exactly the decomposed input vector (DIV source) a VDPC
     consumes.
+
+    ``out``, when given, must be a C-contiguous ``(B, C*K*K, P)`` array
+    (batched shape, even for 3-D inputs); the patches are gathered
+    straight into it - the quantized engine reuses one such buffer per
+    layer shape instead of allocating a fresh copy every forward pass.
+    A dtype mismatch is cast on the fly, fusing the gather and the cast.
     """
     xb, squeeze = _as_batch(x)
     b, c, h, w = xb.shape
@@ -59,9 +69,22 @@ def im2col(
         strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
         writeable=False,
     )
-    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(
-        b, c * kernel * kernel, out_h * out_w
-    )
+    patches = windows.transpose(0, 1, 4, 5, 2, 3)
+    shape = (b, c * kernel * kernel, out_h * out_w)
+    if out is not None:
+        if out.shape != shape or not out.flags.c_contiguous:
+            raise ValueError(
+                f"out must be C-contiguous with shape {shape}, "
+                f"got {out.shape}"
+            )
+        np.copyto(
+            out.reshape(b, c, kernel, kernel, out_h, out_w),
+            patches,
+            casting="unsafe",
+        )
+        cols = out
+    else:
+        cols = patches.reshape(shape)
     return cols[0] if squeeze else cols
 
 
@@ -87,16 +110,18 @@ def conv2d(
         )
     out_h, out_w = conv_output_hw(h, w, k, stride, padding)
 
+    # np.matmul dispatches the (L, Q) x (B, Q, P) contraction to BLAS for
+    # float inputs, unlike np.einsum's generic SIMD loop.
     if groups == 1:
         cols = im2col(xb, k, stride, padding)  # (B, C*K*K, P)
-        out = np.einsum("lq,bqp->blp", weight.reshape(l, -1), cols)
+        out = np.matmul(weight.reshape(l, -1)[None], cols)
     else:
         cg, lg = c // groups, l // groups
         outs = []
         for g in range(groups):
             cols = im2col(xb[:, g * cg : (g + 1) * cg], k, stride, padding)
             wg = weight[g * lg : (g + 1) * lg].reshape(lg, -1)
-            outs.append(np.einsum("lq,bqp->blp", wg, cols))
+            outs.append(np.matmul(wg[None], cols))
         out = np.concatenate(outs, axis=1)
     out = out.reshape(b, l, out_h, out_w)
     if bias is not None:

@@ -22,6 +22,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cnn.engine import (
+    SconnaEngine,
+    SconnaLayerPlan,
+    compile_layer_plan,
+    psum_group_size,
+    sconna_matmul_reference,
+    vector_path_supported,
+)
 from repro.cnn.functional import conv_output_hw, im2col
 from repro.cnn.micro import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
 from repro.cnn.quantize import (
@@ -48,6 +56,7 @@ class QuantLayer:
     stride: int = 1
     padding: int = 0
     bias: np.ndarray | None = None
+    plan: SconnaLayerPlan | None = None  #: compiled engine constants
 
 
 class QuantizedModel:
@@ -62,6 +71,10 @@ class QuantizedModel:
         self.structure = structure
         self.precision_bits = precision_bits
         self.config = config or SconnaConfig(precision_bits=precision_bits)
+        self._engine = SconnaEngine()
+        for item in structure:
+            if isinstance(item, QuantLayer):
+                self._plan_for(item)
 
     # -- construction ------------------------------------------------------
     @classmethod
@@ -88,6 +101,7 @@ class QuantizedModel:
                         float_layer=layer,
                         stride=layer.stride,
                         padding=layer.padding,
+                        bias=None if layer.bias is None else layer.bias.copy(),
                     )
                 )
             elif isinstance(layer, Linear):
@@ -140,66 +154,114 @@ class QuantizedModel:
 
         a_q = quantize(np.maximum(x, 0.0), layer.act_params)
         scale = layer.act_params.scale * layer.weight_params.scale
+        pool = self._engine.pool
 
         if layer.kind == "conv":
             l, c, k, _ = layer.weight_q.shape
-            cols = im2col(a_q, k, layer.stride, layer.padding)  # (B,Q,P) int
-            w_flat = layer.weight_q.reshape(l, -1)
-            if mode == "int8":
-                out = np.einsum("lq,bqp->blp", w_flat, cols) * scale
-            else:
-                counts = self._sconna_matmul(cols, w_flat, error_model)
-                out = counts * (scale * (1 << self.precision_bits))
             b = x.shape[0]
             out_h, out_w = conv_output_hw(
                 x.shape[2], x.shape[3], k, layer.stride, layer.padding
             )
-            return out.reshape(b, l, out_h, out_w)
+            q_len, p = c * k * k, out_h * out_w
+            if mode == "int8":
+                # the BLAS path is exact only while the full-Q integer
+                # contraction stays below float64's 2**53 exact range
+                # (independent of the sconna engine's group envelope)
+                if q_len * (1 << (2 * self.precision_bits)) < 2**53:
+                    # gather patches straight into a reusable float64
+                    # buffer (fused cast)
+                    cols_f = im2col(
+                        a_q, k, layer.stride, layer.padding,
+                        out=pool.get("cols_f", (b, q_len, p), np.float64),
+                    )
+                    w_f = (
+                        layer.plan.w_float
+                        if layer.plan is not None
+                        else layer.weight_q.reshape(l, -1).astype(np.float64)
+                    )
+                    out = np.matmul(w_f[None], cols_f) * scale
+                else:
+                    # keep the seed's exact integer contraction
+                    cols = im2col(a_q, k, layer.stride, layer.padding)
+                    w_flat = layer.weight_q.reshape(l, -1)
+                    out = np.einsum("lq,bqp->blp", w_flat, cols) * scale
+            else:
+                plan = self._plan_for(layer)
+                cols = im2col(
+                    a_q, k, layer.stride, layer.padding,
+                    out=pool.get("cols", (b, q_len, p), np.int64),
+                )
+                counts = self._sconna_counts(cols, layer, plan, error_model)
+                out = counts * (scale * (1 << self.precision_bits))
+            out = out.reshape(b, l, out_h, out_w)
+            if layer.bias is not None:
+                out = out + layer.bias.reshape(1, l, 1, 1)
+            return out
 
         # linear: treat activations as (B, Q, 1) columns
-        cols = a_q[:, :, None]
         if mode == "int8":
             out = (a_q @ layer.weight_q.T).astype(np.float64) * scale
         else:
-            counts = self._sconna_matmul(cols, layer.weight_q, error_model)
+            cols = a_q[:, :, None]
+            plan = self._plan_for(layer)
+            counts = self._sconna_counts(cols, layer, plan, error_model)
             out = counts[:, :, 0] * (scale * (1 << self.precision_bits))
         if layer.bias is not None:
             out = out + layer.bias
         return out
 
-    def _sconna_matmul(
+    # -- count-domain kernels ----------------------------------------------
+    def _plan_for(self, layer: QuantLayer) -> SconnaLayerPlan | None:
+        """The layer's compiled engine plan (built on first use).
+
+        Returns None when the configuration falls outside the vectorized
+        engine's exactness envelope; callers then take the reference
+        path.
+        """
+        group = psum_group_size(self.config)
+        if not vector_path_supported(self.precision_bits, group):
+            return None
+        plan = layer.plan
+        if (
+            plan is None
+            or plan.group != group
+            or plan.precision_bits != self.precision_bits
+        ):
+            l = layer.weight_q.shape[0]
+            plan = compile_layer_plan(
+                layer.weight_q.reshape(l, -1), self.precision_bits, group
+            )
+            layer.plan = plan
+        return plan
+
+    def _sconna_counts(
+        self,
+        cols: np.ndarray,
+        layer: QuantLayer,
+        plan: SconnaLayerPlan | None,
+        error_model: SconnaErrorModel | None,
+    ) -> np.ndarray:
+        l = layer.weight_q.shape[0]
+        if plan is not None:
+            return self._engine.matmul(plan, cols, error_model)
+        return self._sconna_matmul_reference(
+            cols, layer.weight_q.reshape(l, -1), error_model
+        )
+
+    def _sconna_matmul_reference(
         self,
         cols: np.ndarray,
         w_flat: np.ndarray,
         error_model: SconnaErrorModel | None,
     ) -> np.ndarray:
-        """Count-domain SC matmul with psum-group ADC error.
-
-        ``cols``: (B, Q, P) unsigned activations; ``w_flat``: (L, Q)
-        signed weights.  Returns float (B, L, P) signed counts.
-        """
-        b, q, p = cols.shape
-        l = w_flat.shape[0]
-        shift = self.precision_bits
-        group = self.config.vdpe_size * self.config.pca_accumulation_passes
-        w_mag = np.abs(w_flat)
-        w_pos = w_flat > 0
-        out = np.zeros((b, l, p), dtype=np.float64)
-        for start in range(0, q, group):
-            sl = slice(start, min(start + group, q))
-            a_chunk = cols[:, sl, :]
-            pos = np.empty((b, l, p), dtype=np.int64)
-            neg = np.empty((b, l, p), dtype=np.int64)
-            for li in range(l):
-                prods = (a_chunk * w_mag[li, sl][None, :, None]) >> shift
-                mask = w_pos[li, sl][None, :, None]
-                pos[:, li, :] = (prods * mask).sum(axis=1)
-                neg[:, li, :] = (prods * ~mask).sum(axis=1)
-            if error_model is not None and not error_model.ideal():
-                pos = error_model.apply_to_counts(pos)
-                neg = error_model.apply_to_counts(neg)
-            out += pos.astype(np.float64) - neg.astype(np.float64)
-        return out
+        """The seed per-output-channel implementation (golden reference)."""
+        return sconna_matmul_reference(
+            cols,
+            w_flat,
+            self.precision_bits,
+            psum_group_size(self.config),
+            error_model,
+        )
 
     # -- evaluation ----------------------------------------------------------
     def predict_logits(

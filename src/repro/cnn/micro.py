@@ -61,8 +61,14 @@ class Layer:
 
 
 class Conv2d(Layer):
-    """Convolution with He-initialised weights (no bias: the quantized
-    datapath maps cleanly onto VDPs without per-channel offsets)."""
+    """Convolution with He-initialised weights.
+
+    ``bias=False`` by default: the paper's quantized datapath maps
+    cleanly onto VDPs without per-channel offsets, and the proxy models
+    train without them.  A per-output-channel bias can be enabled for
+    networks that need it; the quantized inference engine applies it in
+    every datapath (float, int8, sconna) after dequantisation.
+    """
 
     def __init__(
         self,
@@ -72,6 +78,7 @@ class Conv2d(Layer):
         stride: int = 1,
         padding: int = 0,
         rng: np.random.Generator | None = None,
+        bias: bool = False,
     ) -> None:
         rng = make_rng(rng)
         fan_in = in_channels * kernel * kernel
@@ -79,6 +86,8 @@ class Conv2d(Layer):
             0.0, np.sqrt(2.0 / fan_in), size=(out_channels, in_channels, kernel, kernel)
         ).astype(np.float64)
         self.grad_weight = np.zeros_like(self.weight)
+        self.bias = np.zeros(out_channels, dtype=np.float64) if bias else None
+        self.grad_bias = np.zeros_like(self.bias) if bias else None
         self.stride = stride
         self.padding = padding
         self._cache: tuple | None = None
@@ -86,7 +95,9 @@ class Conv2d(Layer):
     def forward(self, x: np.ndarray) -> np.ndarray:
         l, c, k, _ = self.weight.shape
         cols = im2col(x, k, self.stride, self.padding)  # (B, CKK, P)
-        out = np.einsum("lq,bqp->blp", self.weight.reshape(l, -1), cols)
+        out = np.matmul(self.weight.reshape(l, -1)[None], cols)
+        if self.bias is not None:
+            out = out + self.bias[None, :, None]
         b = x.shape[0]
         out_h, out_w = conv_output_hw(
             x.shape[2], x.shape[3], k, self.stride, self.padding
@@ -104,11 +115,16 @@ class Conv2d(Layer):
         self.grad_weight += np.einsum("blp,bqp->lq", g, cols).reshape(
             self.weight.shape
         )
+        if self.bias is not None:
+            self.grad_bias += g.sum(axis=(0, 2))
         dcols = np.einsum("lq,blp->bqp", self.weight.reshape(l, -1), g)
         return col2im(dcols, x_shape, k, self.stride, self.padding)
 
     def parameters(self):
-        return [(self.weight, self.grad_weight)]
+        params = [(self.weight, self.grad_weight)]
+        if self.bias is not None:
+            params.append((self.bias, self.grad_bias))
+        return params
 
 
 class ReLU(Layer):

@@ -61,6 +61,8 @@ class ScAwareConv2d(Conv2d):
         obj = cls.__new__(cls)
         obj.weight = conv.weight  # shared: fine-tuning updates the original
         obj.grad_weight = conv.grad_weight
+        obj.bias = conv.bias
+        obj.grad_bias = conv.grad_bias
         obj.stride = conv.stride
         obj.padding = conv.padding
         obj._cache = None
@@ -88,7 +90,10 @@ class ScAwareConv2d(Conv2d):
         out_h, out_w = conv_output_hw(
             x.shape[2], x.shape[3], k, self.stride, self.padding
         )
-        return (counts * scale).reshape(b, l, out_h, out_w)
+        out = (counts * scale).reshape(b, l, out_h, out_w)
+        if self.bias is not None:
+            out = out + self.bias.reshape(1, l, 1, 1)
+        return out
 
 
 def make_sc_aware(model: Sequential, precision_bits: int = 8) -> Sequential:

@@ -78,6 +78,12 @@ class OpticalStochasticMultiplier:
         """Electrical-AND of the fetched LUT streams (bit-true)."""
         return self.lut.fetch_product_count(ib, wb)
 
+    def multiply_streams_batch(
+        self, i_values: np.ndarray, w_values: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`multiply_streams` over operand arrays."""
+        return self.lut.fetch_product_counts(i_values, w_values)
+
     def multiply_optical(self, ib: int, wb: int) -> int:
         """Full optical transient through the OAG at the configured BR.
 

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.core.config import SconnaConfig
 from repro.core.pca import SignedPcaPair
-from repro.stochastic.arithmetic import sc_vdp
+from repro.stochastic.arithmetic import sc_vdp, sc_vdp_batch
 
 
 @dataclass(frozen=True)
@@ -84,15 +84,20 @@ class SconnaVDPE:
 
         n = self.size
         passes_per_readout = self.config.pca_accumulation_passes
+        # All optical passes are independent AND-accumulate pieces, so
+        # their (pos, neg) counts are computed in one vectorized batch;
+        # only the PCA charge/readout bookkeeping stays sequential.
+        n_pieces = -(-i_arr.size // n)
+        pad = n_pieces * n - i_arr.size
+        i_mat = np.pad(i_arr, (0, pad)).reshape(n_pieces, n)
+        w_mat = np.pad(w_arr, (0, pad)).reshape(n_pieces, n)
+        pos_arr, neg_arr = sc_vdp_batch(i_mat, w_mat, self.config.precision_bits)
         total = 0
         passes = 0
         psums = 0
         passes_since_readout = 0
-        for start in range(0, i_arr.size, n):
-            pos, neg = self.compute_piece(
-                i_arr[start : start + n], w_arr[start : start + n]
-            )
-            self.pca_pair.accumulate(pos, neg)
+        for piece in range(n_pieces):
+            self.pca_pair.accumulate(int(pos_arr[piece]), int(neg_arr[piece]))
             passes += 1
             passes_since_readout += 1
             if passes_since_readout >= passes_per_readout:
@@ -131,5 +136,5 @@ class SconnaVDPE:
         return int(
             sc_products(
                 np.asarray(i_vector), np.asarray(w_vector), precision_bits
-            ).sum()
+            ).sum(dtype=np.int64)
         )

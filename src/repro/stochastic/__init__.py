@@ -26,6 +26,7 @@ from repro.stochastic.arithmetic import (
     exact_sc_product,
     sc_products,
     sc_vdp,
+    sc_vdp_batch,
     sc_vdp_bit_true,
     sc_vdp_relative_error,
     stochastic_multiply,
@@ -55,6 +56,7 @@ __all__ = [
     "exact_sc_product",
     "sc_products",
     "sc_vdp",
+    "sc_vdp_batch",
     "sc_vdp_bit_true",
     "sc_vdp_relative_error",
     "stochastic_multiply",

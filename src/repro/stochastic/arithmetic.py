@@ -67,8 +67,12 @@ def sc_products(
 
     ``w_values`` may be signed: the sign is pulled out, the magnitude is
     multiplied stochastically, and the sign is re-applied - mirroring the
-    sign-bit steering of the VDPE's filter MRRs.
+    sign-bit steering of the VDPE's filter MRRs.  Accepts arrays of any
+    (broadcastable) shape.  Dtype discipline: products need ``2B + 1``
+    bits, so int32 is used whenever it fits and int64 only beyond B = 15.
     """
+    # validate at full width first - narrowing before the range check
+    # would let out-of-range values wrap silently past it
     i_arr = np.asarray(i_values, dtype=np.int64)
     w_arr = np.asarray(w_values, dtype=np.int64)
     length = 1 << precision_bits
@@ -76,9 +80,30 @@ def sc_products(
         raise ValueError(f"input values must lie in [0, {length}]")
     if (np.abs(w_arr) > length).any():
         raise ValueError(f"|weight| values must lie in [0, {length}]")
+    if 2 * precision_bits + 1 < 32:
+        i_arr = i_arr.astype(np.int32)
+        w_arr = w_arr.astype(np.int32)
     sign = np.sign(w_arr)
     mags = (i_arr * np.abs(w_arr)) >> precision_bits
     return sign * mags
+
+
+def sc_vdp_batch(
+    i_values: np.ndarray,
+    w_values: np.ndarray,
+    precision_bits: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched signed VDPs: contract the last axis of ``(..., S)`` inputs.
+
+    Returns int64 ``(positive_counts, negative_counts)`` arrays of the
+    leading shape - one (OWA, OWA') pair per vector.  This is the
+    vectorized workhorse behind :func:`sc_vdp`, the VDPE's multi-piece
+    accumulation, and the Monte-Carlo error harness.
+    """
+    prods = sc_products(i_values, w_values, precision_bits)
+    positive = np.where(prods > 0, prods, 0).sum(axis=-1, dtype=np.int64)
+    negative = -np.where(prods < 0, prods, 0).sum(axis=-1, dtype=np.int64)
+    return positive, negative
 
 
 def sc_vdp(
@@ -90,12 +115,13 @@ def sc_vdp(
 
     Returns ``(positive_count, negative_count)`` - the two PCA
     accumulations of a VDPE (OWA and OWA' of Fig. 4(a)).  The signed VDP
-    result is their difference.
+    result is their difference.  Multi-dimensional inputs are flattened
+    and contribute to one total, as before the batched rewrite.
     """
-    prods = sc_products(i_values, w_values, precision_bits)
-    positive = int(prods[prods > 0].sum())
-    negative = int(-prods[prods < 0].sum())
-    return positive, negative
+    positive, negative = sc_vdp_batch(
+        np.ravel(i_values), np.ravel(w_values), precision_bits
+    )
+    return int(positive), int(negative)
 
 
 def sc_vdp_bit_true(

@@ -1,0 +1,220 @@
+"""Optional native (C) acceleration for the hottest SC kernel.
+
+The vectorized count-domain engine (:mod:`repro.cnn.engine`) reduces the
+SCONNA matmul to one BLAS call plus a *remainder reduction*:
+``R[b, l, p] = sum_q ((a[b, q, p] * w[l, q]) mod 2**B)``.  NumPy has no
+fused modular multiply-accumulate, so the pure-NumPy path must
+materialise the ``(B, L, Q, P)`` remainder tensor in chunks and pay a
+slow widening ``uint8 -> uint32`` reduction.  A ~40-line C loop does the
+same thing fused, in registers, at memory speed.
+
+This module compiles that loop **at runtime** with the system C compiler
+(``cc``), caches the shared object in the platform temp directory keyed
+by a hash of the source, and loads it through :mod:`ctypes`.  Everything
+is best-effort: if there is no compiler, the build fails, or the
+environment variable ``REPRO_NATIVE=0`` is set, callers transparently
+fall back to the pure-NumPy implementation - results are bit-identical
+either way (locked by ``tests/test_cnn_engine.py``).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import stat
+import subprocess
+import tempfile
+
+import numpy as np
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <stddef.h>
+
+static inline uint32_t row_dot_wrap(const uint8_t *restrict ar,
+                                    const uint8_t *restrict wr, long q) {
+    uint32_t acc = 0;
+    long qi = 0;
+    for (; qi + 255 <= q; qi += 255) {
+        uint16_t part = 0;
+        const uint8_t *restrict a2 = ar + qi;
+        const uint8_t *restrict w2 = wr + qi;
+        for (long k = 0; k < 255; k++)
+            part += (uint8_t)(a2[k] * w2[k]);
+        acc += part;
+    }
+    {
+        uint16_t part = 0;
+        for (; qi < q; qi++)
+            part += (uint8_t)(ar[qi] * wr[qi]);
+        acc += part;
+    }
+    return acc;
+}
+
+static inline uint32_t row_dot_mask(const uint8_t *restrict ar,
+                                    const uint8_t *restrict wr, long q,
+                                    uint8_t mask) {
+    uint32_t acc = 0;
+    long qi = 0;
+    for (; qi + 255 <= q; qi += 255) {
+        uint16_t part = 0;
+        const uint8_t *restrict a2 = ar + qi;
+        const uint8_t *restrict w2 = wr + qi;
+        for (long k = 0; k < 255; k++)
+            part += (uint8_t)((uint8_t)(a2[k] * w2[k]) & mask);
+        acc += part;
+    }
+    {
+        uint16_t part = 0;
+        for (; qi < q; qi++)
+            part += (uint8_t)((uint8_t)(ar[qi] * wr[qi]) & mask);
+        acc += part;
+    }
+    return acc;
+}
+
+/* a: rows of length q at byte stride a_stride, laid out as (bn, p) rows;
+   w: (l2, q) rows at byte stride w_stride; out: (bn, l2, p) int32. */
+void rem_group_sums(const uint8_t *restrict a, long a_stride,
+                    const uint8_t *restrict w, long w_stride,
+                    int32_t *restrict out,
+                    long bn, long l2, long p, long q, uint8_t mask) {
+    for (long bi = 0; bi < bn; bi++) {
+        const uint8_t *ab = a + (size_t)bi * p * a_stride;
+        for (long li = 0; li < l2; li++) {
+            const uint8_t *wr = w + (size_t)li * w_stride;
+            int32_t *orow = out + ((size_t)bi * l2 + li) * p;
+            if (mask == 0xFF) {
+                for (long pi = 0; pi < p; pi++)
+                    orow[pi] =
+                        (int32_t)row_dot_wrap(ab + (size_t)pi * a_stride, wr, q);
+            } else {
+                for (long pi = 0; pi < p; pi++)
+                    orow[pi] = (int32_t)row_dot_mask(
+                        ab + (size_t)pi * a_stride, wr, q, mask);
+            }
+        }
+    }
+}
+"""
+
+#: sentinel distinguishing "never tried" from "tried and failed"
+_UNSET = object()
+_lib: "object" = _UNSET
+
+
+def _enabled() -> bool:
+    return os.environ.get("REPRO_NATIVE", "1") != "0"
+
+
+def _cache_dir() -> "str | None":
+    """Per-user 0700 cache directory; None if it cannot be trusted.
+
+    The .so is loaded into the process, so it must never be readable
+    from a world-writable location another user could pre-seed: the
+    directory is created mode 0700 and its ownership/permissions are
+    re-checked before use.
+    """
+    path = os.path.join(tempfile.gettempdir(), f"repro_native_{os.getuid()}")
+    os.makedirs(path, mode=0o700, exist_ok=True)
+    st = os.stat(path)
+    if st.st_uid != os.getuid() or (stat.S_IMODE(st.st_mode) & 0o077):
+        return None
+    return path
+
+
+def _compile() -> "ctypes.CDLL | None":
+    """Build (or reuse) the cached shared object; None on any failure."""
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    cache_root = _cache_dir()
+    if cache_root is None:
+        return None
+    cache = os.path.join(cache_root, f"rem_{digest}.so")
+    if not os.path.exists(cache):
+        workdir = tempfile.mkdtemp(prefix="repro_native_build_")
+        try:
+            src = os.path.join(workdir, "rem.c")
+            tmp_so = os.path.join(workdir, "rem.so")
+            with open(src, "w") as fh:
+                fh.write(_SOURCE)
+            base = [
+                "cc", "-O3", "-funroll-loops", "-shared", "-fPIC", src, "-o", tmp_so
+            ]
+            for flags in (["-march=native"], []):  # retry portably if -march fails
+                cmd = base[:2] + flags + base[2:]
+                try:
+                    res = subprocess.run(
+                        cmd, capture_output=True, timeout=120, check=False
+                    )
+                except (OSError, subprocess.SubprocessError):
+                    return None
+                if res.returncode == 0:
+                    break
+            else:
+                return None
+            os.replace(tmp_so, cache)  # atomic publish
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+    try:
+        lib = ctypes.CDLL(cache)
+    except OSError:
+        return None
+    lib.rem_group_sums.argtypes = [
+        ctypes.c_void_p, ctypes.c_long,
+        ctypes.c_void_p, ctypes.c_long,
+        ctypes.c_void_p,
+        ctypes.c_long, ctypes.c_long, ctypes.c_long, ctypes.c_long,
+        ctypes.c_uint8,
+    ]
+    lib.rem_group_sums.restype = None
+    return lib
+
+
+def get_kernel() -> "ctypes.CDLL | None":
+    """The loaded native library, or None when unavailable/disabled."""
+    global _lib
+    if not _enabled():
+        return None
+    if _lib is _UNSET:
+        try:
+            _lib = _compile()
+        except Exception:  # any build-environment failure -> pure NumPy
+            _lib = None
+    return _lib  # type: ignore[return-value]
+
+
+def native_available() -> bool:
+    return get_kernel() is not None
+
+
+def remainder_group_sums(
+    a_lo: np.ndarray,
+    w_lo: np.ndarray,
+    q_start: int,
+    q_stop: int,
+    mask: int,
+    out: np.ndarray,
+) -> bool:
+    """Fused ``out[b,l,p] = sum_q (a_lo[b,p,q]*w_lo[l,q]) & mask``.
+
+    ``a_lo``: C-contiguous ``(B, P, Q)`` uint8; ``w_lo``: C-contiguous
+    ``(L2, Q)`` uint8; the contraction runs over ``q_start:q_stop``;
+    ``out``: C-contiguous ``(B, L2, P)`` int32.  Returns False (without
+    touching ``out``) when the native kernel is unavailable.
+    """
+    lib = get_kernel()
+    if lib is None:
+        return False
+    bn, p, q_total = a_lo.shape
+    l2 = w_lo.shape[0]
+    qg = q_stop - q_start
+    lib.rem_group_sums(
+        a_lo.ctypes.data + q_start, q_total,
+        w_lo.ctypes.data + q_start, w_lo.shape[1],
+        out.ctypes.data,
+        bn, l2, p, qg, mask,
+    )
+    return True

@@ -1,0 +1,366 @@
+"""Tests for the vectorized count-domain engine and its satellites.
+
+The load-bearing property: the vectorized ``sconna`` path (native C
+kernel *and* pure-NumPy fallback) is bit-exact against the seed
+per-output-channel implementation (kept as
+``sconna_matmul_reference``) for every group size, precision and weight
+sign pattern - the floor-decomposition identity is exact, not
+approximate.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnn.engine import (
+    SconnaEngine,
+    compile_layer_plan,
+    psum_group_size,
+    sconna_matmul_reference,
+    vector_path_supported,
+)
+from repro.cnn.functional import im2col
+from repro.cnn.inference import QuantLayer, QuantizedModel
+from repro.cnn.micro import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from repro.cnn.datasets import N_CLASSES, generate_dataset
+from repro.core.config import SconnaConfig
+from repro.core.vdpe import SconnaVDPE
+from repro.stochastic.arithmetic import sc_vdp, sc_vdp_batch
+from repro.stochastic.error_models import SconnaErrorModel
+from repro.stochastic.lut import OsmLookupTable
+from repro.utils import native
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return SconnaEngine(use_native=True), SconnaEngine(use_native=False)
+
+
+class TestBitExactEquivalence:
+    @given(
+        b=st.sampled_from([4, 8, 12]),  # 12 exercises the uint16 low-bits path
+        seed=st.integers(min_value=0, max_value=2**31),
+        group=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_any_group(self, engines, b, seed, group):
+        """Odd groups, q not divisible by group, zero/negative weights."""
+        rng = np.random.default_rng(seed)
+        batch = int(rng.integers(1, 4))
+        l = int(rng.integers(1, 9))
+        q = int(rng.integers(1, 97))
+        p = int(rng.integers(1, 20))
+        length = 1 << b
+        cols = rng.integers(0, length + 1, size=(batch, q, p)).astype(np.int64)
+        w = rng.integers(-length, length + 1, size=(l, q)).astype(np.int64)
+        w[rng.random(w.shape) < 0.2] = 0  # force zero weights
+        ref = sconna_matmul_reference(cols, w, b, group)
+        plan = compile_layer_plan(w, b, group)
+        for eng in engines:
+            assert np.array_equal(ref, eng.matmul(plan, cols))
+
+    def test_extreme_operands(self, engines):
+        """Saturated activations/weights (value 2**B) hit the wraparound."""
+        b = 8
+        cols = np.full((2, 7, 3), 256, dtype=np.int64)
+        w = np.array([[256, -256, 0, 255, -255, 1, 256]] * 3, dtype=np.int64)
+        ref = sconna_matmul_reference(cols, w, b, 5)
+        plan = compile_layer_plan(w, b, 5)
+        for eng in engines:
+            assert np.array_equal(ref, eng.matmul(plan, cols))
+
+    def test_matches_vdpe_exact_reference(self, engines):
+        """Summed engine counts equal the VDPE's golden scalar reference."""
+        rng = np.random.default_rng(3)
+        for b in (4, 8):
+            length = 1 << b
+            q = 131  # not divisible by any nice group
+            i_vec = rng.integers(0, length + 1, size=q)
+            w_vec = rng.integers(-length, length + 1, size=q)
+            exact = SconnaVDPE.exact_reference(i_vec, w_vec, b)
+            cols = i_vec.astype(np.int64)[None, :, None]
+            plan = compile_layer_plan(w_vec[None, :], b, 17)
+            for eng in engines:
+                out = eng.matmul(plan, cols)
+                assert int(out[0, 0, 0]) == exact
+
+    def test_noisy_path_is_reproducible(self, engines):
+        rng = np.random.default_rng(5)
+        cols = rng.integers(0, 257, size=(2, 50, 6)).astype(np.int64)
+        w = rng.integers(-256, 257, size=(4, 50)).astype(np.int64)
+        plan = compile_layer_plan(w, 8, 16)
+        eng = engines[0]
+        a = eng.matmul(plan, cols, SconnaErrorModel(seed=7))
+        c = eng.matmul(plan, cols, SconnaErrorModel(seed=7))
+        assert np.array_equal(a, c)
+        # and the noise actually perturbs relative to the ideal path
+        ideal = eng.matmul(plan, cols)
+        assert not np.array_equal(a, ideal)
+
+    def test_unsupported_configs_rejected(self):
+        assert not vector_path_supported(17, 4)
+        assert not vector_path_supported(8, 2**26)
+        assert vector_path_supported(8, 704)
+        with pytest.raises(ValueError):
+            compile_layer_plan(np.zeros((2, 4), dtype=np.int64), 17, 4)
+
+    def test_model_routes_through_engine_and_falls_back(self):
+        """_sconna_counts uses the engine in-envelope, reference outside."""
+        from repro.cnn.quantize import QuantParams
+
+        rng = np.random.default_rng(11)
+
+        def make_layer(qm, w):
+            dummy = QuantParams(scale=1.0, levels=w.shape[1], signed=True)
+            layer = QuantLayer(
+                kind="linear", weight_q=w, weight_params=dummy,
+                act_params=dummy, float_layer=None,
+            )
+            return layer, qm._plan_for(layer)
+
+        # in-envelope: plan compiled, engine output bit-exact vs reference
+        qm = QuantizedModel([], precision_bits=8)
+        cols = rng.integers(0, 257, size=(2, 300, 5)).astype(np.int64)
+        w = rng.integers(-256, 257, size=(6, 300)).astype(np.int64)
+        layer, plan = make_layer(qm, w)
+        assert plan is not None and layer.plan is plan
+        assert np.array_equal(
+            qm._sconna_counts(cols, layer, plan, None),
+            qm._sconna_matmul_reference(cols, w, None),
+        )
+
+        # outside the envelope (B=18): no plan, reference path used
+        qm18 = QuantizedModel([], precision_bits=18)
+        length = 1 << 18
+        cols18 = rng.integers(0, length + 1, size=(1, 9, 2)).astype(np.int64)
+        w18 = rng.integers(-length, length + 1, size=(2, 9)).astype(np.int64)
+        layer18, plan18 = make_layer(qm18, w18)
+        assert plan18 is None
+        assert np.array_equal(
+            qm18._sconna_counts(cols18, layer18, plan18, None),
+            qm18._sconna_matmul_reference(cols18, w18, None),
+        )
+
+
+class TestLayerPlans:
+    def test_plans_prebuilt_at_quantization_time(self):
+        rng_model = Sequential(
+            Conv2d(3, 4, 3, padding=1), ReLU(), MaxPool2d(4),
+            Flatten(), Linear(4 * 6 * 6, N_CLASSES),
+        )
+        ds = generate_dataset(2, seed=0)
+        qm = QuantizedModel.from_trained(rng_model, ds.images[:8])
+        quant_layers = [s for s in qm.structure if isinstance(s, QuantLayer)]
+        assert quant_layers and all(ql.plan is not None for ql in quant_layers)
+        group = psum_group_size(qm.config)
+        assert all(ql.plan.group == group for ql in quant_layers)
+
+    def test_plan_recompiled_when_config_changes(self):
+        rng = np.random.default_rng(0)
+        w = rng.integers(-256, 257, size=(3, 20)).astype(np.int64)
+        plan = compile_layer_plan(w, 8, 10)
+        assert plan.n_out == 3 and plan.n_in == 20
+        assert len(plan.group_slices) == 2
+        assert plan.w_stacked.shape == (6, 20)
+        # sign split: pos rows hold positive magnitudes only
+        assert (plan.w_stacked[:3][w <= 0] == 0).all()
+        assert (plan.w_stacked[3:][w >= 0] == 0).all()
+
+
+class TestBiasedConvRegression:
+    """Satellite: conv bias must survive quantization in every mode."""
+
+    @pytest.fixture(scope="class")
+    def biased_setup(self):
+        rng = np.random.default_rng(9)
+        conv = Conv2d(3, 5, 3, padding=1, rng=rng, bias=True)
+        conv.bias[:] = rng.normal(0.0, 0.5, size=5)
+        model = Sequential(
+            conv, ReLU(), MaxPool2d(4), Flatten(),
+            Linear(5 * 6 * 6, N_CLASSES, rng=rng),
+        )
+        ds = generate_dataset(3, seed=1)
+        qm = QuantizedModel.from_trained(model, ds.images[:16])
+        return model, ds, qm
+
+    def test_float_and_int8_agree_with_bias(self, biased_setup):
+        model, ds, qm = biased_setup
+        x = ds.images[:6]
+        f = qm.forward(x, mode="float")
+        q = qm.forward(x, mode="int8")
+        assert np.allclose(f, model.forward(x.astype(np.float64)))
+        assert np.abs(f - q).max() < 0.25 * np.abs(f).max() + 0.1
+
+    def test_quantized_conv_actually_applies_bias(self, biased_setup):
+        """int8/sconna outputs shift by exactly the bias vector."""
+        _, ds, qm = biased_setup
+        x = ds.images[:4]
+        layer = next(s for s in qm.structure if isinstance(s, QuantLayer))
+        assert layer.kind == "conv" and layer.bias is not None
+        saved = layer.bias
+        for mode in ("int8", "sconna"):
+            em = SconnaErrorModel(adc_mape=0.0) if mode == "sconna" else None
+            with_bias = qm._run_quant_layer(layer, x.astype(np.float64), mode, em)
+            layer.bias = None
+            without = qm._run_quant_layer(layer, x.astype(np.float64), mode, em)
+            layer.bias = saved
+            delta = with_bias - without
+            expected = np.broadcast_to(saved.reshape(1, -1, 1, 1), delta.shape)
+            assert np.allclose(delta, expected)
+
+    def test_conv_bias_trains(self):
+        conv = Conv2d(1, 2, 3, bias=True)
+        x = np.ones((2, 1, 5, 5))
+        out = conv.forward(x)
+        conv.backward(np.ones_like(out))
+        assert conv.grad_bias.shape == (2,)
+        assert np.all(conv.grad_bias == 2 * 3 * 3)  # batch * out_h * out_w
+        assert len(conv.parameters()) == 2
+
+
+class TestLutArrayApi:
+    def test_matches_scalar_fetch(self):
+        lut = OsmLookupTable(4)
+        rng = np.random.default_rng(2)
+        i_arr = rng.integers(0, 16, size=40)
+        w_arr = rng.integers(0, 16, size=40)
+        batch = lut.fetch_product_counts(i_arr, w_arr)
+        scalar = [lut.fetch_product_count(int(i), int(w)) for i, w in zip(i_arr, w_arr)]
+        assert batch.tolist() == scalar
+
+    def test_counts_are_floor_products(self):
+        lut = OsmLookupTable(8)
+        rng = np.random.default_rng(4)
+        i_arr = rng.integers(0, 256, size=(3, 17))
+        w_arr = rng.integers(0, 256, size=(3, 17))
+        out = lut.fetch_product_counts(i_arr, w_arr)
+        assert np.array_equal(out, (i_arr * w_arr) >> 8)
+
+    def test_osm_batch_wrapper_matches_lut(self):
+        from repro.core.osm import OpticalStochasticMultiplier
+
+        osm = OpticalStochasticMultiplier()
+        rng = np.random.default_rng(14)
+        i_arr = rng.integers(0, 256, size=25)
+        w_arr = rng.integers(0, 256, size=25)
+        assert np.array_equal(
+            osm.multiply_streams_batch(i_arr, w_arr),
+            osm.lut.fetch_product_counts(i_arr, w_arr),
+        )
+
+    def test_broadcasting_and_validation(self):
+        lut = OsmLookupTable(4)
+        out = lut.fetch_product_counts(np.arange(16), 15)
+        assert out.shape == (16,)
+        with pytest.raises(ValueError):
+            lut.fetch_product_counts(np.array([16]), np.array([0]))
+        with pytest.raises(ValueError):
+            lut.fetch_product_counts(np.array([0]), np.array([-1]))
+
+    def test_engine_counts_match_bit_true_lut_accumulation(self, engines):
+        """The vectorized engine equals physically ANDing LUT streams.
+
+        Cross-checks the closed-form floor decomposition against the
+        bit-true OSM path: sign-steered sums of per-product AND
+        popcounts fetched through the array API.
+        """
+        b = 4
+        lut = OsmLookupTable(b)
+        rng = np.random.default_rng(13)
+        q, l, p = 23, 3, 5
+        cols = rng.integers(0, 1 << b, size=(2, q, p)).astype(np.int64)
+        w = rng.integers(-(1 << b) + 1, 1 << b, size=(l, q)).astype(np.int64)
+        counts = lut.fetch_product_counts(
+            cols[:, None, :, :], np.abs(w)[None, :, :, None]
+        )
+        expected = (np.sign(w)[None, :, :, None] * counts).sum(axis=2)
+        plan = compile_layer_plan(w, b, group=7)
+        for eng in engines:
+            assert np.array_equal(eng.matmul(plan, cols), expected)
+
+
+class TestBatchedVdp:
+    def test_batch_matches_scalar_loop(self):
+        rng = np.random.default_rng(8)
+        i_mat = rng.integers(0, 257, size=(9, 33))
+        w_mat = rng.integers(-256, 257, size=(9, 33))
+        pos, neg = sc_vdp_batch(i_mat, w_mat, 8)
+        for row in range(9):
+            assert (int(pos[row]), int(neg[row])) == sc_vdp(i_mat[row], w_mat[row], 8)
+
+    def test_vdpe_compute_vdp_unchanged(self):
+        """The batched piece computation preserves the functional contract."""
+        rng = np.random.default_rng(12)
+        i = rng.integers(0, 257, size=450)  # 450 = 2*176 + 98: ragged tail
+        w = rng.integers(-256, 257, size=450)
+        vdpe = SconnaVDPE(seed=0)
+        res = vdpe.compute_vdp(i, w, apply_adc_error=False)
+        assert res.signed_count == SconnaVDPE.exact_reference(i, w, 8)
+        assert res.optical_passes == 3
+
+
+class TestIm2colBufferReuse:
+    def test_out_buffer_matches_fresh_allocation(self):
+        rng = np.random.default_rng(6)
+        x = rng.integers(0, 100, size=(2, 3, 9, 9)).astype(np.int64)
+        fresh = im2col(x, 3, stride=2, padding=1)
+        buf = np.empty(fresh.shape, dtype=np.int64)
+        out = im2col(x, 3, stride=2, padding=1, out=buf)
+        assert out is buf
+        assert np.array_equal(fresh, buf)
+
+    def test_out_buffer_fuses_dtype_cast(self):
+        rng = np.random.default_rng(7)
+        x = rng.integers(0, 100, size=(1, 2, 6, 6)).astype(np.int64)
+        fresh = im2col(x, 2)
+        buf = np.empty(fresh.shape, dtype=np.float64)
+        im2col(x, 2, out=buf)
+        assert np.array_equal(fresh.astype(np.float64), buf)
+
+    def test_bad_out_shape_rejected(self):
+        x = np.zeros((1, 1, 4, 4))
+        with pytest.raises(ValueError):
+            im2col(x, 2, out=np.empty((1, 4, 4)))
+
+
+class TestNativeKernel:
+    def test_fallback_matches_native_when_available(self):
+        if not native.native_available():
+            pytest.skip("no native kernel in this environment")
+        rng = np.random.default_rng(10)
+        a_lo = np.ascontiguousarray(
+            rng.integers(0, 256, size=(2, 5, 40)).astype(np.uint8)
+        )
+        w_lo = np.ascontiguousarray(
+            rng.integers(0, 256, size=(6, 40)).astype(np.uint8)
+        )
+        out = np.empty((2, 6, 5), dtype=np.int32)
+        assert native.remainder_group_sums(a_lo, w_lo, 8, 31, 0xFF, out)
+        expect = (
+            (a_lo[:, None, :, 8:31].astype(np.int64)
+             * w_lo[None, :, None, 8:31]) % 256
+        ).sum(axis=-1)
+        assert np.array_equal(out.astype(np.int64), expect)
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        assert native.get_kernel() is None
+
+
+class TestEventKernelBatch:
+    def test_schedule_batch_orders_like_loop(self):
+        from repro.arch.events import EventKernel
+
+        seen = []
+        k = EventKernel()
+        k.schedule_batch([3e-9, 1e-9, 2e-9], lambda: seen.append(k.now))
+        k.schedule(1e-9, lambda: seen.append(("single", k.now)))
+        k.run()
+        assert seen == [1e-9, ("single", 1e-9), 2e-9, 3e-9]
+
+    def test_schedule_batch_rejects_past(self):
+        from repro.arch.events import EventKernel, SimulationError
+
+        with pytest.raises(SimulationError):
+            EventKernel().schedule_batch([1.0, -0.5], lambda: None)
