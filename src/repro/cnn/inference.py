@@ -122,6 +122,21 @@ class QuantizedModel:
             x = layer.forward(x)
         return cls(structure, precision_bits, config)
 
+    # -- persistence -------------------------------------------------------
+    def save(self, path: "str | object") -> "object":
+        """Serialize to a compressed NPZ archive (see
+        :mod:`repro.cnn.serialization`); returns the written path."""
+        from repro.cnn.serialization import save_quantized_model
+
+        return save_quantized_model(self, path)
+
+    @classmethod
+    def load(cls, path: "str | object") -> "QuantizedModel":
+        """Rebuild a saved model; layer plans are recompiled eagerly."""
+        from repro.cnn.serialization import load_quantized_model
+
+        return load_quantized_model(path)
+
     # -- execution ---------------------------------------------------------
     def forward(
         self,
