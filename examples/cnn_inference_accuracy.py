@@ -11,8 +11,14 @@ and compares three datapaths on the test set:
 This is a single-model slice of the Table V experiment
 (``benchmarks/bench_table5.py`` runs all four proxies).
 
-Run:  python examples/cnn_inference_accuracy.py
+Run:  python examples/cnn_inference_accuracy.py [--batch-size N]
+
+``--batch-size`` bounds the evaluation's working set: logits are
+computed and scored in streaming chunks of that size, never
+materialized for the whole test set at once.
 """
+
+import argparse
 
 from repro.cnn import (
     QuantizedModel,
@@ -25,6 +31,14 @@ from repro.stochastic.error_models import SconnaErrorModel
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--batch-size", type=int, default=50,
+        help="streaming evaluation batch size (default: 50)",
+    )
+    args = parser.parse_args()
+    batch_size = args.batch_size
+
     print("generating synthetic dataset (10 classes, 3x24x24) ...")
     dataset = generate_dataset(n_per_class=120, seed=0)
     train_set, test_set = train_test_split(dataset, test_fraction=0.3, seed=1)
@@ -37,20 +51,24 @@ def main() -> None:
     print("post-training 8-bit quantization + SCONNA evaluation ...")
     qmodel = QuantizedModel.from_trained(model, train_set.images[:64])
 
-    logits_f = qmodel.predict_logits(test_set.images, mode="float")
-    logits_i = qmodel.predict_logits(test_set.images, mode="int8")
-    top1_f = qmodel.top_k_from_logits(logits_f, test_set.labels, 1)
-    top1_i = qmodel.top_k_from_logits(logits_i, test_set.labels, 1)
+    top1_f = qmodel.top_k_accuracy(
+        test_set.images, test_set.labels, 1, mode="float", batch_size=batch_size
+    )
+    top1_i = qmodel.top_k_accuracy(
+        test_set.images, test_set.labels, 1, mode="int8", batch_size=batch_size
+    )
 
     # average the stochastic datapath over several ADC noise draws -
     # a single draw on a small test set is dominated by shot noise
     top1_s = []
     for seed in (0, 1, 2, 3):
-        logits_s = qmodel.predict_logits(
-            test_set.images, mode="sconna",
-            error_model=SconnaErrorModel(seed=seed),
+        top1_s.append(
+            qmodel.top_k_accuracy(
+                test_set.images, test_set.labels, 1, mode="sconna",
+                error_model=SconnaErrorModel(seed=seed),
+                batch_size=batch_size,
+            )
         )
-        top1_s.append(qmodel.top_k_from_logits(logits_s, test_set.labels, 1))
     mean_sconna = sum(top1_s) / len(top1_s)
 
     print()

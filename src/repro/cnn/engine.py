@@ -44,6 +44,7 @@ model) the two paths are exactly equal, which the property tests lock.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -201,15 +202,26 @@ class SconnaEngine:
 
     One engine per :class:`~repro.cnn.inference.QuantizedModel`; it is
     stateless apart from scratch buffers, so results do not depend on
-    call history.  The shared scratch buffers do make forward passes
-    non-reentrant: concurrent calls into one engine (or one
-    ``QuantizedModel``) would overwrite each other's workspaces - use
-    one model/engine instance per thread.
+    call history.  Buffer ownership is **per thread**: each thread that
+    runs a forward pass gets (and keeps, warm) its own
+    :class:`_BufferPool`, so concurrent calls into one engine - the
+    serving worker pool's steady state - never share workspaces.  A
+    worker's first batch pays the allocation cost once; every later
+    batch of the same geometry reuses the warm buffers.
     """
 
     def __init__(self, use_native: bool = True) -> None:
         self.use_native = use_native
-        self.pool = _BufferPool()
+        self._local = threading.local()
+
+    @property
+    def pool(self) -> _BufferPool:
+        """This thread's private scratch-buffer pool (created lazily)."""
+        pool = getattr(self._local, "pool", None)
+        if pool is None:
+            pool = _BufferPool()
+            self._local.pool = pool
+        return pool
 
     # -- main kernel -----------------------------------------------------
     def matmul(

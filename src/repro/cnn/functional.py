@@ -158,19 +158,30 @@ def relu(x: np.ndarray) -> np.ndarray:
 
 
 def max_pool2d(x: np.ndarray, kernel: int = 2, stride: int | None = None) -> np.ndarray:
-    """Max pooling (no padding)."""
+    """Max pooling (no padding).
+
+    Computed as an elementwise maximum over the ``K*K`` window-offset
+    slices (each a strided view of shape ``(B, C, out_h, out_w)``) - for
+    the small kernels CNNs use this is far faster than reducing a
+    windowed view along a tiny trailing axis, where the ufunc reduce
+    machinery pays its per-reduction overhead at every output pixel.
+    """
     stride = stride or kernel
     xb, squeeze = _as_batch(x)
-    b, c, h, w = xb.shape
-    out_h, out_w = conv_output_hw(h, w, kernel, stride, 0)
-    s0, s1, s2, s3 = xb.strides
-    windows = np.lib.stride_tricks.as_strided(
-        xb,
-        shape=(b, c, out_h, out_w, kernel, kernel),
-        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
-        writeable=False,
-    )
-    out = windows.max(axis=(4, 5))
+    out_h, out_w = conv_output_hw(xb.shape[2], xb.shape[3], kernel, stride, 0)
+    out: np.ndarray | None = None
+    for i in range(kernel):
+        for j in range(kernel):
+            window = xb[
+                :,
+                :,
+                i : i + (out_h - 1) * stride + 1 : stride,
+                j : j + (out_w - 1) * stride + 1 : stride,
+            ]
+            if out is None:
+                out = window.copy()
+            else:
+                np.maximum(out, window, out=out)
     return out[0] if squeeze else out
 
 

@@ -18,6 +18,7 @@ Table V is the Top-1/Top-5 gap between ``int8`` and ``sconna``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,7 +31,7 @@ from repro.cnn.engine import (
     sconna_matmul_reference,
     vector_path_supported,
 )
-from repro.cnn.functional import conv_output_hw, im2col
+from repro.cnn.functional import conv2d, conv_output_hw, im2col, linear, max_pool2d
 from repro.cnn.micro import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
 from repro.cnn.quantize import (
     QuantParams,
@@ -72,6 +73,7 @@ class QuantizedModel:
         self.precision_bits = precision_bits
         self.config = config or SconnaConfig(precision_bits=precision_bits)
         self._engine = SconnaEngine()
+        self._plan_lock = threading.Lock()
         for item in structure:
             if isinstance(item, QuantLayer):
                 self._plan_for(item)
@@ -150,9 +152,19 @@ class QuantizedModel:
         if mode == "sconna" and error_model is None:
             error_model = SconnaErrorModel(seed=0)
         x = images.astype(np.float64)
+        # the trainable layers' forwards cache backward-pass state on
+        # shared instances; inference dispatches to the stateless
+        # functional kernels instead, so concurrent forward passes into
+        # one model (the serving worker pool) never share mutable state
         for item in self.structure:
             if isinstance(item, QuantLayer):
                 x = self._run_quant_layer(item, x, mode, error_model)
+            elif isinstance(item, MaxPool2d):
+                x = max_pool2d(x, item.kernel, item.stride)
+            elif isinstance(item, ReLU):
+                x = np.maximum(x, 0.0)
+            elif isinstance(item, Flatten):
+                x = x.reshape(x.shape[0], -1)
             else:
                 x = item.forward(x)
         return x
@@ -165,9 +177,17 @@ class QuantizedModel:
         error_model: SconnaErrorModel | None,
     ) -> np.ndarray:
         if mode == "float":
-            return layer.float_layer.forward(x)
+            # stateless equivalents of the trainable forwards (bit-equal:
+            # same im2col/matmul/bias order), again so a shared model
+            # serves concurrent float-mode requests safely
+            fl = layer.float_layer
+            if layer.kind == "conv":
+                return conv2d(
+                    x, fl.weight, stride=layer.stride,
+                    padding=layer.padding, bias=fl.bias,
+                )
+            return linear(x, fl.weight, fl.bias)
 
-        a_q = quantize(np.maximum(x, 0.0), layer.act_params)
         scale = layer.act_params.scale * layer.weight_params.scale
         pool = self._engine.pool
 
@@ -183,10 +203,18 @@ class QuantizedModel:
                 # contraction stays below float64's 2**53 exact range
                 # (independent of the sconna engine's group envelope)
                 if q_len * (1 << (2 * self.precision_bits)) < 2**53:
-                    # gather patches straight into a reusable float64
-                    # buffer (fused cast)
+                    # fused quantization: the integer activation grid is
+                    # built in-place in a float64 workspace (values are
+                    # exact small integers), skipping quantize()'s int64
+                    # intermediate, and gathered straight into the
+                    # matmul's reusable column buffer
+                    aq_f = pool.get("aq_f", x.shape, np.float64)
+                    np.maximum(x, 0.0, out=aq_f)
+                    aq_f /= layer.act_params.scale
+                    np.rint(aq_f, out=aq_f)
+                    np.clip(aq_f, 0.0, float(layer.act_params.levels), out=aq_f)
                     cols_f = im2col(
-                        a_q, k, layer.stride, layer.padding,
+                        aq_f, k, layer.stride, layer.padding,
                         out=pool.get("cols_f", (b, q_len, p), np.float64),
                     )
                     w_f = (
@@ -194,13 +222,19 @@ class QuantizedModel:
                         if layer.plan is not None
                         else layer.weight_q.reshape(l, -1).astype(np.float64)
                     )
-                    out = np.matmul(w_f[None], cols_f) * scale
+                    mm = np.matmul(
+                        w_f[None], cols_f,
+                        out=pool.get("mm", (b, l, p), np.float64),
+                    )
+                    out = mm * scale
                 else:
                     # keep the seed's exact integer contraction
+                    a_q = quantize(np.maximum(x, 0.0), layer.act_params)
                     cols = im2col(a_q, k, layer.stride, layer.padding)
                     w_flat = layer.weight_q.reshape(l, -1)
                     out = np.einsum("lq,bqp->blp", w_flat, cols) * scale
             else:
+                a_q = quantize(np.maximum(x, 0.0), layer.act_params)
                 plan = self._plan_for(layer)
                 cols = im2col(
                     a_q, k, layer.stride, layer.padding,
@@ -214,6 +248,7 @@ class QuantizedModel:
             return out
 
         # linear: treat activations as (B, Q, 1) columns
+        a_q = quantize(np.maximum(x, 0.0), layer.act_params)
         if mode == "int8":
             out = (a_q @ layer.weight_q.T).astype(np.float64) * scale
         else:
@@ -231,22 +266,32 @@ class QuantizedModel:
 
         Returns None when the configuration falls outside the vectorized
         engine's exactness envelope; callers then take the reference
-        path.
+        path.  Compilation is serialized behind a lock so concurrent
+        first requests into a shared model cannot race on ``layer.plan``
+        (plans are normally compiled eagerly at construction, but a
+        config/precision change re-triggers the lazy path).
         """
         group = psum_group_size(self.config)
         if not vector_path_supported(self.precision_bits, group):
             return None
-        plan = layer.plan
-        if (
-            plan is None
-            or plan.group != group
-            or plan.precision_bits != self.precision_bits
-        ):
-            l = layer.weight_q.shape[0]
-            plan = compile_layer_plan(
-                layer.weight_q.reshape(l, -1), self.precision_bits, group
+
+        def stale(p: SconnaLayerPlan | None) -> bool:
+            return (
+                p is None
+                or p.group != group
+                or p.precision_bits != self.precision_bits
             )
-            layer.plan = plan
+
+        plan = layer.plan
+        if stale(plan):
+            with self._plan_lock:
+                plan = layer.plan  # double-checked: another thread may have won
+                if stale(plan):
+                    l = layer.weight_q.shape[0]
+                    plan = compile_layer_plan(
+                        layer.weight_q.reshape(l, -1), self.precision_bits, group
+                    )
+                    layer.plan = plan
         return plan
 
     def _sconna_counts(
@@ -287,6 +332,8 @@ class QuantizedModel:
         batch_size: int = 50,
     ) -> np.ndarray:
         """Batched forward pass returning all logits."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         outs = []
         for start in range(0, images.shape[0], batch_size):
             outs.append(
@@ -299,9 +346,25 @@ class QuantizedModel:
         return np.concatenate(outs, axis=0)
 
     @staticmethod
+    def count_top_k(
+        logits: np.ndarray, labels: np.ndarray, ks: "tuple[int, ...]"
+    ) -> "dict[int, int]":
+        """Correct-prediction counts for several k at once (one argsort).
+
+        The single scoring rule behind :meth:`top_k_from_logits`,
+        :meth:`top_k_accuracy` and :func:`evaluate_accuracy` - streamed
+        evaluation accumulates these per-batch counts.
+        """
+        order = np.argsort(logits, axis=1)[:, -max(ks):]
+        return {
+            k: int((order[:, -k:] == labels[:, None]).any(axis=1).sum())
+            for k in ks
+        }
+
+    @staticmethod
     def top_k_from_logits(logits: np.ndarray, labels: np.ndarray, k: int) -> float:
-        topk = np.argsort(logits, axis=1)[:, -k:]
-        return float((topk == labels[:, None]).any(axis=1).mean())
+        counts = QuantizedModel.count_top_k(logits, labels, (k,))
+        return counts[k] / max(labels.shape[0], 1)
 
     def top_k_accuracy(
         self,
@@ -314,8 +377,19 @@ class QuantizedModel:
     ) -> float:
         if images.shape[0] != labels.shape[0]:
             raise ValueError("images/labels length mismatch")
-        logits = self.predict_logits(images, mode, error_model, batch_size)
-        return self.top_k_from_logits(logits, labels, k)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        # streamed: per-batch correct counts, never the full logit matrix
+        correct = 0
+        for start in range(0, images.shape[0], batch_size):
+            logits = self.forward(
+                images[start : start + batch_size],
+                mode=mode,
+                error_model=error_model,
+            )
+            lab = labels[start : start + batch_size]
+            correct += self.count_top_k(logits, lab, (k,))[k]
+        return correct / max(images.shape[0], 1)
 
 
 @dataclass(frozen=True)
@@ -346,15 +420,32 @@ def evaluate_accuracy(
     images: np.ndarray,
     labels: np.ndarray,
     error_model: SconnaErrorModel | None = None,
+    batch_size: int = 50,
 ) -> AccuracyReport:
-    """Measure float / int8 / SCONNA Top-1 and Top-5 on a test set."""
+    """Measure float / int8 / SCONNA Top-1 and Top-5 on a test set.
+
+    Streams the test set in ``batch_size`` chunks and accumulates
+    correct-prediction counts, so peak memory is one batch of logits per
+    datapath rather than the full ``(N, classes)`` logit matrix - the
+    difference between "fits" and "does not" on ImageNet-scale sets.
+    """
+    if images.shape[0] != labels.shape[0]:
+        raise ValueError("images/labels length mismatch")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
     error_model = error_model or SconnaErrorModel(seed=0)
-    out = {}
-    for mode in ("float", "int8", "sconna"):
-        em = error_model if mode == "sconna" else None
-        logits = qmodel.predict_logits(images, mode=mode, error_model=em)
-        for k in (1, 5):
-            out[(mode, k)] = qmodel.top_k_from_logits(logits, labels, k)
+    n = images.shape[0]
+    correct = {(mode, k): 0 for mode in ("float", "int8", "sconna") for k in (1, 5)}
+    for start in range(0, n, batch_size):
+        img = images[start : start + batch_size]
+        lab = labels[start : start + batch_size]
+        for mode in ("float", "int8", "sconna"):
+            em = error_model if mode == "sconna" else None
+            logits = qmodel.forward(img, mode=mode, error_model=em)
+            counts = qmodel.count_top_k(logits, lab, (1, 5))
+            correct[(mode, 1)] += counts[1]
+            correct[(mode, 5)] += counts[5]
+    out = {key: count / max(n, 1) for key, count in correct.items()}
     return AccuracyReport(
         model_name=model_name,
         top1_float=out[("float", 1)],

@@ -78,6 +78,71 @@ class SconnaErrorModel:
         return self.adc_mape == 0.0 and self.skirt_leakage == 0.0
 
 
+class PerRequestErrorModels:
+    """Batch-axis composite: one independent error model per request.
+
+    The serving layer coalesces independent single-image requests into
+    one engine batch, but each request must see the *same* ADC noise it
+    would see served alone - otherwise results depend on which other
+    requests happened to share the batch.  This wrapper carries one
+    :class:`SconnaErrorModel` (or ``None`` for the ideal datapath) per
+    request, plus the number of images each request contributed, and
+    applies each model to its own contiguous slice of the batch axis.
+
+    Because the engine consumes noise in a fixed per-layer, per-psum-
+    group order with shapes ``(n_i, 2L, P)`` that depend only on the
+    request's own image count ``n_i``, every request's RNG stream is
+    identical across batch compositions: a seeded request returns
+    bit-identical logits whether it runs solo or packed with strangers.
+    """
+
+    def __init__(
+        self,
+        models: "list[SconnaErrorModel | None]",
+        sizes: "list[int] | None" = None,
+    ) -> None:
+        self.models = list(models)
+        self.sizes = [1] * len(self.models) if sizes is None else list(sizes)
+        if len(self.sizes) != len(self.models):
+            raise ValueError("models/sizes length mismatch")
+        if any(s < 1 for s in self.sizes):
+            raise ValueError("request sizes must be >= 1")
+
+    @property
+    def n_images(self) -> int:
+        return sum(self.sizes)
+
+    def ideal(self) -> bool:
+        return all(m is None or m.ideal() for m in self.models)
+
+    def apply_to_counts(
+        self,
+        counts: np.ndarray,
+        skirt_slots: np.ndarray | None = None,
+    ) -> np.ndarray:
+        vals = np.asarray(counts, dtype=float)
+        if vals.shape[0] != self.n_images:
+            raise ValueError(
+                f"batch axis {vals.shape[0]} does not match the "
+                f"{self.n_images} images of the registered requests"
+            )
+        out = np.empty_like(vals)
+        start = 0
+        for model, size in zip(self.models, self.sizes):
+            sl = slice(start, start + size)
+            if model is None or model.ideal():
+                # counts are exact integers; rint mirrors the noisy
+                # branch's integer quantization without perturbing them
+                np.rint(vals[sl], out=out[sl])
+            else:
+                out[sl] = model.apply_to_counts(
+                    vals[sl],
+                    None if skirt_slots is None else skirt_slots[sl],
+                )
+            start += size
+        return out
+
+
 @dataclass
 class MonteCarloErrorStats:
     """Empirical error statistics of the SC pipeline on random VDPs.
