@@ -1,0 +1,178 @@
+"""Serving-throughput benchmark: dynamic micro-batching vs batch-1.
+
+Stands up the full request path (registry -> service -> scheduler ->
+worker pool) around a zoo proxy model and drives it open-loop (async
+submissions, then wait for every future), once with batching disabled
+(``max_batch_size=1`` - the naive "one request, one forward pass"
+server) and once with the dynamic micro-batching policy.  Both the
+exact-integer ``int8`` datapath and the stochastic ``sconna`` datapath
+(per-request ADC-noise seeds) are measured.  Writes ``BENCH_serve.json``
+at the repo root::
+
+    PYTHONPATH=src python benchmarks/run_bench_serve.py
+
+Each record carries sustained requests/s, p50/p95/p99 latency, the
+batch-size histogram, and the batched scenario's speedup over batch-1 -
+the serving-layer acceptance number (>= 3x on the int8 datapath; the
+sconna datapath's per-image compute dominates its batch cost, so its
+coalescing gain is smaller and reported as-is).  ``--smoke`` runs a
+seconds-scale version of the same path for CI and writes nothing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_serve.json"
+
+
+def build_registry(root: Path, model_name: str, seed: int = 0):
+    """Quantize an (untrained) proxy and register it - serving throughput
+    does not depend on trained weights."""
+    from repro.cnn.datasets import generate_dataset
+    from repro.cnn.inference import QuantizedModel
+    from repro.cnn.train import PROXY_MODELS, build_proxy
+    from repro.serve import ModelRegistry
+
+    ds = generate_dataset(n_per_class=8, seed=seed)
+    qmodel = QuantizedModel.from_trained(
+        build_proxy(model_name, seed=seed), ds.images[:32]
+    )
+    registry = ModelRegistry(root)
+    registry.save(model_name, qmodel, arch_model=PROXY_MODELS[model_name])
+    return registry, ds
+
+
+def run_scenario(
+    registry, ds, model_name, *, mode, policy, n_workers, n_requests, repeats=1
+):
+    """Open-loop drive: async-submit everything, wait for every future.
+
+    Repeated ``repeats`` times on a fresh service; the fastest run is
+    reported (the same best-of-N discipline as the kernel benchmark -
+    slower runs measure scheduler noise, not the serving path).
+    """
+    from repro.serve import SconnaService
+
+    best = None
+    for _ in range(max(1, repeats)):
+        service = SconnaService(policy=policy, n_workers=n_workers, mode=mode)
+        service.add_from_registry(
+            registry, model_name, warm_shape=ds.images[0].shape
+        )
+        try:
+            for i in range(8):  # warm the request path itself
+                service.predict(model_name, ds.images[i % len(ds.images)], seed=i)
+            service.metrics.reset()  # keep warm-up out of the percentiles
+            t0 = time.perf_counter()
+            futures = [
+                service.predict_async(
+                    model_name, ds.images[i % len(ds.images)], seed=i
+                )
+                for i in range(n_requests)
+            ]
+            for f in futures:
+                f.result(timeout=300.0)
+            run_wall = time.perf_counter() - t0
+            run_snap = service.metrics_snapshot()
+        finally:
+            service.close()
+        if best is None or run_wall < best[0]:
+            best = (run_wall, run_snap)
+    wall, snap = best
+    return {
+        "mode": mode,
+        "requests": n_requests,
+        "workers": n_workers,
+        "max_batch_size": policy.max_batch_size,
+        "max_wait_ms": policy.max_wait_ms,
+        "wall_time_s": round(wall, 4),
+        "requests_per_s": round(n_requests / wall, 1),
+        "latency_p50_ms": round(snap["latency"]["p50_ms"], 3),
+        "latency_p95_ms": round(snap["latency"]["p95_ms"], 3),
+        "latency_p99_ms": round(snap["latency"]["p99_ms"], 3),
+        "mean_batch_images": round(snap["batch_size"]["mean"], 2),
+        "batch_histogram": snap["batch_size"]["histogram"],
+    }
+
+
+def main() -> None:
+    from repro.serve import BatchingPolicy
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="mnet_proxy",
+                        help="zoo proxy to serve (default: mnet_proxy)")
+    parser.add_argument("--requests", type=int, default=1000)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--max-batch-size", type=int, default=64)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-scale CI run; does not write the JSON")
+    args = parser.parse_args()
+    modes = ("int8",) if args.smoke else ("int8", "sconna")
+    repeats = 1 if args.smoke else 3
+    if args.smoke:
+        args.requests = 80
+
+    records = []
+    speedups = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        registry, ds = build_registry(Path(tmp), args.model)
+        print(f"serving {args.model} ({args.requests} open-loop requests/scenario)")
+        for mode in modes:
+            batch1 = run_scenario(
+                registry, ds, args.model, mode=mode,
+                policy=BatchingPolicy(max_batch_size=1, max_wait_ms=0.0),
+                n_workers=1, n_requests=args.requests, repeats=repeats,
+            )
+            batch1["scenario"] = "batch1"
+            # the sconna datapath's per-image compute peaks at smaller
+            # batches (cache residency); cap its coalescing at 32
+            cap = min(args.max_batch_size, 32) if mode == "sconna" else args.max_batch_size
+            dynamic = run_scenario(
+                registry, ds, args.model, mode=mode,
+                policy=BatchingPolicy(
+                    max_batch_size=cap,
+                    max_wait_ms=args.max_wait_ms,
+                ),
+                n_workers=args.workers, n_requests=args.requests, repeats=repeats,
+            )
+            dynamic["scenario"] = "dynamic"
+            speedup = dynamic["requests_per_s"] / batch1["requests_per_s"]
+            dynamic["speedup_vs_batch1"] = round(speedup, 2)
+            speedups[mode] = speedup
+            records += [batch1, dynamic]
+            for rec in (batch1, dynamic):
+                print(f"  {mode:6s} {rec['scenario']:8s}: "
+                      f"{rec['requests_per_s']:8.1f} req/s   "
+                      f"p50 {rec['latency_p50_ms']:7.1f} ms   "
+                      f"p99 {rec['latency_p99_ms']:7.1f} ms   "
+                      f"mean batch {rec['mean_batch_images']:5.1f}")
+            print(f"  {mode:6s} speedup : {speedup:.2f}x sustained requests/s")
+
+    if args.smoke:
+        print("smoke run: BENCH_serve.json not rewritten")
+        return
+
+    payload = {
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "model": args.model,
+        "records": records,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+    if speedups.get("int8", 0.0) < 3.0:
+        print("WARNING: int8 dynamic-batching speedup below the 3x target")
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,10 @@ This package rebuilds the paper's entire stack from scratch:
 ``repro.analysis``
     One harness per paper table/figure (Tables I, II, V; Figs. 6(c),
     7(a), 7(b), 9(a-c)) plus ablations, each printing paper-vs-measured.
+``repro.serve``
+    Serving layer: model registry, dynamic micro-batching, worker pool,
+    in-process + HTTP prediction APIs with per-request simulated
+    accelerator cost accounting.
 
 Quick start::
 
@@ -43,5 +47,6 @@ __all__ = [
     "cnn",
     "arch",
     "analysis",
+    "serve",
     "__version__",
 ]

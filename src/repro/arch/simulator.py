@@ -31,6 +31,8 @@ for utilisation and dynamic-energy accounting.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.arch import peripherals as P
@@ -235,3 +237,48 @@ def simulate_inference(
 ) -> PerfResult:
     """Convenience wrapper: one batch-1 inference simulation."""
     return AcceleratorSimulator(design).simulate(model)
+
+
+class SimulationCache:
+    """Memoized batch-1 simulations, keyed by (design, model) name.
+
+    The serving layer annotates every request of a model with the same
+    simulated accelerator cost, so the transaction-level simulation must
+    run once per (design, model) pair, not once per request.  The cache
+    is thread-safe (requests arrive concurrently) and assumes a name
+    uniquely identifies a design/descriptor configuration within one
+    cache instance - use separate caches for experiments that sweep a
+    design under a fixed name.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._results: "OrderedDict[tuple[str, str], PerfResult]" = OrderedDict()
+
+    def result(self, design: AcceleratorDesign, model: ModelDescriptor) -> PerfResult:
+        """The cached (or freshly simulated) batch-1 inference result."""
+        key = (design.name, model.name)
+        with self._lock:
+            hit = self._results.get(key)
+            if hit is not None:
+                self._results.move_to_end(key)
+                return hit
+        # simulate outside the lock: concurrent misses may duplicate
+        # work once, but never serialize unrelated simulations
+        res = AcceleratorSimulator(design).simulate(model)
+        with self._lock:
+            self._results[key] = res
+            while len(self._results) > self.max_entries:
+                self._results.popitem(last=False)
+        return res
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._results)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._results.clear()

@@ -1,0 +1,49 @@
+"""Batched inference serving on top of the SCONNA functional engine.
+
+The subsystem turns the repo's kernel-level reproduction into a small
+serving system with the throughput story the paper's comparisons are
+framed in (sustained requests/s, tail latency, per-request accelerator
+cost):
+
+* :mod:`repro.serve.registry`  - named on-disk model store (NPZ + JSON
+  manifests) with optional links to the :mod:`repro.cnn.zoo`
+  descriptors for cost accounting,
+* :mod:`repro.serve.batching`  - dynamic micro-batching scheduler
+  coalescing single-image requests under ``max_batch_size`` /
+  ``max_wait_ms`` policies,
+* :mod:`repro.serve.workers`   - thread worker pool with warm
+  per-worker engine buffers,
+* :mod:`repro.serve.service`   - the :class:`SconnaService` facade
+  (in-process ``predict``),
+* :mod:`repro.serve.httpd`     - stdlib JSON-over-HTTP endpoint,
+* :mod:`repro.serve.metrics`   - throughput / latency-percentile /
+  batch-shape accounting,
+* :mod:`repro.serve.costs`     - per-request simulated accelerator cost
+  annotations backed by :class:`repro.arch.simulator.SimulationCache`.
+"""
+
+from repro.serve.batching import BatchingPolicy, InferenceRequest, MicroBatcher
+from repro.serve.costs import CostAccountant, RequestCost, descriptor_from_quantized
+from repro.serve.httpd import ServeHTTPServer, serve_http
+from repro.serve.metrics import ServeMetrics, percentile
+from repro.serve.registry import ModelRegistry, RegistryEntry
+from repro.serve.service import Prediction, SconnaService
+from repro.serve.workers import WorkerPool
+
+__all__ = [
+    "BatchingPolicy",
+    "InferenceRequest",
+    "MicroBatcher",
+    "CostAccountant",
+    "RequestCost",
+    "descriptor_from_quantized",
+    "ServeHTTPServer",
+    "serve_http",
+    "ServeMetrics",
+    "percentile",
+    "ModelRegistry",
+    "RegistryEntry",
+    "Prediction",
+    "SconnaService",
+    "WorkerPool",
+]

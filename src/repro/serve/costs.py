@@ -1,0 +1,134 @@
+"""Per-request accelerator cost accounting.
+
+Every served request can carry an annotation of what it would cost on
+the simulated SCONNA hardware: the batch-1 latency, energy, and dominant
+bottleneck of its model from the transaction-level
+:mod:`repro.arch.simulator`, scaled by the request's image count.  The
+simulation runs once per (design, model) pair - results come from a
+shared :class:`repro.arch.simulator.SimulationCache` - so the marginal
+cost of annotating a request is a dictionary lookup.
+
+Models registered with an ``arch_model`` name use the published
+:mod:`repro.cnn.zoo` descriptor (reporting the paper network the proxy
+stands in for); otherwise :func:`descriptor_from_quantized` derives a
+descriptor from the quantized structure itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.designs import AcceleratorDesign, sconna_design
+from repro.arch.simulator import PerfResult, SimulationCache
+from repro.cnn.functional import conv_output_hw
+from repro.cnn.shapes import ConvLayerShape, ModelDescriptor, fc_shape
+
+
+@dataclass(frozen=True)
+class RequestCost:
+    """Simulated hardware cost of one request (n images, batch-1 each)."""
+
+    accelerator: str
+    model: str
+    n_images: int
+    latency_s: float          #: simulated wall time for the whole request
+    energy_j: float           #: simulated energy for the whole request
+    fps: float                #: per-image inference rate of the design
+    avg_power_w: float
+    fps_per_watt: float
+    bottleneck: str           #: stage bottlenecking the most layers
+
+    def as_dict(self) -> dict:
+        return {
+            "accelerator": self.accelerator,
+            "model": self.model,
+            "n_images": self.n_images,
+            "latency_s": self.latency_s,
+            "energy_j": self.energy_j,
+            "fps": self.fps,
+            "avg_power_w": self.avg_power_w,
+            "fps_per_watt": self.fps_per_watt,
+            "bottleneck": self.bottleneck,
+        }
+
+
+def descriptor_from_quantized(
+    qmodel, name: str, input_shape: "tuple[int, int, int]"
+) -> ModelDescriptor:
+    """Derive a layer-shape descriptor from a quantized model's structure.
+
+    Walks the structure with the activation's ``(channels, h, w)``
+    threaded through convolutions and pooling - the same bookkeeping the
+    zoo's :class:`~repro.cnn.zoo.builder.DescriptorBuilder` does for the
+    published block tables, here recovered from live weights.
+    """
+    from repro.cnn.inference import QuantLayer  # local: avoid import cycle
+    from repro.cnn.micro import MaxPool2d
+
+    c, h, w = input_shape
+    model = ModelDescriptor(name)
+    for i, item in enumerate(qmodel.structure):
+        if isinstance(item, QuantLayer) and item.kind == "conv":
+            l, in_c, k, _ = item.weight_q.shape
+            if in_c != c:
+                raise ValueError(
+                    f"layer {i}: conv expects {in_c} channels, tracker has {c}"
+                )
+            model.add(
+                ConvLayerShape(
+                    name=f"conv{i}",
+                    in_channels=in_c,
+                    out_channels=l,
+                    kernel=k,
+                    stride=item.stride,
+                    padding=item.padding,
+                    in_h=h,
+                    in_w=w,
+                )
+            )
+            c = l
+            h, w = conv_output_hw(h, w, k, item.stride, item.padding)
+        elif isinstance(item, QuantLayer):
+            out_f, in_f = item.weight_q.shape
+            model.add(fc_shape(f"fc{i}", in_f, out_f))
+            c, h, w = out_f, 1, 1
+        elif isinstance(item, MaxPool2d):
+            h, w = conv_output_hw(h, w, item.kernel, item.stride, 0)
+    if not model.layers:
+        raise ValueError("quantized model has no VDP-producing layers")
+    return model
+
+
+class CostAccountant:
+    """Annotates requests with cached accelerator simulation results."""
+
+    def __init__(
+        self,
+        design: AcceleratorDesign | None = None,
+        cache: SimulationCache | None = None,
+    ) -> None:
+        self.design = design or sconna_design()
+        self.cache = cache or SimulationCache()
+
+    def perf(self, descriptor: ModelDescriptor) -> PerfResult:
+        """The (cached) batch-1 simulation of one model."""
+        return self.cache.result(self.design, descriptor)
+
+    def annotate(self, descriptor: ModelDescriptor, n_images: int = 1) -> RequestCost:
+        """Cost of serving ``n_images`` through ``descriptor``'s model."""
+        if n_images < 1:
+            raise ValueError("n_images must be >= 1")
+        res = self.perf(descriptor)
+        hist = res.bottleneck_histogram()
+        bottleneck = max(hist.items(), key=lambda kv: kv[1])[0] if hist else "none"
+        return RequestCost(
+            accelerator=res.accelerator,
+            model=res.model,
+            n_images=n_images,
+            latency_s=res.latency_s * n_images,
+            energy_j=res.energy_j * n_images,
+            fps=res.fps,
+            avg_power_w=res.avg_power_w,
+            fps_per_watt=res.fps_per_watt,
+            bottleneck=bottleneck,
+        )

@@ -1,0 +1,169 @@
+"""Stdlib JSON-over-HTTP endpoint for :class:`~repro.serve.service.SconnaService`.
+
+No third-party web framework - a :class:`http.server.ThreadingHTTPServer`
+is enough here because the handler thread only *enqueues* into the
+micro-batching scheduler and waits on a future; coalescing and compute
+happen in the service's own threads.
+
+Routes::
+
+    GET  /healthz        -> {"status": "ok"}
+    GET  /v1/models      -> {"models": [...]}
+    GET  /v1/metrics     -> the ServeMetrics snapshot
+    POST /v1/predict     -> run one request
+
+``POST /v1/predict`` body (JSON)::
+
+    {
+      "model":  "name",            # optional when one model is served
+      "image":  [[[...]]],         # (C,H,W) nested lists, or (n,C,H,W)
+      "top_k":  5,                 # optional, default 1
+      "seed":   123,               # optional per-request ADC noise seed
+      "ideal":  false,             # optional: noiseless sconna datapath
+      "cost":   true               # optional: accelerator cost annotation
+    }
+
+Response: ``request_id``, ``logits`` (full-precision float64 - JSON
+round-trips them exactly, so an ideal-datapath response is bit-identical
+to the in-process API), ``top_k`` pairs, ``batch_images``,
+``latency_ms``, and the ``cost`` annotation when requested.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+#: request body cap (a (n,3,224,224) float image batch fits comfortably)
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    server: "ServeHTTPServer"
+
+    # -- plumbing --------------------------------------------------------
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def log_message(self, format: str, *args) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    # -- routes ----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send_json({"status": "ok"})
+        elif self.path == "/v1/models":
+            self._send_json({"models": service.models()})
+        elif self.path == "/v1/metrics":
+            self._send_json(service.metrics_snapshot())
+        else:
+            self._send_error(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler API)
+        if self.path != "/v1/predict":
+            self._send_error(404, f"unknown path {self.path!r}")
+            return
+        service = self.server.service
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            if not (0 < length <= MAX_BODY_BYTES):
+                self._send_error(400, "missing or oversized request body")
+                return
+            payload = json.loads(self.rfile.read(length))
+            model = payload.get("model")
+            if model is None:
+                names = service.models()
+                if len(names) != 1:
+                    self._send_error(
+                        400, f"'model' is required (registered: {names})"
+                    )
+                    return
+                model = names[0]
+            if "image" not in payload:
+                self._send_error(400, "'image' is required")
+                return
+            prediction = service.predict(
+                model,
+                payload["image"],
+                seed=payload.get("seed"),
+                ideal=bool(payload.get("ideal", False)),
+                top_k=int(payload.get("top_k", 1)),
+                with_cost=bool(payload.get("cost", False)),
+                timeout=self.server.request_timeout_s,
+            )
+        except KeyError as exc:
+            self._send_error(404, str(exc))
+            return
+        except (ValueError, TypeError, json.JSONDecodeError) as exc:
+            self._send_error(400, str(exc))
+            return
+        except Exception as exc:  # inference failure -> 500 with context
+            self._send_error(500, f"{type(exc).__name__}: {exc}")
+            return
+        self._send_json(
+            {
+                "request_id": prediction.request_id,
+                "model": prediction.model,
+                "logits": prediction.logits.tolist(),
+                "top_k": [
+                    [{"class": c, "logit": v} for c, v in per_image]
+                    for per_image in prediction.top_k
+                ],
+                "batch_images": prediction.batch_images,
+                "latency_ms": prediction.latency_s * 1e3,
+                "cost": None if prediction.cost is None else prediction.cost.as_dict(),
+            }
+        )
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """HTTP front-end bound to one service (``port=0`` picks a free port)."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout_s: float = 60.0,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.request_timeout_s = request_timeout_s
+        self.verbose = verbose
+        super().__init__((host, port), _ServeHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve_http(
+    service,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> "tuple[ServeHTTPServer, threading.Thread]":
+    """Start a background HTTP server; returns (server, thread).
+
+    Call ``server.shutdown()`` then ``service.close()`` to stop.
+    """
+    server = ServeHTTPServer(service, host=host, port=port, verbose=verbose)
+    thread = threading.Thread(
+        target=server.serve_forever, name="sconna-httpd", daemon=True
+    )
+    thread.start()
+    return server, thread

@@ -1,0 +1,154 @@
+"""Serving metrics: throughput, latency percentiles, batch shapes.
+
+One :class:`ServeMetrics` instance per service aggregates everything the
+benchmark and the HTTP ``/v1/metrics`` endpoint report.  All recording
+methods are thread-safe (the scheduler, the workers, and every client
+thread write concurrently); reading is a consistent :meth:`snapshot`.
+
+Latency and wait samples are kept in bounded deques - a long-lived
+service keeps the most recent ``max_samples`` observations, so the
+percentiles track current behaviour rather than boot-time history.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+
+def percentile(values: "list[float]", q: float) -> float:
+    """Linear-interpolated percentile of an unsorted sample (q in [0, 100])."""
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if not (0.0 <= q <= 100.0):
+        raise ValueError("q must be in [0, 100]")
+    data = sorted(values)
+    if len(data) == 1:
+        return float(data[0])
+    pos = (len(data) - 1) * (q / 100.0)
+    lo = int(pos)
+    hi = min(lo + 1, len(data) - 1)
+    frac = pos - lo
+    return float(data[lo] * (1.0 - frac) + data[hi] * frac)
+
+
+class ServeMetrics:
+    """Thread-safe serving counters and samples."""
+
+    def __init__(self, max_samples: int = 100_000) -> None:
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self._lock = threading.Lock()
+        self._latencies_s: "deque[float]" = deque(maxlen=max_samples)
+        self._waits_s: "deque[float]" = deque(maxlen=max_samples)
+        self._queue_depths: "deque[int]" = deque(maxlen=max_samples)
+        self._batch_hist: "dict[int, int]" = {}
+        self._n_requests = 0
+        self._n_images = 0
+        self._n_batches = 0
+        self._n_batched_requests = 0
+        self._n_errors = 0
+        self._first_done: float | None = None
+        self._last_done: float | None = None
+
+    # -- recording -------------------------------------------------------
+    def record_enqueue(self, queue_depth: int) -> None:
+        with self._lock:
+            self._queue_depths.append(int(queue_depth))
+
+    def record_batch(self, n_requests: int, n_images: int) -> None:
+        """One coalesced batch: its request count and its image count
+        (they differ when requests carry multi-image stacks)."""
+        with self._lock:
+            self._n_batches += 1
+            self._n_batched_requests += n_requests
+            self._batch_hist[n_images] = self._batch_hist.get(n_images, 0) + 1
+
+    def record_request(self, latency_s: float, wait_s: float, n_images: int = 1) -> None:
+        self.record_requests([(latency_s, wait_s, n_images)])
+
+    def record_requests(
+        self, samples: "list[tuple[float, float, int]]"
+    ) -> None:
+        """Batch variant of :meth:`record_request`: one lock acquisition
+        per coalesced batch instead of one per request."""
+        if not samples:
+            return
+        now = time.monotonic()
+        with self._lock:
+            for latency_s, wait_s, n_images in samples:
+                self._n_requests += 1
+                self._n_images += n_images
+                self._latencies_s.append(float(latency_s))
+                self._waits_s.append(float(wait_s))
+            if self._first_done is None:
+                self._first_done = now
+            self._last_done = now
+
+    def record_error(self, n_requests: int = 1) -> None:
+        with self._lock:
+            self._n_errors += n_requests
+
+    def reset(self) -> None:
+        """Discard everything recorded so far (e.g. warm-up traffic)."""
+        with self._lock:
+            self._latencies_s.clear()
+            self._waits_s.clear()
+            self._queue_depths.clear()
+            self._batch_hist.clear()
+            self._n_requests = self._n_images = 0
+            self._n_batches = self._n_batched_requests = 0
+            self._n_errors = 0
+            self._first_done = self._last_done = None
+
+    # -- reading ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A consistent, JSON-ready view of every aggregate."""
+        with self._lock:
+            latencies = list(self._latencies_s)
+            waits = list(self._waits_s)
+            depths = list(self._queue_depths)
+            hist = dict(self._batch_hist)
+            n_requests, n_images = self._n_requests, self._n_images
+            n_batches, n_errors = self._n_batches, self._n_errors
+            n_batched_requests = self._n_batched_requests
+            first, last = self._first_done, self._last_done
+
+        def ms_stats(samples: "list[float]") -> dict:
+            if not samples:
+                return {"count": 0}
+            return {
+                "count": len(samples),
+                "mean_ms": 1e3 * sum(samples) / len(samples),
+                "p50_ms": 1e3 * percentile(samples, 50.0),
+                "p95_ms": 1e3 * percentile(samples, 95.0),
+                "p99_ms": 1e3 * percentile(samples, 99.0),
+                "max_ms": 1e3 * max(samples),
+            }
+
+        span_s = (last - first) if (first is not None and last is not None) else 0.0
+        total_batched = sum(size * count for size, count in hist.items())
+        return {
+            "requests": n_requests,
+            "images": n_images,
+            "batches": n_batches,
+            "errors": n_errors,
+            # completions per second over the observed completion span;
+            # needs >= 2 completions for a meaningful span
+            "requests_per_s": (n_requests - 1) / span_s if span_s > 0 else None,
+            "latency": ms_stats(latencies),
+            "queue_wait": ms_stats(waits),
+            "batch_size": {
+                "histogram": {str(k): v for k, v in sorted(hist.items())},
+                "mean": total_batched / n_batches if n_batches else None,
+                "mean_requests": (
+                    n_batched_requests / n_batches if n_batches else None
+                ),
+                "max": max(hist) if hist else None,
+            },
+            "queue_depth": {
+                "mean": sum(depths) / len(depths) if depths else None,
+                "max": max(depths) if depths else None,
+            },
+        }

@@ -1,0 +1,347 @@
+"""The serving facade: named models, batched predict, cost annotations.
+
+One :class:`SconnaService` hosts any number of named models.  Each model
+gets its own :class:`~repro.serve.batching.MicroBatcher` lane (batches
+never mix models); all lanes dispatch into one shared
+:class:`~repro.serve.workers.WorkerPool`.  The request path is::
+
+    predict()  ->  lane queue  ->  scheduler coalesces  ->  worker runs
+    qmodel.forward(batch)  ->  logits split per request  ->  futures
+
+Reproducibility: a ``seed``-carrying request in the ``sconna`` datapath
+gets its own :class:`~repro.stochastic.error_models.SconnaErrorModel`,
+applied to its slice of the batch through
+:class:`~repro.stochastic.error_models.PerRequestErrorModels` - so its
+logits are bit-identical no matter which other requests shared the
+batch.  ``ideal=True`` requests the noiseless datapath; ``seed=None``
+(the default) draws fresh ADC noise per request.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent import futures
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cnn.inference import QuantizedModel
+from repro.serve.batching import BatchingPolicy, InferenceRequest, MicroBatcher
+from repro.serve.costs import CostAccountant, RequestCost, descriptor_from_quantized
+from repro.serve.metrics import ServeMetrics
+from repro.serve.workers import WorkerPool
+from repro.stochastic.error_models import PerRequestErrorModels, SconnaErrorModel
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Result of one request."""
+
+    request_id: int
+    model: str
+    logits: np.ndarray              #: (n, classes) float64
+    top_k: "list[list[tuple[int, float]]]"  #: per image: [(class, logit), ...]
+    batch_images: int               #: images in the coalesced batch it rode in
+    latency_s: float                #: enqueue -> completion
+    cost: RequestCost | None = None
+
+    @property
+    def top_class(self) -> int:
+        """Top-1 class of the first (usually only) image."""
+        return self.top_k[0][0][0]
+
+
+@dataclass
+class _ModelEntry:
+    name: str
+    qmodel: QuantizedModel
+    mode: str
+    batcher: MicroBatcher
+    descriptor: object | None = None      #: ModelDescriptor for costs
+    input_shape: "tuple[int, int, int] | None" = None   #: lane (C, H, W)
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class SconnaService:
+    """In-process serving API over quantized SCONNA models."""
+
+    def __init__(
+        self,
+        policy: BatchingPolicy | None = None,
+        n_workers: int = 2,
+        mode: str = "sconna",
+        cost_accountant: CostAccountant | None = None,
+        metrics: ServeMetrics | None = None,
+    ) -> None:
+        if mode not in ("float", "int8", "sconna"):
+            raise ValueError(f"unknown default mode {mode!r}")
+        self.default_policy = policy or BatchingPolicy()
+        self.default_mode = mode
+        self.metrics = metrics or ServeMetrics()
+        self.costs = cost_accountant or CostAccountant()
+        self._pool = WorkerPool(n_workers)
+        self._models: "dict[str, _ModelEntry]" = {}
+        self._ids = itertools.count(1)
+        self._closed = False
+
+    # -- model management ------------------------------------------------
+    def add_model(
+        self,
+        name: str,
+        qmodel: QuantizedModel,
+        mode: str | None = None,
+        policy: BatchingPolicy | None = None,
+        arch_model: str | None = None,
+        warm_shape: "tuple[int, int, int] | None" = None,
+    ) -> None:
+        """Register a model under ``name`` and open its batching lane.
+
+        ``arch_model`` links cost annotations to a published zoo
+        descriptor; otherwise the descriptor is derived from the model
+        structure on first cost-annotated request.  ``warm_shape`` (a
+        ``(C, H, W)`` image shape) pre-warms every worker's engine
+        buffers with one dummy batch so the first real request does not
+        pay allocation costs.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        if name in self._models:
+            raise ValueError(f"model {name!r} is already registered")
+        mode = mode or self.default_mode
+        if mode not in ("float", "int8", "sconna"):
+            raise ValueError(f"unknown mode {mode!r}")
+        descriptor = None
+        if arch_model is not None:
+            from repro.cnn.zoo import build_model
+
+            descriptor = build_model(arch_model)
+        entry = _ModelEntry(name=name, qmodel=qmodel, mode=mode, batcher=None,  # type: ignore[arg-type]
+                            descriptor=descriptor)
+        entry.batcher = MicroBatcher(
+            dispatch=lambda batch: self._pool.submit(
+                lambda: self._run_batch(entry, batch)
+            ),
+            policy=policy or self.default_policy,
+            name=f"batcher-{name}",
+        )
+        self._models[name] = entry
+        if warm_shape is not None:
+            entry.input_shape = tuple(int(d) for d in warm_shape)
+            c, h, w = warm_shape
+            dummy = np.zeros(
+                (min(entry.batcher.policy.max_batch_size, 4), c, h, w)
+            )
+            em = (
+                SconnaErrorModel(adc_mape=0.0) if mode == "sconna" else None
+            )
+            self._pool.warm(
+                lambda: qmodel.forward(dummy, mode=mode, error_model=em)
+            )
+
+    def add_from_registry(
+        self,
+        registry,
+        name: str,
+        mode: str | None = None,
+        policy: BatchingPolicy | None = None,
+        warm_shape: "tuple[int, int, int] | None" = None,
+    ) -> None:
+        """Load a registry entry and serve it under its registered name."""
+        reg_entry = registry.entry(name)
+        self.add_model(
+            name,
+            registry.load(name),
+            mode=mode,
+            policy=policy,
+            arch_model=reg_entry.arch_model,
+            warm_shape=warm_shape,
+        )
+
+    def models(self) -> "list[str]":
+        return sorted(self._models)
+
+    # -- request path ----------------------------------------------------
+    def predict_async(
+        self,
+        model: str,
+        image: np.ndarray,
+        seed: int | None = None,
+        ideal: bool = False,
+        top_k: int = 1,
+        with_cost: bool = False,
+    ) -> Future:
+        """Enqueue one request; returns a future of :class:`Prediction`.
+
+        ``image`` is one ``(C, H, W)`` image or an ``(n, C, H, W)``
+        stack (served as one indivisible request).
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        entry = self._models.get(model)
+        if entry is None:
+            raise KeyError(f"unknown model {model!r}; registered: {self.models()}")
+        # no dtype coercion here: forward() casts the *coalesced* batch
+        # to float64 once, so the copy cost amortizes across the batch
+        images = np.asarray(image)
+        if images.ndim == 3:
+            images = images[None]
+        if images.ndim != 4:
+            raise ValueError("image must be (C, H, W) or (n, C, H, W)")
+        # lane-shape gate: a geometry mismatch must fail *this* caller,
+        # not poison the strangers it would be coalesced with
+        shape = tuple(int(d) for d in images.shape[1:])
+        if entry.input_shape is None:
+            with entry.lock:
+                if entry.input_shape is None:
+                    entry.input_shape = shape
+        if shape != entry.input_shape:
+            raise ValueError(
+                f"image shape {shape} does not match this model's "
+                f"serving shape {entry.input_shape}"
+            )
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        error_model = None
+        if entry.mode == "sconna":
+            error_model = (
+                SconnaErrorModel(adc_mape=0.0)
+                if ideal
+                else SconnaErrorModel(seed=seed)
+            )
+        request = InferenceRequest(
+            request_id=next(self._ids),
+            images=images,
+            error_model=error_model,
+            top_k=top_k,
+            with_cost=with_cost,
+        )
+        # queue depth is a gauge - sampling every 16th request keeps the
+        # submit path off the metrics lock at high request rates
+        if request.request_id % 16 == 0:
+            self.metrics.record_enqueue(entry.batcher.queue_depth())
+        return entry.batcher.submit(request)
+
+    def predict(
+        self,
+        model: str,
+        image: np.ndarray,
+        seed: int | None = None,
+        ideal: bool = False,
+        top_k: int = 1,
+        with_cost: bool = False,
+        timeout: float | None = 30.0,
+    ) -> Prediction:
+        """Blocking :meth:`predict_async`."""
+        return self.predict_async(
+            model, image, seed=seed, ideal=ideal, top_k=top_k, with_cost=with_cost
+        ).result(timeout)
+
+    # -- batch execution (worker threads) --------------------------------
+    def _run_batch(self, entry: _ModelEntry, batch: "list[InferenceRequest]") -> None:
+        try:
+            exec_start = time.monotonic()
+            stacked = (
+                batch[0].images
+                if len(batch) == 1
+                else np.concatenate([r.images for r in batch], axis=0)
+            )
+            error_model = None
+            if entry.mode == "sconna":
+                error_model = PerRequestErrorModels(
+                    [r.error_model for r in batch],
+                    [r.n_images for r in batch],
+                )
+            logits = entry.qmodel.forward(
+                stacked, mode=entry.mode, error_model=error_model
+            )
+            self.metrics.record_batch(len(batch), int(stacked.shape[0]))
+            # one descending argsort for the whole coalesced batch; each
+            # request slices its own rows below
+            order = np.argsort(logits, axis=1)[:, ::-1]
+            done = time.monotonic()
+            samples: list[tuple[float, float, int]] = []
+            start = 0
+            for req in batch:
+                sl = logits[start : start + req.n_images]
+                req_order = order[start : start + req.n_images]
+                start += req.n_images
+                cost = None
+                if req.with_cost:
+                    cost = self.costs.annotate(
+                        self._descriptor_for(entry, req), req.n_images
+                    )
+                latency = done - req.enqueued_at
+                samples.append(
+                    (latency, exec_start - req.enqueued_at, req.n_images)
+                )
+                prediction = Prediction(
+                    request_id=req.request_id,
+                    model=entry.name,
+                    logits=sl,
+                    top_k=_top_k_lists(sl, req_order, req.top_k),
+                    batch_images=int(stacked.shape[0]),
+                    latency_s=latency,
+                    cost=cost,
+                )
+                if not req.future.done():  # client may have cancelled
+                    try:
+                        req.future.set_result(prediction)
+                    except futures.InvalidStateError:
+                        pass  # lost the race with a cancel
+            self.metrics.record_requests(samples)
+        except BaseException as exc:  # route failures to the waiting clients
+            self.metrics.record_error(len(batch))
+            for req in batch:
+                if not req.future.done():
+                    try:
+                        req.future.set_exception(exc)
+                    except futures.InvalidStateError:
+                        pass  # lost the race with a cancel
+
+    def _descriptor_for(self, entry: _ModelEntry, req: InferenceRequest):
+        if entry.descriptor is None:
+            with entry.lock:
+                if entry.descriptor is None:
+                    c, h, w = req.images.shape[1:]
+                    entry.descriptor = descriptor_from_quantized(
+                        entry.qmodel, entry.name, (int(c), int(h), int(w))
+                    )
+        return entry.descriptor
+
+    # -- metrics / lifecycle ---------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        snap = self.metrics.snapshot()
+        snap["models"] = self.models()
+        return snap
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Graceful shutdown: drain every lane, then stop the workers.
+
+        Requests already submitted complete; new submissions raise.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for entry in self._models.values():
+            entry.batcher.close(timeout)
+        self._pool.close(timeout)
+
+    def __enter__(self) -> "SconnaService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _top_k_lists(
+    logits: np.ndarray, order: np.ndarray, k: int
+) -> "list[list[tuple[int, float]]]":
+    """Per-image (class, logit) pairs, best first (``order`` precomputed)."""
+    k = min(k, logits.shape[1])
+    return [
+        [(int(c), float(logits[i, c])) for c in order[i, :k]]
+        for i in range(logits.shape[0])
+    ]

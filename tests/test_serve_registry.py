@@ -1,0 +1,79 @@
+"""Model-registry round trips and manifest handling."""
+
+import numpy as np
+import pytest
+
+from repro.cnn.datasets import N_CLASSES, generate_dataset
+from repro.cnn.inference import QuantizedModel
+from repro.cnn.micro import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from repro.serve import ModelRegistry
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def tiny_qmodel():
+    rng = make_rng(0)
+    model = Sequential(
+        Conv2d(3, 5, 3, padding=1, rng=rng), ReLU(), MaxPool2d(4),
+        Flatten(), Linear(5 * 6 * 6, N_CLASSES, rng=rng),
+    )
+    ds = generate_dataset(4, seed=1)
+    return QuantizedModel.from_trained(model, ds.images[:16]), ds
+
+
+class TestRegistry:
+    def test_save_load_round_trip(self, tiny_qmodel, tmp_path):
+        qm, ds = tiny_qmodel
+        reg = ModelRegistry(tmp_path)
+        entry = reg.save("tiny", qm, arch_model="ShuffleNet_V2",
+                         metadata={"note": "unit test"})
+        assert entry.precision_bits == 8
+        assert "tiny" in reg and reg.names() == ["tiny"]
+        loaded = reg.load("tiny")
+        assert np.array_equal(
+            qm.forward(ds.images[:4], mode="int8"),
+            loaded.forward(ds.images[:4], mode="int8"),
+        )
+
+    def test_manifest_fields(self, tiny_qmodel, tmp_path):
+        qm, _ = tiny_qmodel
+        reg = ModelRegistry(tmp_path)
+        reg.save("m1", qm, arch_model="GoogleNet")
+        entry = reg.entry("m1")
+        assert entry.arch_model == "GoogleNet"
+        assert entry.path.exists()
+        assert entry.created_at > 0
+
+    def test_unknown_arch_model_rejected(self, tiny_qmodel, tmp_path):
+        qm, _ = tiny_qmodel
+        with pytest.raises(ValueError, match="arch_model"):
+            ModelRegistry(tmp_path).save("m", qm, arch_model="AlexNet")
+
+    def test_invalid_names_rejected(self, tiny_qmodel, tmp_path):
+        qm, _ = tiny_qmodel
+        reg = ModelRegistry(tmp_path)
+        for bad in ("../escape", "a/b", "", ".hidden"):
+            with pytest.raises(ValueError):
+                reg.save(bad, qm)
+
+    def test_missing_model_raises_keyerror(self, tmp_path):
+        reg = ModelRegistry(tmp_path)
+        with pytest.raises(KeyError):
+            reg.entry("ghost")
+        with pytest.raises(KeyError):
+            reg.delete("ghost")
+
+    def test_delete_removes_entry(self, tiny_qmodel, tmp_path):
+        qm, _ = tiny_qmodel
+        reg = ModelRegistry(tmp_path)
+        reg.save("gone", qm)
+        reg.delete("gone")
+        assert "gone" not in reg and len(reg) == 0
+
+    def test_overwrite_updates_entry(self, tiny_qmodel, tmp_path):
+        qm, _ = tiny_qmodel
+        reg = ModelRegistry(tmp_path)
+        reg.save("m", qm)
+        reg.save("m", qm, metadata={"v": 2})
+        assert reg.entry("m").metadata == {"v": 2}
+        assert len(reg) == 1
