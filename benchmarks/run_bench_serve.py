@@ -1,29 +1,39 @@
-"""Serving-throughput benchmark: dynamic micro-batching vs batch-1.
+"""Serving-throughput benchmark: batching policies x execution backends.
 
 Stands up the full request path (registry -> service -> scheduler ->
-worker pool) around a zoo proxy model and drives it open-loop (async
-submissions, then wait for every future), once with batching disabled
-(``max_batch_size=1`` - the naive "one request, one forward pass"
-server) and once with the dynamic micro-batching policy.  Both the
-exact-integer ``int8`` datapath and the stochastic ``sconna`` datapath
-(per-request ADC-noise seeds) are measured.  Writes ``BENCH_serve.json``
-at the repo root::
+execution backend) around a zoo proxy model and drives it open-loop
+(async submissions, then wait for every future):
+
+* ``batch1`` - batching disabled (``max_batch_size=1``), thread backend:
+  the naive "one request, one forward pass" server;
+* ``dynamic`` - the dynamic micro-batching policy on the thread backend;
+* ``dynamic`` x :class:`~repro.serve.backends.ProcessBackend` - the same
+  policy sharded over N worker processes, swept over ``--shards`` on the
+  ``sconna`` datapath (whose per-image compute dominates its batch cost,
+  making it the datapath that needs multi-core scaling).
+
+Writes ``BENCH_serve.json`` at the repo root::
 
     PYTHONPATH=src python benchmarks/run_bench_serve.py
+    PYTHONPATH=src python benchmarks/run_bench_serve.py --backend both --shards 2,4
 
 Each record carries sustained requests/s, p50/p95/p99 latency, the
-batch-size histogram, and the batched scenario's speedup over batch-1 -
-the serving-layer acceptance number (>= 3x on the int8 datapath; the
-sconna datapath's per-image compute dominates its batch cost, so its
-coalescing gain is smaller and reported as-is).  ``--smoke`` runs a
-seconds-scale version of the same path for CI and writes nothing.
+batch-size histogram, and speedups over batch-1 (and, for process
+records, over the single-process dynamic baseline - the multi-core
+scaling number; on a single-core container expect <= 1x, the sharding
+gain needs real cores).  ``--smoke`` runs a seconds-scale version for
+CI and writes nothing; ``--check-equivalence`` additionally pushes one
+seeded request stream through both backends and fails unless the
+per-request logits are bit-identical.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import sys
 import tempfile
 import time
 from datetime import datetime, timezone
@@ -50,8 +60,21 @@ def build_registry(root: Path, model_name: str, seed: int = 0):
     return registry, ds
 
 
+def make_service(registry, ds, model_name, *, mode, policy, n_workers,
+                 backend="thread", n_shards=2):
+    from repro.serve import SconnaService
+
+    service = SconnaService(
+        policy=policy, n_workers=n_workers, mode=mode,
+        backend=backend, n_shards=n_shards,
+    )
+    service.add_from_registry(registry, model_name, warm_shape=ds.images[0].shape)
+    return service
+
+
 def run_scenario(
-    registry, ds, model_name, *, mode, policy, n_workers, n_requests, repeats=1
+    registry, ds, model_name, *, mode, policy, n_workers, n_requests,
+    repeats=1, backend="thread", n_shards=2,
 ):
     """Open-loop drive: async-submit everything, wait for every future.
 
@@ -59,18 +82,19 @@ def run_scenario(
     reported (the same best-of-N discipline as the kernel benchmark -
     slower runs measure scheduler noise, not the serving path).
     """
-    from repro.serve import SconnaService
-
     best = None
     for _ in range(max(1, repeats)):
-        service = SconnaService(policy=policy, n_workers=n_workers, mode=mode)
-        service.add_from_registry(
-            registry, model_name, warm_shape=ds.images[0].shape
+        service = make_service(
+            registry, ds, model_name, mode=mode, policy=policy,
+            n_workers=n_workers, backend=backend, n_shards=n_shards,
         )
         try:
             for i in range(8):  # warm the request path itself
-                service.predict(model_name, ds.images[i % len(ds.images)], seed=i)
-            service.metrics.reset()  # keep warm-up out of the percentiles
+                service.predict(
+                    model_name, ds.images[i % len(ds.images)], seed=i,
+                    timeout=300.0,
+                )
+            service.reset_metrics()  # keep warm-up out of the percentiles
             t0 = time.perf_counter()
             futures = [
                 service.predict_async(
@@ -89,6 +113,8 @@ def run_scenario(
     wall, snap = best
     return {
         "mode": mode,
+        "backend": backend,
+        "shards": n_shards if backend == "process" else None,
         "requests": n_requests,
         "workers": n_workers,
         "max_batch_size": policy.max_batch_size,
@@ -103,6 +129,51 @@ def run_scenario(
     }
 
 
+def check_equivalence(registry, ds, model_name, *, policy, n_shards,
+                      n_requests=40) -> None:
+    """The cross-backend determinism gate: one seeded request stream
+    through ThreadBackend and ProcessBackend must produce bit-identical
+    per-request logits.  Exits nonzero on the first mismatch."""
+    import numpy as np
+
+    def drive(backend):
+        service = make_service(
+            registry, ds, model_name, mode="sconna", policy=policy,
+            n_workers=2, backend=backend, n_shards=n_shards,
+        )
+        try:
+            futures = [
+                service.predict_async(
+                    model_name, ds.images[i % len(ds.images)], seed=i
+                )
+                for i in range(n_requests)
+            ]
+            return [f.result(timeout=300.0).logits for f in futures]
+        finally:
+            service.close()
+
+    thread_logits = drive("thread")
+    process_logits = drive("process")
+    mismatches = [
+        i
+        for i, (a, b) in enumerate(zip(thread_logits, process_logits))
+        if not np.array_equal(a, b)
+    ]
+    if mismatches:
+        print(f"EQUIVALENCE FAILED: {len(mismatches)}/{n_requests} requests "
+              f"differ between backends (first: request {mismatches[0]})")
+        sys.exit(1)
+    print(f"equivalence: {n_requests} seeded sconna requests bit-identical "
+          f"across thread and {n_shards}-shard process backends")
+
+
+def parse_shards(spec: str) -> "list[int]":
+    counts = [int(tok) for tok in spec.split(",") if tok.strip()]
+    if not counts or any(c < 1 for c in counts):
+        raise argparse.ArgumentTypeError("--shards needs positive integers")
+    return counts
+
+
 def main() -> None:
     from repro.serve import BatchingPolicy
 
@@ -113,9 +184,22 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--max-batch-size", type=int, default=64)
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--backend", default="both",
+                        choices=("thread", "process", "both"),
+                        help="which execution backends to measure")
+    parser.add_argument("--shards", type=parse_shards, default=None,
+                        help="comma-separated shard counts for the process "
+                             "sweep (default: 2 plus the core count when >2)")
     parser.add_argument("--smoke", action="store_true",
                         help="seconds-scale CI run; does not write the JSON")
+    parser.add_argument("--check-equivalence", action="store_true",
+                        help="assert thread/process bit-identical logits "
+                             "for a seeded request stream")
     args = parser.parse_args()
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else (os.cpu_count() or 1)
+    if args.shards is None:
+        args.shards = sorted({2, cores} - {1}) or [2]
     modes = ("int8",) if args.smoke else ("int8", "sconna")
     repeats = 1 if args.smoke else 3
     if args.smoke:
@@ -125,37 +209,73 @@ def main() -> None:
     speedups = {}
     with tempfile.TemporaryDirectory() as tmp:
         registry, ds = build_registry(Path(tmp), args.model)
-        print(f"serving {args.model} ({args.requests} open-loop requests/scenario)")
-        for mode in modes:
-            batch1 = run_scenario(
-                registry, ds, args.model, mode=mode,
-                policy=BatchingPolicy(max_batch_size=1, max_wait_ms=0.0),
-                n_workers=1, n_requests=args.requests, repeats=repeats,
-            )
-            batch1["scenario"] = "batch1"
-            # the sconna datapath's per-image compute peaks at smaller
-            # batches (cache residency); cap its coalescing at 32
-            cap = min(args.max_batch_size, 32) if mode == "sconna" else args.max_batch_size
-            dynamic = run_scenario(
-                registry, ds, args.model, mode=mode,
+        if args.check_equivalence:
+            check_equivalence(
+                registry, ds, args.model,
                 policy=BatchingPolicy(
-                    max_batch_size=cap,
-                    max_wait_ms=args.max_wait_ms,
+                    max_batch_size=min(args.max_batch_size, 8), max_wait_ms=2.0
                 ),
-                n_workers=args.workers, n_requests=args.requests, repeats=repeats,
+                n_shards=min(args.shards), n_requests=40,
             )
-            dynamic["scenario"] = "dynamic"
-            speedup = dynamic["requests_per_s"] / batch1["requests_per_s"]
-            dynamic["speedup_vs_batch1"] = round(speedup, 2)
-            speedups[mode] = speedup
-            records += [batch1, dynamic]
-            for rec in (batch1, dynamic):
-                print(f"  {mode:6s} {rec['scenario']:8s}: "
-                      f"{rec['requests_per_s']:8.1f} req/s   "
-                      f"p50 {rec['latency_p50_ms']:7.1f} ms   "
-                      f"p99 {rec['latency_p99_ms']:7.1f} ms   "
-                      f"mean batch {rec['mean_batch_images']:5.1f}")
-            print(f"  {mode:6s} speedup : {speedup:.2f}x sustained requests/s")
+        print(f"serving {args.model} ({args.requests} open-loop requests/"
+              f"scenario, {cores} cores)")
+        for mode in modes:
+            if args.backend in ("thread", "both"):
+                batch1 = run_scenario(
+                    registry, ds, args.model, mode=mode,
+                    policy=BatchingPolicy(max_batch_size=1, max_wait_ms=0.0),
+                    n_workers=1, n_requests=args.requests, repeats=repeats,
+                )
+                batch1["scenario"] = "batch1"
+                # the sconna datapath's per-image compute peaks at smaller
+                # batches (cache residency); cap its coalescing at 32
+                cap = min(args.max_batch_size, 32) if mode == "sconna" \
+                    else args.max_batch_size
+                dynamic = run_scenario(
+                    registry, ds, args.model, mode=mode,
+                    policy=BatchingPolicy(
+                        max_batch_size=cap, max_wait_ms=args.max_wait_ms,
+                    ),
+                    n_workers=args.workers, n_requests=args.requests,
+                    repeats=repeats,
+                )
+                dynamic["scenario"] = "dynamic"
+                speedup = dynamic["requests_per_s"] / batch1["requests_per_s"]
+                dynamic["speedup_vs_batch1"] = round(speedup, 2)
+                speedups[mode] = speedup
+                records += [batch1, dynamic]
+                for rec in (batch1, dynamic):
+                    print(_fmt(rec))
+                print(f"  {mode:6s} dynamic-batching speedup : "
+                      f"{speedup:.2f}x sustained requests/s")
+            # the process sweep targets the sconna datapath - its
+            # per-image count-domain compute is the multi-core story
+            if args.backend in ("process", "both") and mode == "sconna" \
+                    and not args.smoke:
+                base = next(
+                    (r for r in records
+                     if r["mode"] == mode and r.get("scenario") == "dynamic"),
+                    None,
+                )
+                for n_shards in args.shards:
+                    rec = run_scenario(
+                        registry, ds, args.model, mode=mode,
+                        policy=BatchingPolicy(
+                            max_batch_size=min(args.max_batch_size, 32),
+                            max_wait_ms=args.max_wait_ms,
+                        ),
+                        n_workers=args.workers, n_requests=args.requests,
+                        repeats=repeats, backend="process", n_shards=n_shards,
+                    )
+                    rec["scenario"] = "dynamic"
+                    if base is not None:
+                        rec["speedup_vs_thread_dynamic"] = round(
+                            rec["requests_per_s"] / base["requests_per_s"], 2
+                        )
+                        speedups[f"{mode}-process-{n_shards}"] = \
+                            rec["speedup_vs_thread_dynamic"]
+                    records.append(rec)
+                    print(_fmt(rec))
 
     if args.smoke:
         print("smoke run: BENCH_serve.json not rewritten")
@@ -165,13 +285,30 @@ def main() -> None:
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "platform": platform.platform(),
         "python": platform.python_version(),
+        "cores": cores,
         "model": args.model,
         "records": records,
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUTPUT}")
-    if speedups.get("int8", 0.0) < 3.0:
+    if args.backend != "both":
+        print(f"note: only {args.backend!r} scenarios were measured; "
+              "BENCH_serve.json no longer holds the other backend's records")
+    if "int8" in speedups and speedups["int8"] < 3.0:
         print("WARNING: int8 dynamic-batching speedup below the 3x target")
+    process_gains = [v for k, v in speedups.items() if "-process-" in k]
+    if process_gains and cores > 1 and max(process_gains) < 1.6:
+        print("WARNING: process sharding below the 1.6x multi-core target")
+
+
+def _fmt(rec: dict) -> str:
+    tag = rec["backend"] if rec["shards"] is None \
+        else f"{rec['backend']}x{rec['shards']}"
+    return (f"  {rec['mode']:6s} {rec['scenario']:8s} {tag:10s}: "
+            f"{rec['requests_per_s']:8.1f} req/s   "
+            f"p50 {rec['latency_p50_ms']:7.1f} ms   "
+            f"p99 {rec['latency_p99_ms']:7.1f} ms   "
+            f"mean batch {rec['mean_batch_images']:5.1f}")
 
 
 if __name__ == "__main__":

@@ -2,20 +2,31 @@
 
 Trains a compact CNN briefly, quantizes it, stores it in a model
 registry, serves it through :class:`repro.serve.SconnaService` with
-dynamic micro-batching, and exercises the JSON-over-HTTP endpoint the
-way an external client would - including a per-request accelerator cost
-annotation and the serving metrics snapshot.
+dynamic micro-batching on the selected execution backend, and exercises
+the JSON-over-HTTP endpoint the way an external client would -
+including a per-request accelerator cost annotation.  SIGINT/SIGTERM
+handlers drain in-flight requests and reap shard processes, and the
+aggregated metrics snapshot (request-side + every backend worker) is
+printed at exit.
 
 Run:  PYTHONPATH=src python examples/serve_http_demo.py
+      PYTHONPATH=src python examples/serve_http_demo.py --backend process --shards 2
 """
 
+import argparse
 import json
 import tempfile
 import urllib.request
 
 from repro.cnn import QuantizedModel, build_proxy, generate_dataset, train_test_split
 from repro.cnn.train import train
-from repro.serve import BatchingPolicy, ModelRegistry, SconnaService, serve_http
+from repro.serve import (
+    BatchingPolicy,
+    ModelRegistry,
+    SconnaService,
+    install_shutdown_handlers,
+    serve_http,
+)
 
 
 def post_json(url: str, payload: dict) -> dict:
@@ -27,6 +38,16 @@ def post_json(url: str, payload: dict) -> dict:
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", default="thread",
+                        choices=("thread", "process"),
+                        help="execution backend (default: thread)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="worker processes for --backend process")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker threads for --backend thread")
+    args = parser.parse_args()
+
     print("training snet_proxy (short run - this is a serving demo) ...")
     dataset = generate_dataset(n_per_class=60, seed=0)
     train_set, test_set = train_test_split(dataset, test_fraction=0.3, seed=1)
@@ -41,11 +62,23 @@ def main() -> None:
 
         service = SconnaService(
             policy=BatchingPolicy(max_batch_size=32, max_wait_ms=2.0),
-            n_workers=2,
+            n_workers=args.workers,
+            backend=args.backend,
+            n_shards=args.shards,
         )
         service.add_from_registry(registry, "snet", warm_shape=(3, 24, 24))
         server, _ = serve_http(service)
-        print(f"serving at {server.url}  (POST /v1/predict)")
+        # a signal now drains every lane and reaps shard processes
+        # instead of leaving orphans behind
+        install_shutdown_handlers(service, servers=(server,))
+        backend_info = service.backend.info()
+        topology = (
+            f"{backend_info.get('shards')} shard processes"
+            if args.backend == "process"
+            else f"{args.workers} worker threads"
+        )
+        print(f"serving at {server.url}  (POST /v1/predict, backend: "
+              f"{backend_info['kind']}, {topology})")
 
         try:
             # a burst of clients: the scheduler coalesces them
@@ -54,7 +87,7 @@ def main() -> None:
                 for i in range(24)
             ]
             hits = sum(
-                f.result(30.0).top_class == int(test_set.labels[i])
+                f.result(120.0).top_class == int(test_set.labels[i])
                 for i, f in enumerate(futures)
             )
             print(f"in-process burst: 24 requests, {hits} top-1 hits")
@@ -78,17 +111,20 @@ def main() -> None:
                   f"({cost['model']}): {cost['latency_s'] * 1e6:.1f} us, "
                   f"{cost['energy_j'] * 1e3:.2f} mJ, "
                   f"bottleneck: {cost['bottleneck']}")
-
-            metrics = json.loads(
-                urllib.request.urlopen(server.url + "/v1/metrics", timeout=30).read()
-            )
-            print(f"metrics: {metrics['requests']} requests in "
-                  f"{metrics['batches']} batches, "
-                  f"p50 {metrics['latency']['p50_ms']:.1f} ms, "
-                  f"batch histogram {metrics['batch_size']['histogram']}")
         finally:
             server.shutdown()
             service.close()
+            # snapshot after close: every batch is accounted for, and the
+            # shard-side counters were merged in while shards were alive
+            snap = service.metrics_snapshot()
+            print("aggregated metrics at exit:")
+            print(f"  {snap['requests']} requests in "
+                  f"{snap['batches']} batches, "
+                  f"p50 {snap['latency']['p50_ms']:.1f} ms, "
+                  f"p99 {snap['latency']['p99_ms']:.1f} ms, "
+                  f"batch histogram {snap['batch_size']['histogram']}")
+            print(f"  backend: {json.dumps(snap['backend'])}")
+            print(f"  simulation cache: {json.dumps(snap['costs'])}")
     print("done - see docs/serving.md for the architecture")
 
 

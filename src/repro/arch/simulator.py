@@ -257,6 +257,8 @@ class SimulationCache:
         self.max_entries = max_entries
         self._lock = threading.Lock()
         self._results: "OrderedDict[tuple[str, str], PerfResult]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
 
     def result(self, design: AcceleratorDesign, model: ModelDescriptor) -> PerfResult:
         """The cached (or freshly simulated) batch-1 inference result."""
@@ -264,8 +266,10 @@ class SimulationCache:
         with self._lock:
             hit = self._results.get(key)
             if hit is not None:
+                self._hits += 1
                 self._results.move_to_end(key)
                 return hit
+            self._misses += 1
         # simulate outside the lock: concurrent misses may duplicate
         # work once, but never serialize unrelated simulations
         res = AcceleratorSimulator(design).simulate(model)
@@ -274,6 +278,17 @@ class SimulationCache:
             while len(self._results) > self.max_entries:
                 self._results.popitem(last=False)
         return res
+
+    def stats(self) -> dict:
+        """Hit/miss counters and occupancy (for the serving metrics
+        endpoint: a miss is a full transaction-level simulation, so the
+        ratio shows whether cost annotation stays a dictionary lookup)."""
+        with self._lock:
+            return {
+                "entries": len(self._results),
+                "hits": self._hits,
+                "misses": self._misses,
+            }
 
     def __len__(self) -> int:
         with self._lock:

@@ -214,6 +214,18 @@ class SconnaEngine:
         self.use_native = use_native
         self._local = threading.local()
 
+    # An engine is stateless apart from per-thread scratch buffers, so it
+    # pickles as configuration only: a copy that crosses a process
+    # boundary (multi-process serving shards) arrives cold and rebuilds
+    # its thread-local pools - and its compiled plans' native-kernel
+    # binding - on first use in the new process.
+    def __getstate__(self) -> dict:
+        return {"use_native": self.use_native}
+
+    def __setstate__(self, state: dict) -> None:
+        self.use_native = state["use_native"]
+        self._local = threading.local()
+
     @property
     def pool(self) -> _BufferPool:
         """This thread's private scratch-buffer pool (created lazily)."""

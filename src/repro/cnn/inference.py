@@ -78,6 +78,21 @@ class QuantizedModel:
             if isinstance(item, QuantLayer):
                 self._plan_for(item)
 
+    # A model must survive a trip into a fresh worker process (the
+    # multi-process serving backend, multiprocessing sweeps): the plan
+    # arrays and weights pickle as data, while the lock - process-local
+    # by nature - is recreated on the other side.  The engine's own
+    # __getstate__ drops its thread-local buffers, so the copy warms up
+    # from scratch exactly like a newly loaded model.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_plan_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._plan_lock = threading.Lock()
+
     # -- construction ------------------------------------------------------
     @classmethod
     def from_trained(

@@ -144,9 +144,8 @@ def _rebuild_quant_layer(rec: dict, i: int, archive) -> "object":
 
 
 # -- public API ------------------------------------------------------------
-def save_quantized_model(qmodel, path: "str | Path") -> Path:
-    """Write ``qmodel`` as a compressed NPZ archive; returns the path."""
-    path = Path(path)
+def _write_archive(qmodel, target) -> None:
+    """Serialize ``qmodel`` into ``target`` (a path or binary file object)."""
     records, arrays = _describe_structure(qmodel)
     meta = {
         "format": FORMAT_NAME,
@@ -155,29 +154,22 @@ def save_quantized_model(qmodel, path: "str | Path") -> Path:
         "config": _config_to_dict(qmodel.config),
         "structure": records,
     }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, __meta__=np.array(json.dumps(meta)), **arrays)
-    return path
+    np.savez_compressed(target, __meta__=np.array(json.dumps(meta)), **arrays)
 
 
-def load_quantized_model(path: "str | Path"):
-    """Rebuild a :class:`~repro.cnn.inference.QuantizedModel` from disk.
-
-    Layer plans are recompiled eagerly by the model constructor, so a
-    loaded model is immediately ready to serve.
-    """
+def _read_archive(source, label: str):
+    """Rebuild a model from ``source`` (a path or binary file object)."""
     from repro.cnn.inference import QuantizedModel  # local: avoid import cycle
 
-    path = Path(path)
-    with np.load(path, allow_pickle=False) as archive:
+    with np.load(source, allow_pickle=False) as archive:
         if "__meta__" not in archive:
-            raise ValueError(f"{path} is not a {FORMAT_NAME} archive")
+            raise ValueError(f"{label} is not a {FORMAT_NAME} archive")
         meta = json.loads(str(archive["__meta__"]))
         if meta.get("format") != FORMAT_NAME:
-            raise ValueError(f"{path}: unexpected format {meta.get('format')!r}")
+            raise ValueError(f"{label}: unexpected format {meta.get('format')!r}")
         if meta.get("version") != FORMAT_VERSION:
             raise ValueError(
-                f"{path}: unsupported archive version {meta.get('version')!r} "
+                f"{label}: unsupported archive version {meta.get('version')!r} "
                 f"(expected {FORMAT_VERSION})"
             )
         structure: list[object] = []
@@ -194,9 +186,49 @@ def load_quantized_model(path: "str | Path"):
             elif kind == "flatten":
                 structure.append(Flatten())
             else:
-                raise ValueError(f"{path}: unknown structure record {kind!r}")
+                raise ValueError(f"{label}: unknown structure record {kind!r}")
     return QuantizedModel(
         structure,
         precision_bits=int(meta["precision_bits"]),
         config=_config_from_dict(meta["config"]),
     )
+
+
+def save_quantized_model(qmodel, path: "str | Path") -> Path:
+    """Write ``qmodel`` as a compressed NPZ archive; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _write_archive(qmodel, path)
+    return path
+
+
+def load_quantized_model(path: "str | Path"):
+    """Rebuild a :class:`~repro.cnn.inference.QuantizedModel` from disk.
+
+    Layer plans are recompiled eagerly by the model constructor, so a
+    loaded model is immediately ready to serve.
+    """
+    path = Path(path)
+    return _read_archive(path, str(path))
+
+
+def dumps_quantized_model(qmodel) -> bytes:
+    """The NPZ archive as in-memory bytes (same format as :func:`save_quantized_model`).
+
+    Used to ship a not-yet-registered model over a pipe to a shard
+    worker process without touching disk; :func:`loads_quantized_model`
+    is the inverse and the round trip is bit-identical, exactly like the
+    file-based one.
+    """
+    import io
+
+    buf = io.BytesIO()
+    _write_archive(qmodel, buf)
+    return buf.getvalue()
+
+
+def loads_quantized_model(data: bytes):
+    """Rebuild a model from :func:`dumps_quantized_model` bytes."""
+    import io
+
+    return _read_archive(io.BytesIO(data), "<bytes>")

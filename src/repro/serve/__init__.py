@@ -11,26 +11,51 @@ cost):
 * :mod:`repro.serve.batching`  - dynamic micro-batching scheduler
   coalescing single-image requests under ``max_batch_size`` /
   ``max_wait_ms`` policies,
-* :mod:`repro.serve.workers`   - thread worker pool with warm
-  per-worker engine buffers,
+* :mod:`repro.serve.backends`  - the :class:`ExecutionBackend` seam and
+  its implementations: :class:`ThreadBackend` (one process, a warm
+  thread pool) and :class:`ProcessBackend` (N shard worker processes
+  loading models through the NPZ serialization, with crash respawn and
+  in-flight redispatch),
+* :mod:`repro.serve.workers`   - the thread worker pool behind
+  :class:`ThreadBackend`,
 * :mod:`repro.serve.service`   - the :class:`SconnaService` facade
-  (in-process ``predict``),
-* :mod:`repro.serve.httpd`     - stdlib JSON-over-HTTP endpoint,
+  (in-process ``predict``) plus :func:`install_shutdown_handlers` for
+  signal-driven draining,
+* :mod:`repro.serve.httpd`     - stdlib JSON-over-HTTP endpoint (also a
+  CLI: ``python -m repro.serve``),
 * :mod:`repro.serve.metrics`   - throughput / latency-percentile /
-  batch-shape accounting,
+  batch-shape accounting, mergeable across shard processes,
 * :mod:`repro.serve.costs`     - per-request simulated accelerator cost
-  annotations backed by :class:`repro.arch.simulator.SimulationCache`.
+  annotations backed by :class:`repro.arch.simulator.SimulationCache`
+  (always computed in the serving parent, never in shards).
 """
 
+from repro.serve.backends import (
+    BatchResult,
+    ExecutionBackend,
+    ProcessBackend,
+    ThreadBackend,
+    make_backend,
+)
 from repro.serve.batching import BatchingPolicy, InferenceRequest, MicroBatcher
 from repro.serve.costs import CostAccountant, RequestCost, descriptor_from_quantized
 from repro.serve.httpd import ServeHTTPServer, serve_http
 from repro.serve.metrics import ServeMetrics, percentile
 from repro.serve.registry import ModelRegistry, RegistryEntry
-from repro.serve.service import Prediction, SconnaService
+from repro.serve.service import (
+    Prediction,
+    SconnaService,
+    ShutdownHandlers,
+    install_shutdown_handlers,
+)
 from repro.serve.workers import WorkerPool
 
 __all__ = [
+    "BatchResult",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "ThreadBackend",
+    "make_backend",
     "BatchingPolicy",
     "InferenceRequest",
     "MicroBatcher",
@@ -45,5 +70,7 @@ __all__ = [
     "RegistryEntry",
     "Prediction",
     "SconnaService",
+    "ShutdownHandlers",
+    "install_shutdown_handlers",
     "WorkerPool",
 ]

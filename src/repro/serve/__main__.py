@@ -1,0 +1,13 @@
+"""``python -m repro.serve`` - the standalone HTTP serving CLI.
+
+Delegates to :func:`repro.serve.httpd.main` (this entry avoids the
+runpy double-import warning that ``python -m repro.serve.httpd`` prints
+because the package's ``__init__`` already imports that module).  The
+``__main__`` guard matters: shard worker processes re-import the parent
+main module under ``__mp_main__`` and must not start a second server.
+"""
+
+from repro.serve.httpd import main
+
+if __name__ == "__main__":
+    main()

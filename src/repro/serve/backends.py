@@ -1,0 +1,744 @@
+"""Pluggable execution backends: the seam between scheduling and compute.
+
+:class:`~repro.serve.service.SconnaService` owns *scheduling* (lanes,
+coalescing, futures, costs, request-level metrics); everything from "a
+coalesced batch exists" to "its logits exist" sits behind the
+:class:`ExecutionBackend` seam defined here::
+
+    backend.submit(model, batch, on_done)
+        -> on_done(BatchResult(logits, ...))   # or on_done(exception)
+
+Two implementations:
+
+* :class:`ThreadBackend` - the classic single-process path: a
+  :class:`~repro.serve.workers.WorkerPool` of threads sharing the
+  parent's models.  Bit-identical to the pre-seam service (same
+  stacking, same :class:`~repro.stochastic.error_models.PerRequestErrorModels`
+  construction, same per-request deterministic ADC noise).
+* :class:`ProcessBackend` - N *shard worker processes*, mirroring the
+  paper's array of independent TeNOCs at the serving layer: each shard
+  owns a full Python runtime (its own GIL, BLAS pools, warm engine
+  buffers) and loads models through the NPZ serialization - from the
+  shared registry's archive when one exists, from in-memory archive
+  bytes otherwise.  Batches travel over pipes; results return on
+  per-shard collector threads.  A shard that dies is reaped, respawned
+  (up to ``max_restarts``), its models reloaded, and its in-flight
+  batches redispatched to live shards.
+
+**Determinism across backends.**  A request's ADC noise lives in its
+:class:`~repro.stochastic.error_models.SconnaErrorModel`, whose RNG
+state pickles exactly.  The shard applies the *same generator state* to
+the *same contiguous batch slice* the thread path would, so a seeded
+request's logits are bit-identical through either backend - and even a
+``seed=None`` request is reproducible across a crash-redispatch,
+because the parent re-sends the same pickled generator state.
+
+**Metrics.**  Each backend worker records execution-side metrics
+(batches, batch-size histogram, execution errors) into its own
+:class:`~repro.serve.metrics.ServeMetrics`; :meth:`ExecutionBackend.metrics_states`
+exports them for the service to merge with its request-side metrics
+into one aggregated snapshot.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import multiprocessing
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.batching import InferenceRequest
+from repro.serve.metrics import ServeMetrics
+from repro.serve.workers import WorkerPool
+from repro.stochastic.error_models import PerRequestErrorModels, SconnaErrorModel
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """What execution hands back for one coalesced batch."""
+
+    logits: np.ndarray        #: (n_images, classes) float64 for the whole batch
+    n_images: int             #: batch-axis length (== logits.shape[0])
+    exec_start: float         #: monotonic instant execution (or shard dispatch) began
+    shard: int = 0            #: which worker/shard ran it
+
+
+def stack_batch(batch: "list[InferenceRequest]") -> np.ndarray:
+    """Concatenate a coalesced batch's images along the batch axis.
+
+    Single-request batches pass through without a copy - identical to
+    the historical service behaviour, which the bit-exactness contract
+    is defined against.
+    """
+    if len(batch) == 1:
+        return batch[0].images
+    return np.concatenate([r.images for r in batch], axis=0)
+
+
+def batch_error_model(
+    mode: str, batch: "list[InferenceRequest]"
+) -> PerRequestErrorModels | None:
+    """The per-request composite error model for one coalesced batch
+    (``None`` outside the sconna datapath)."""
+    if mode != "sconna":
+        return None
+    return PerRequestErrorModels(
+        [r.error_model for r in batch], [r.n_images for r in batch]
+    )
+
+
+class ExecutionBackend(abc.ABC):
+    """Executes coalesced batches for named models.
+
+    Implementations must be safe against concurrent :meth:`submit` calls
+    from many scheduler threads, must invoke ``on_done`` exactly once
+    per submitted batch (with a :class:`BatchResult` on success or the
+    raised exception on failure), and must drain in-flight batches on
+    :meth:`close`.
+    """
+
+    kind: str = "abstract"
+
+    @abc.abstractmethod
+    def add_model(
+        self,
+        name: str,
+        qmodel,
+        mode: str,
+        archive: "object | None" = None,
+        warm: "tuple[int, int, int, int] | None" = None,
+    ) -> None:
+        """Make ``name`` executable.
+
+        ``archive`` is the model's registry NPZ path when one exists
+        (process shards load from it); ``warm`` is an optional
+        ``(n, C, H, W)`` dummy-batch shape every worker runs once so
+        first real batches find hot buffers.
+        """
+
+    @abc.abstractmethod
+    def submit(self, name: str, batch: "list[InferenceRequest]", on_done) -> None:
+        """Execute ``batch`` asynchronously; ``on_done(result_or_exc)``."""
+
+    @abc.abstractmethod
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Drain in-flight work, then release every worker."""
+
+    def metrics_states(self) -> "list[dict]":
+        """Exported :class:`ServeMetrics` state of every worker/shard."""
+        return []
+
+    def reset_metrics(self) -> None:
+        """Discard every worker's execution-side metrics (e.g. to keep
+        warm-up traffic out of a benchmark's histograms)."""
+
+    def info(self) -> dict:
+        """JSON-ready description for the metrics endpoint."""
+        return {"kind": self.kind}
+
+
+class ThreadBackend(ExecutionBackend):
+    """In-process execution on a thread pool (the historical datapath).
+
+    The engine's hot path releases the GIL inside BLAS and the native
+    remainder kernel, so a few threads exploit whatever parallelism one
+    process can reach; per-thread warm buffers come from
+    :class:`~repro.cnn.engine.SconnaEngine`'s thread-local pools.
+    """
+
+    kind = "thread"
+
+    def __init__(self, n_workers: int = 2) -> None:
+        self._pool = WorkerPool(n_workers)
+        self._models: "dict[str, tuple[object, str]]" = {}
+        self._closed = False
+        self.metrics = ServeMetrics()
+
+    def add_model(self, name, qmodel, mode, archive=None, warm=None) -> None:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        self._models[name] = (qmodel, mode)
+        if warm is not None:
+            n, c, h, w = warm
+            dummy = np.zeros((n, c, h, w))
+            em = SconnaErrorModel(adc_mape=0.0) if mode == "sconna" else None
+            self._pool.warm(
+                lambda: qmodel.forward(dummy, mode=mode, error_model=em)
+            )
+
+    def submit(self, name, batch, on_done) -> None:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        qmodel, mode = self._models[name]
+
+        def task() -> None:
+            exec_start = time.monotonic()
+            try:
+                stacked = stack_batch(batch)
+                logits = qmodel.forward(
+                    stacked, mode=mode, error_model=batch_error_model(mode, batch)
+                )
+                self.metrics.record_batch(len(batch), int(stacked.shape[0]))
+            except BaseException as exc:
+                self.metrics.record_error(len(batch))
+                on_done(exc)
+                return
+            on_done(
+                BatchResult(
+                    logits=logits,
+                    n_images=int(stacked.shape[0]),
+                    exec_start=exec_start,
+                )
+            )
+
+        self._pool.submit(task)
+
+    def metrics_states(self) -> "list[dict]":
+        return [self.metrics.state()]
+
+    def reset_metrics(self) -> None:
+        self.metrics.reset()
+
+    def info(self) -> dict:
+        return {
+            "kind": self.kind,
+            "workers": self._pool.n_workers,
+            "pending": self._pool.pending(),
+            "task_errors": self._pool.task_errors,
+        }
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.close(timeout)
+
+
+# -- process sharding -------------------------------------------------------
+
+#: per-model source shipped to shards: ("path", str) or ("bytes", bytes)
+_ModelSrc = "tuple[str, object]"
+
+
+@dataclass
+class _Inflight:
+    """Parent-side record of one dispatched batch (payload retained so a
+    shard crash can redispatch it verbatim)."""
+
+    name: str
+    images: np.ndarray
+    models: "list[object]"
+    sizes: "list[int]"
+    on_done: object
+    dispatched_at: float
+
+
+@dataclass
+class _Shard:
+    """Parent-side handle of one worker process."""
+
+    slot: int
+    process: object
+    conn: object
+    send_lock: threading.Lock = field(default_factory=threading.Lock)
+    inflight: "dict[int, _Inflight]" = field(default_factory=dict)
+    acks: "queue.Queue" = field(default_factory=queue.Queue)
+    metrics_replies: "queue.Queue" = field(default_factory=queue.Queue)
+    reader: "threading.Thread | None" = None
+    alive: bool = True
+    expected_exit: bool = False
+
+    def send(self, msg: tuple) -> None:
+        with self.send_lock:
+            self.conn.send(msg)
+
+
+def _shard_main(conn, shard_id: int) -> None:
+    """Entry point of one shard worker process.
+
+    A single-threaded loop: receive a message, act, reply.  One
+    execution thread per shard is the sharding model - parallelism comes
+    from running N of these processes.  The loop exits on a ``stop``
+    message or when the pipe reaches EOF (the parent died), so shards
+    can never outlive their parent as orphans.
+
+    SIGINT is ignored: a terminal Ctrl-C signals the whole foreground
+    process group, and shards dying mid-batch would defeat the parent's
+    graceful drain - the parent alone decides when a shard stops (pipe
+    ``stop``/EOF, or SIGTERM as the parent's force-kill fallback).
+    """
+    import signal
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    from repro.cnn.serialization import (
+        load_quantized_model,
+        loads_quantized_model,
+    )
+
+    metrics = ServeMetrics()
+    models: "dict[str, tuple[object, str]]" = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break  # parent closed the pipe or died
+        op = msg[0]
+        if op == "stop":
+            break
+        elif op == "load":
+            _, token, name, src_kind, src, mode, warm = msg
+            try:
+                qm = (
+                    load_quantized_model(src)
+                    if src_kind == "path"
+                    else loads_quantized_model(src)
+                )
+                if warm is not None:
+                    n, c, h, w = warm
+                    em = (
+                        SconnaErrorModel(adc_mape=0.0)
+                        if mode == "sconna"
+                        else None
+                    )
+                    qm.forward(np.zeros((n, c, h, w)), mode=mode, error_model=em)
+                models[name] = (qm, mode)
+                reply = ("loaded", token, name, None)
+            except BaseException as exc:
+                reply = ("loaded", token, name, f"{type(exc).__name__}: {exc}")
+            _shard_reply(conn, reply)
+        elif op == "batch":
+            _, bid, name, images, emodels, sizes = msg
+            try:
+                entry = models.get(name)
+                if entry is None:
+                    raise KeyError(
+                        f"shard {shard_id} has no model {name!r} loaded"
+                    )
+                qm, mode = entry
+                error_model = (
+                    PerRequestErrorModels(emodels, sizes)
+                    if mode == "sconna"
+                    else None
+                )
+                logits = qm.forward(images, mode=mode, error_model=error_model)
+                metrics.record_batch(len(sizes), int(images.shape[0]))
+                reply = ("ok", bid, logits)
+            except BaseException as exc:
+                metrics.record_error(len(sizes))
+                reply = ("err", bid, exc)
+            _shard_reply(conn, reply)
+        elif op == "metrics":
+            _shard_reply(conn, ("metrics", msg[1], metrics.state()))
+        elif op == "reset_metrics":
+            metrics.reset()
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+def _shard_reply(conn, reply: tuple) -> None:
+    """Send a reply, degrading an unpicklable error payload to a string
+    wrapper rather than killing the shard loop."""
+    try:
+        conn.send(reply)
+    except (EOFError, BrokenPipeError, OSError):
+        raise SystemExit(0)  # parent is gone; nothing left to serve
+    except Exception as exc:  # unpicklable exception object, etc.
+        if reply[0] == "err":
+            conn.send(
+                ("err", reply[1], RuntimeError(f"shard error (unpicklable): {exc}"))
+            )
+        else:
+            raise
+
+
+class ProcessBackend(ExecutionBackend):
+    """Multi-process sharded execution: N worker processes behind pipes.
+
+    Dispatch is least-loaded over live shards.  Each shard executes its
+    batches serially in arrival order, so a model's ``load`` (sent
+    first, pipe ordering) is always visible before its batches.  Crash
+    handling: the shard's collector thread sees pipe EOF, the backend
+    reaps the process, respawns the slot (replaying every model load),
+    and redispatches the dead shard's in-flight batches - at-least-once
+    execution whose results are identical because each batch carries its
+    own pickled RNG state.
+    """
+
+    kind = "process"
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        start_method: str | None = None,
+        max_restarts: int = 3,
+        load_timeout_s: float = 180.0,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        # spawn by default: forking a parent that already runs scheduler
+        # and HTTP threads is a deadlock lottery
+        self._ctx = multiprocessing.get_context(start_method or "spawn")
+        self.start_method = start_method or "spawn"
+        self.max_restarts = max_restarts
+        self.load_timeout_s = load_timeout_s
+        self._lock = threading.RLock()
+        self._drained = threading.Condition(self._lock)
+        self._admin_lock = threading.Lock()  # serializes add_model acks
+        self._metrics_lock = threading.Lock()  # serializes metrics rounds
+        self._models: "dict[str, tuple[str, _ModelSrc, object]]" = {}
+        self._bids = itertools.count(1)
+        self._tokens = itertools.count(1)
+        self._closed = False
+        self.restarts = 0
+        #: crashed-shard orphans currently between inflight tables (a
+        #: drain must wait for them to land on a live shard or fail)
+        self._rescuing = 0
+        #: final metrics states captured from shards stopped by close()
+        self._retired_states: "list[dict]" = []
+        self._shards: "list[_Shard]" = [
+            self._spawn(slot) for slot in range(n_shards)
+        ]
+
+    # -- shard lifecycle -------------------------------------------------
+    def _spawn(self, slot: int) -> _Shard:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_shard_main,
+            args=(child_conn, slot),
+            name=f"sconna-shard-{slot}",
+            daemon=True,  # belt: the pipe-EOF exit in _shard_main is the braces
+        )
+        process.start()
+        child_conn.close()  # the parent keeps only its own end
+        shard = _Shard(slot=slot, process=process, conn=parent_conn)
+        shard.reader = threading.Thread(
+            target=self._collect, args=(shard,),
+            name=f"sconna-shard-{slot}-collector", daemon=True,
+        )
+        shard.reader.start()
+        # replay every registered model into the fresh runtime (token
+        # None: respawn replays are fire-and-forget; pipe ordering still
+        # guarantees the load lands before any redispatched batch)
+        with self._lock:
+            replay = list(self._models.items())
+        for name, (mode, src, warm) in replay:
+            shard.send(("load", None, name, src[0], src[1], mode, warm))
+        return shard
+
+    def _collect(self, shard: _Shard) -> None:
+        """Per-shard collector: routes replies until the pipe dies."""
+        while True:
+            try:
+                msg = shard.conn.recv()
+            except (EOFError, OSError):
+                break
+            op = msg[0]
+            if op == "loaded":
+                if msg[1] is not None:  # respawn replays carry token None
+                    shard.acks.put(msg)
+            elif op == "metrics":
+                shard.metrics_replies.put(msg)
+            elif op in ("ok", "err"):
+                bid = msg[1]
+                with self._lock:
+                    item = shard.inflight.pop(bid, None)
+                    self._drained.notify_all()
+                if item is None:
+                    continue  # already redispatched elsewhere
+                if op == "ok":
+                    item.on_done(
+                        BatchResult(
+                            logits=msg[2],
+                            n_images=int(msg[2].shape[0]),
+                            exec_start=item.dispatched_at,
+                            shard=shard.slot,
+                        )
+                    )
+                else:
+                    item.on_done(msg[2])
+        self._on_shard_exit(shard)
+
+    def _on_shard_exit(self, shard: _Shard) -> None:
+        """Reap a dead shard; respawn its slot and rescue its batches."""
+        with self._lock:
+            shard.alive = False
+            orphans = list(shard.inflight.values())
+            shard.inflight.clear()
+            # hold the drain open until every orphan is redispatched (or
+            # failed): between the clear above and the re-add in
+            # _dispatch, no inflight table owns these batches
+            self._rescuing += len(orphans)
+            self._drained.notify_all()
+            respawn = (
+                not shard.expected_exit
+                and not self._closed
+                and self.restarts < self.max_restarts
+            )
+            if respawn:
+                self.restarts += 1
+        try:
+            shard.process.join(timeout=5.0)
+        except Exception:
+            pass
+        if respawn:
+            try:
+                replacement = self._spawn(shard.slot)
+            except BaseException:
+                pass  # slot stays dead; orphans go to surviving shards
+            else:
+                with self._lock:
+                    self._shards[shard.slot] = replacement
+        for item in orphans:
+            try:
+                self._dispatch(item)
+            except BaseException as exc:
+                item.on_done(exc)
+            finally:
+                with self._lock:
+                    self._rescuing -= 1
+                    self._drained.notify_all()
+
+    # -- model management ------------------------------------------------
+    def add_model(self, name, qmodel, mode, archive=None, warm=None) -> None:
+        if archive is not None:
+            src: _ModelSrc = ("path", str(archive))
+        else:
+            from repro.cnn.serialization import dumps_quantized_model
+
+            src = ("bytes", dumps_quantized_model(qmodel))
+        with self._admin_lock:
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError("backend is closed")
+                self._models[name] = (mode, src, warm)
+                shards = [s for s in self._shards if s.alive]
+            token = next(self._tokens)
+            for shard in shards:
+                try:
+                    shard.send(("load", token, name, src[0], src[1], mode, warm))
+                except OSError:
+                    pass  # dying shard; its respawn replays the load
+            deadline = time.monotonic() + self.load_timeout_s
+            for shard in shards:
+                error = self._await_ack(shard, token, name, deadline)
+                if error is not None:
+                    raise RuntimeError(
+                        f"shard {shard.slot} failed to load model {name!r}: {error}"
+                    )
+
+    def _await_ack(
+        self, shard: _Shard, token: int, name: str, deadline: float
+    ) -> "str | None":
+        """Wait for this shard's load ack; stale acks are discarded."""
+        while True:
+            if not shard.alive:
+                return None  # exit path replays the load on respawn
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return f"no ack within {self.load_timeout_s:.0f}s"
+            try:
+                _, ack_token, ack_name, error = shard.acks.get(
+                    timeout=min(remaining, 0.25)
+                )
+            except queue.Empty:
+                continue
+            if ack_token == token and ack_name == name:
+                return error
+
+    # -- request path ----------------------------------------------------
+    def submit(self, name, batch, on_done) -> None:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("backend is closed")
+            if name not in self._models:
+                raise KeyError(f"backend has no model {name!r}")
+        self._dispatch(
+            _Inflight(
+                name=name,
+                images=stack_batch(batch),
+                models=[r.error_model for r in batch],
+                sizes=[r.n_images for r in batch],
+                on_done=on_done,
+                dispatched_at=time.monotonic(),
+            )
+        )
+
+    def _dispatch(self, item: _Inflight) -> None:
+        """Assign one batch to the least-loaded live shard and send it.
+
+        Raises when no shard is alive; a send that fails because the
+        chosen shard just died is *not* an error - the entry is already
+        in that shard's in-flight table, so the collector's exit path
+        redispatches it.
+        """
+        with self._lock:
+            live = [s for s in self._shards if s.alive]
+            if not live:
+                raise RuntimeError(
+                    "no live shards (exceeded max_restarts or closing)"
+                )
+            shard = min(live, key=lambda s: len(s.inflight))
+            bid = next(self._bids)
+            shard.inflight[bid] = item
+        try:
+            shard.send(("batch", bid, item.name, item.images, item.models, item.sizes))
+        except (OSError, ValueError):
+            pass  # pipe broke: the collector's EOF path rescues the entry
+
+    # -- metrics / lifecycle ---------------------------------------------
+    def metrics_states(self, timeout: float = 2.0) -> "list[dict]":
+        """Fetch each live shard's metrics state over its pipe.
+
+        The request queues behind in-flight batches (shards are
+        single-threaded), so a busy shard may miss the ``timeout`` and
+        simply drop out of this aggregation round; a *crashed* shard's
+        history is lost with it, while shards stopped by :meth:`close`
+        have their final state captured first.  Rounds are serialized
+        (one at a time) so concurrent pollers - an HTTP /v1/metrics
+        client racing close()'s final capture, say - cannot consume
+        each other's replies.
+        """
+        with self._metrics_lock:
+            with self._lock:
+                shards = [s for s in self._shards if s.alive]
+                states: "list[dict]" = list(self._retired_states)
+            pending: "list[tuple[_Shard, int]]" = []
+            for shard in shards:
+                token = next(self._tokens)
+                try:
+                    shard.send(("metrics", token))
+                    pending.append((shard, token))
+                except OSError:
+                    continue
+            deadline = time.monotonic() + timeout
+            for shard, token in pending:
+                while True:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not shard.alive:
+                        break
+                    try:
+                        _, reply_token, state = shard.metrics_replies.get(
+                            timeout=min(remaining, 0.1)
+                        )
+                    except queue.Empty:
+                        continue
+                    if reply_token == token:
+                        states.append(state)
+                        break
+            return states
+
+    def reset_metrics(self) -> None:
+        """Fire-and-forget reset of every live shard's counters (call
+        while idle: pipelined batches sent before the reset still count)."""
+        with self._lock:
+            self._retired_states.clear()
+            shards = [s for s in self._shards if s.alive]
+        for shard in shards:
+            try:
+                shard.send(("reset_metrics",))
+            except OSError:
+                pass
+
+    def info(self) -> dict:
+        with self._lock:
+            per_shard = [
+                {
+                    "shard": s.slot,
+                    "alive": s.alive,
+                    "pid": getattr(s.process, "pid", None),
+                    "in_flight": len(s.inflight),
+                }
+                for s in self._shards
+            ]
+            return {
+                "kind": self.kind,
+                "shards": len(self._shards),
+                "alive": sum(1 for s in self._shards if s.alive),
+                "restarts": self.restarts,
+                "start_method": self.start_method,
+                "per_shard": per_shard,
+            }
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Drain in-flight batches, stop every shard, reap the processes."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._rescuing or any(
+                s.inflight for s in self._shards if s.alive
+            ):
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    break  # drain window exhausted; fall through to reaping
+                self._drained.wait(remaining if remaining is not None else 1.0)
+            shards = list(self._shards)
+            for shard in shards:
+                shard.expected_exit = True
+        # keep each shard's execution history past its death: fetch the
+        # final metrics states before stopping anything
+        final = self.metrics_states(timeout=2.0)
+        with self._lock:
+            self._retired_states.extend(final)
+        for shard in shards:
+            try:
+                shard.send(("stop",))
+            except OSError:
+                pass
+        for shard in shards:
+            remaining = (
+                2.0 if deadline is None else max(0.5, deadline - time.monotonic())
+            )
+            shard.process.join(remaining)
+            if shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(2.0)
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+            if shard.reader is not None:
+                shard.reader.join(2.0)
+        # fail anything that never came back (shards killed mid-drain)
+        leftovers: "list[_Inflight]" = []
+        with self._lock:
+            for shard in shards:
+                leftovers.extend(shard.inflight.values())
+                shard.inflight.clear()
+        for item in leftovers:
+            item.on_done(RuntimeError("backend closed before batch completed"))
+
+
+def make_backend(
+    backend: "ExecutionBackend | str",
+    n_workers: int = 2,
+    n_shards: int = 2,
+) -> ExecutionBackend:
+    """Resolve a backend spec: an instance passes through; ``"thread"``
+    and ``"process"`` construct the standard implementations."""
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend == "thread":
+        return ThreadBackend(n_workers=n_workers)
+    if backend == "process":
+        return ProcessBackend(n_shards=n_shards)
+    raise ValueError(
+        f"unknown backend {backend!r}; expected 'thread', 'process', "
+        "or an ExecutionBackend instance"
+    )

@@ -36,6 +36,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from concurrent import futures
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
@@ -134,6 +135,25 @@ class MicroBatcher:
         return self._closed
 
     # -- scheduler side --------------------------------------------------
+    def _safe_dispatch(self, batch: "list[InferenceRequest]") -> None:
+        """Dispatch one batch; a raising dispatcher fails the batch's
+        futures instead of killing the scheduler thread.
+
+        The execution backend behind ``dispatch`` normally routes
+        failures through the futures itself, but the *submission* can
+        raise (e.g. the backend lost its last shard, or was closed by a
+        racing shutdown) - those requests must still get an answer.
+        """
+        try:
+            self._dispatch(batch)
+        except BaseException as exc:
+            for req in batch:
+                if not req.future.done():
+                    try:
+                        req.future.set_exception(exc)
+                    except futures.InvalidStateError:
+                        pass  # lost the race with a cancel
+
     def _next(self, timeout: float | None) -> object | None:
         """Carry-over first, then the queue; None on timeout."""
         if self._carry is not None:
@@ -178,7 +198,7 @@ class MicroBatcher:
                     break
                 batch.append(item)
                 n += item.n_images
-            self._dispatch(batch)
+            self._safe_dispatch(batch)
             if stopping and self._carry is None and self._queue.empty():
                 break
         # a carried-over request can outlive the sentinel; flush it
@@ -187,4 +207,4 @@ class MicroBatcher:
             if item is None:
                 break
             if item is not _SENTINEL:
-                self._dispatch([item])
+                self._safe_dispatch([item])

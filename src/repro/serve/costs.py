@@ -114,6 +114,21 @@ class CostAccountant:
         """The (cached) batch-1 simulation of one model."""
         return self.cache.result(self.design, descriptor)
 
+    def prewarm(self, descriptor: ModelDescriptor) -> None:
+        """Populate the cache for ``descriptor`` off the request path.
+
+        The serving layer calls this at model-registration time for
+        models with a known descriptor, so the first cost-annotated
+        request never pays the transaction-level simulation inside the
+        batch-completion callback (which, under the process backend,
+        would stall the shard result-collector thread).
+        """
+        self.perf(descriptor)
+
+    def stats(self) -> dict:
+        """Simulation-cache statistics for the metrics endpoint."""
+        return self.cache.stats()
+
     def annotate(self, descriptor: ModelDescriptor, n_images: int = 1) -> RequestCost:
         """Cost of serving ``n_images`` through ``descriptor``'s model."""
         if n_images < 1:

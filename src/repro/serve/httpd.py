@@ -3,13 +3,25 @@
 No third-party web framework - a :class:`http.server.ThreadingHTTPServer`
 is enough here because the handler thread only *enqueues* into the
 micro-batching scheduler and waits on a future; coalescing and compute
-happen in the service's own threads.
+happen in the service's own workers (threads, or shard processes under
+the process backend - the HTTP layer is identical either way).
+
+Also a standalone server CLI with execution-backend selection::
+
+    python -m repro.serve --registry MODELS_DIR \
+        --backend process --shards 4 --port 8000
+
+serves every model in the registry (or ``--model`` picks some), installs
+SIGINT/SIGTERM handlers that drain in-flight requests and reap shard
+processes, and blocks until a signal arrives.
 
 Routes::
 
     GET  /healthz        -> {"status": "ok"}
     GET  /v1/models      -> {"models": [...]}
-    GET  /v1/metrics     -> the ServeMetrics snapshot
+    GET  /v1/metrics     -> aggregated ServeMetrics snapshot (request-side
+                            + every backend worker / shard, plus backend
+                            topology and simulation-cache stats)
     POST /v1/predict     -> run one request
 
 ``POST /v1/predict`` body (JSON)::
@@ -167,3 +179,71 @@ def serve_http(
     )
     thread.start()
     return server, thread
+
+
+def main(argv: "list[str] | None" = None) -> None:
+    """CLI entry point: serve registry models over HTTP until a signal."""
+    import argparse
+
+    from repro.serve.batching import BatchingPolicy
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.service import SconnaService, install_shutdown_handlers
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve registered SCONNA models over JSON/HTTP.",
+    )
+    parser.add_argument("--registry", required=True,
+                        help="model registry directory (NPZ + JSON manifests)")
+    parser.add_argument("--model", action="append", default=None,
+                        help="registry model to serve (repeatable; "
+                             "default: every registered model)")
+    parser.add_argument("--mode", default="sconna",
+                        choices=("float", "int8", "sconna"))
+    parser.add_argument("--backend", default="thread",
+                        choices=("thread", "process"),
+                        help="execution backend (default: thread)")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="worker processes for --backend process")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker threads for --backend thread")
+    parser.add_argument("--max-batch-size", type=int, default=32)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8000)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    registry = ModelRegistry(args.registry)
+    names = args.model or registry.names()
+    if not names:
+        parser.error(f"registry {args.registry!r} has no models")
+    service = SconnaService(
+        policy=BatchingPolicy(
+            max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms
+        ),
+        n_workers=args.workers,
+        mode=args.mode,
+        backend=args.backend,
+        n_shards=args.shards,
+    )
+    for name in names:
+        service.add_from_registry(registry, name)
+    server, _ = serve_http(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    handlers = install_shutdown_handlers(service, servers=(server,))
+    backend_info = service.backend.info()
+    print(f"serving {names} at {server.url}  "
+          f"(backend={backend_info['kind']}, "
+          f"{'shards=' + str(backend_info.get('shards')) if args.backend == 'process' else 'workers=' + str(args.workers)})")
+    print("POST /v1/predict | GET /v1/models /v1/metrics /healthz  "
+          "(SIGINT/SIGTERM drains and exits)")
+    try:
+        handlers.wait()
+    except KeyboardInterrupt:
+        pass  # chained SIGINT after a completed drain: exit quietly
+
+
+if __name__ == "__main__":
+    main()

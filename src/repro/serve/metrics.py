@@ -1,9 +1,19 @@
 """Serving metrics: throughput, latency percentiles, batch shapes.
 
-One :class:`ServeMetrics` instance per service aggregates everything the
-benchmark and the HTTP ``/v1/metrics`` endpoint report.  All recording
-methods are thread-safe (the scheduler, the workers, and every client
-thread write concurrently); reading is a consistent :meth:`snapshot`.
+One :class:`ServeMetrics` instance per recording site aggregates
+everything the benchmark and the HTTP ``/v1/metrics`` endpoint report.
+All recording methods are thread-safe (the scheduler, the workers, and
+every client thread write concurrently); reading is a consistent
+:meth:`snapshot`.
+
+Under multi-process sharding the recording sites live in different
+processes: the parent service records request-side samples (latency,
+queue wait, queue depth) while each shard worker records execution-side
+counters (batches, batch histogram, execution errors) into its own
+instance.  :meth:`state` exports an instance's raw counters and samples
+as a picklable dict that crosses the shard pipe, and :meth:`merge`
+folds any number of such states (or live instances) into one aggregate
+whose :meth:`snapshot` reads exactly like a single-process service's.
 
 Latency and wait samples are kept in bounded deques - a long-lived
 service keeps the most recent ``max_samples`` observations, so the
@@ -39,6 +49,7 @@ class ServeMetrics:
     def __init__(self, max_samples: int = 100_000) -> None:
         if max_samples < 1:
             raise ValueError("max_samples must be >= 1")
+        self.max_samples = max_samples
         self._lock = threading.Lock()
         self._latencies_s: "deque[float]" = deque(maxlen=max_samples)
         self._waits_s: "deque[float]" = deque(maxlen=max_samples)
@@ -101,6 +112,69 @@ class ServeMetrics:
             self._n_batches = self._n_batched_requests = 0
             self._n_errors = 0
             self._first_done = self._last_done = None
+
+    # -- aggregation across shards ---------------------------------------
+    def state(self) -> dict:
+        """Raw counters and samples as a picklable/JSON-able dict.
+
+        This is the wire format shard workers ship to the parent; feed
+        it back through :meth:`merge` to aggregate.
+        """
+        with self._lock:
+            return {
+                "max_samples": self.max_samples,
+                "latencies_s": list(self._latencies_s),
+                "waits_s": list(self._waits_s),
+                "queue_depths": list(self._queue_depths),
+                "batch_hist": dict(self._batch_hist),
+                "n_requests": self._n_requests,
+                "n_images": self._n_images,
+                "n_batches": self._n_batches,
+                "n_batched_requests": self._n_batched_requests,
+                "n_errors": self._n_errors,
+                "first_done": self._first_done,
+                "last_done": self._last_done,
+            }
+
+    def merge(self, other: "ServeMetrics | dict") -> "ServeMetrics":
+        """Fold another instance's (or exported state's) data into this one.
+
+        Counters add, histograms add per bucket, bounded sample deques
+        extend (keeping the most recent ``max_samples``), and the
+        completion span widens to cover both sources.  Completion
+        timestamps are ``time.monotonic`` values; on Linux that clock is
+        system-wide, so spans merged across shard processes on one
+        machine stay coherent.  Returns ``self`` for chaining.
+        """
+        state = other.state() if isinstance(other, ServeMetrics) else other
+        with self._lock:
+            self._latencies_s.extend(state["latencies_s"])
+            self._waits_s.extend(state["waits_s"])
+            self._queue_depths.extend(state["queue_depths"])
+            for size, count in state["batch_hist"].items():
+                size = int(size)
+                self._batch_hist[size] = self._batch_hist.get(size, 0) + count
+            self._n_requests += state["n_requests"]
+            self._n_images += state["n_images"]
+            self._n_batches += state["n_batches"]
+            self._n_batched_requests += state["n_batched_requests"]
+            self._n_errors += state["n_errors"]
+            for theirs, pick in (
+                (state["first_done"], min), (state["last_done"], max)
+            ):
+                if theirs is not None:
+                    attr = "_first_done" if pick is min else "_last_done"
+                    ours = getattr(self, attr)
+                    setattr(self, attr, theirs if ours is None else pick(ours, theirs))
+        return self
+
+    @classmethod
+    def merged(cls, parts: "list[ServeMetrics | dict]") -> "ServeMetrics":
+        """A fresh instance holding the union of every part's data."""
+        agg = cls()
+        for part in parts:
+            agg.merge(part)
+        return agg
 
     # -- reading ---------------------------------------------------------
     def snapshot(self) -> dict:

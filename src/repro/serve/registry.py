@@ -124,6 +124,20 @@ class ModelRegistry:
         """Rebuild the named model, plans compiled and ready to serve."""
         return QuantizedModel.load(self.entry(name).path)
 
+    def archive_path(self, name: str) -> Path:
+        """The on-disk NPZ archive of a registered model.
+
+        Shard worker processes load models straight from this path, so a
+        shared registry directory is the natural hand-off point between a
+        serving parent and its workers.
+        """
+        path = self.entry(name).path
+        if not path.exists():
+            raise KeyError(
+                f"registry manifest for {name!r} points at missing archive {path}"
+            )
+        return path
+
     def names(self) -> "list[str]":
         return sorted(p.stem for p in self.root.glob("*.json"))
 

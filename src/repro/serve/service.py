@@ -3,23 +3,37 @@
 One :class:`SconnaService` hosts any number of named models.  Each model
 gets its own :class:`~repro.serve.batching.MicroBatcher` lane (batches
 never mix models); all lanes dispatch into one shared
-:class:`~repro.serve.workers.WorkerPool`.  The request path is::
+:class:`~repro.serve.backends.ExecutionBackend` - a thread pool in this
+process (``backend="thread"``) or a set of shard worker processes
+(``backend="process"``).  The request path is::
 
-    predict()  ->  lane queue  ->  scheduler coalesces  ->  worker runs
-    qmodel.forward(batch)  ->  logits split per request  ->  futures
+    predict()  ->  lane queue  ->  scheduler coalesces  ->  backend runs
+    qmodel.forward(batch)  ->  logits return  ->  service splits per
+    request, annotates costs, resolves futures
+
+The service owns everything request-shaped - futures, top-k, cost
+annotations (computed once in this parent process via the shared
+:class:`~repro.arch.simulator.SimulationCache`), request-level metrics -
+while the backend owns execution: model hosting, warm buffers, and
+execution-side metrics.  :meth:`metrics_snapshot` merges both sides
+(plus every shard's counters under the process backend) into one view.
 
 Reproducibility: a ``seed``-carrying request in the ``sconna`` datapath
 gets its own :class:`~repro.stochastic.error_models.SconnaErrorModel`,
 applied to its slice of the batch through
 :class:`~repro.stochastic.error_models.PerRequestErrorModels` - so its
 logits are bit-identical no matter which other requests shared the
-batch.  ``ideal=True`` requests the noiseless datapath; ``seed=None``
-(the default) draws fresh ADC noise per request.
+batch, *and* no matter which backend (or shard process) executed it:
+the error model's RNG state pickles exactly, so the shard consumes the
+same noise stream the in-process path would.  ``ideal=True`` requests
+the noiseless datapath; ``seed=None`` (the default) draws fresh ADC
+noise per request.
 """
 
 from __future__ import annotations
 
 import itertools
+import signal as signal_module
 import threading
 import time
 from concurrent import futures
@@ -29,11 +43,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cnn.inference import QuantizedModel
+from repro.serve.backends import (
+    BatchResult,
+    ExecutionBackend,
+    make_backend,
+)
 from repro.serve.batching import BatchingPolicy, InferenceRequest, MicroBatcher
 from repro.serve.costs import CostAccountant, RequestCost, descriptor_from_quantized
 from repro.serve.metrics import ServeMetrics
-from repro.serve.workers import WorkerPool
-from repro.stochastic.error_models import PerRequestErrorModels, SconnaErrorModel
+from repro.stochastic.error_models import SconnaErrorModel
 
 
 @dataclass(frozen=True)
@@ -75,6 +93,8 @@ class SconnaService:
         mode: str = "sconna",
         cost_accountant: CostAccountant | None = None,
         metrics: ServeMetrics | None = None,
+        backend: "ExecutionBackend | str" = "thread",
+        n_shards: int = 2,
     ) -> None:
         if mode not in ("float", "int8", "sconna"):
             raise ValueError(f"unknown default mode {mode!r}")
@@ -82,10 +102,14 @@ class SconnaService:
         self.default_mode = mode
         self.metrics = metrics or ServeMetrics()
         self.costs = cost_accountant or CostAccountant()
-        self._pool = WorkerPool(n_workers)
+        self._backend = make_backend(backend, n_workers=n_workers, n_shards=n_shards)
         self._models: "dict[str, _ModelEntry]" = {}
         self._ids = itertools.count(1)
         self._closed = False
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        return self._backend
 
     # -- model management ------------------------------------------------
     def add_model(
@@ -96,15 +120,19 @@ class SconnaService:
         policy: BatchingPolicy | None = None,
         arch_model: str | None = None,
         warm_shape: "tuple[int, int, int] | None" = None,
+        archive: "object | None" = None,
     ) -> None:
         """Register a model under ``name`` and open its batching lane.
 
         ``arch_model`` links cost annotations to a published zoo
-        descriptor; otherwise the descriptor is derived from the model
+        descriptor (its simulation is prewarmed here, off the request
+        path); otherwise the descriptor is derived from the model
         structure on first cost-annotated request.  ``warm_shape`` (a
-        ``(C, H, W)`` image shape) pre-warms every worker's engine
-        buffers with one dummy batch so the first real request does not
-        pay allocation costs.
+        ``(C, H, W)`` image shape) pre-warms every backend worker's
+        engine buffers with one dummy batch so the first real request
+        does not pay allocation costs.  ``archive`` is the model's NPZ
+        path when one exists (e.g. from a registry): the process backend
+        has its shards load from it instead of re-serializing.
         """
         if self._closed:
             raise RuntimeError("service is closed")
@@ -120,26 +148,27 @@ class SconnaService:
             descriptor = build_model(arch_model)
         entry = _ModelEntry(name=name, qmodel=qmodel, mode=mode, batcher=None,  # type: ignore[arg-type]
                             descriptor=descriptor)
+        lane_policy = policy or self.default_policy
+        warm = None
+        if warm_shape is not None:
+            entry.input_shape = tuple(int(d) for d in warm_shape)
+            c, h, w = entry.input_shape
+            warm = (min(lane_policy.max_batch_size, 4), c, h, w)
+        # the backend must be able to execute the model before the lane
+        # opens; under the process backend this blocks until every shard
+        # acknowledges the load
+        self._backend.add_model(name, qmodel, mode, archive=archive, warm=warm)
+        if descriptor is not None:
+            self.costs.prewarm(descriptor)
         entry.batcher = MicroBatcher(
-            dispatch=lambda batch: self._pool.submit(
-                lambda: self._run_batch(entry, batch)
+            dispatch=lambda batch: self._backend.submit(
+                entry.name, batch,
+                lambda result: self._complete_batch(entry, batch, result),
             ),
-            policy=policy or self.default_policy,
+            policy=lane_policy,
             name=f"batcher-{name}",
         )
         self._models[name] = entry
-        if warm_shape is not None:
-            entry.input_shape = tuple(int(d) for d in warm_shape)
-            c, h, w = warm_shape
-            dummy = np.zeros(
-                (min(entry.batcher.policy.max_batch_size, 4), c, h, w)
-            )
-            em = (
-                SconnaErrorModel(adc_mape=0.0) if mode == "sconna" else None
-            )
-            self._pool.warm(
-                lambda: qmodel.forward(dummy, mode=mode, error_model=em)
-            )
 
     def add_from_registry(
         self,
@@ -149,7 +178,12 @@ class SconnaService:
         policy: BatchingPolicy | None = None,
         warm_shape: "tuple[int, int, int] | None" = None,
     ) -> None:
-        """Load a registry entry and serve it under its registered name."""
+        """Load a registry entry and serve it under its registered name.
+
+        The registry archive doubles as the hand-off point to shard
+        worker processes, so a registry-backed model is never
+        re-serialized for the process backend.
+        """
         reg_entry = registry.entry(name)
         self.add_model(
             name,
@@ -158,6 +192,7 @@ class SconnaService:
             policy=policy,
             arch_model=reg_entry.arch_model,
             warm_shape=warm_shape,
+            archive=registry.archive_path(name),
         )
 
     def models(self) -> "list[str]":
@@ -239,52 +274,60 @@ class SconnaService:
             model, image, seed=seed, ideal=ideal, top_k=top_k, with_cost=with_cost
         ).result(timeout)
 
-    # -- batch execution (worker threads) --------------------------------
-    def _run_batch(self, entry: _ModelEntry, batch: "list[InferenceRequest]") -> None:
+    # -- batch completion (backend callback threads) ----------------------
+    def _complete_batch(
+        self,
+        entry: _ModelEntry,
+        batch: "list[InferenceRequest]",
+        result: "BatchResult | BaseException",
+    ) -> None:
+        """Split a finished batch back into per-request predictions.
+
+        Runs on whatever thread the backend completes on (a worker
+        thread, or a shard collector); execution failures arrive as the
+        raised exception and are routed to every waiting future.
+        """
+        if isinstance(result, BaseException):
+            self._fail_batch(batch, result)
+            return
         try:
-            exec_start = time.monotonic()
-            stacked = (
-                batch[0].images
-                if len(batch) == 1
-                else np.concatenate([r.images for r in batch], axis=0)
-            )
-            error_model = None
-            if entry.mode == "sconna":
-                error_model = PerRequestErrorModels(
-                    [r.error_model for r in batch],
-                    [r.n_images for r in batch],
-                )
-            logits = entry.qmodel.forward(
-                stacked, mode=entry.mode, error_model=error_model
-            )
-            self.metrics.record_batch(len(batch), int(stacked.shape[0]))
+            logits = result.logits
             # one descending argsort for the whole coalesced batch; each
             # request slices its own rows below
             order = np.argsort(logits, axis=1)[:, ::-1]
             done = time.monotonic()
             samples: list[tuple[float, float, int]] = []
+            failed = 0
             start = 0
             for req in batch:
                 sl = logits[start : start + req.n_images]
                 req_order = order[start : start + req.n_images]
                 start += req.n_images
-                cost = None
-                if req.with_cost:
-                    cost = self.costs.annotate(
-                        self._descriptor_for(entry, req), req.n_images
+                # per-request isolation: a failure here (cost annotation
+                # is the usual suspect) fails only this caller, never the
+                # strangers that shared the batch
+                try:
+                    cost = None
+                    if req.with_cost:
+                        cost = self.costs.annotate(
+                            self._descriptor_for(entry, req), req.n_images
+                        )
+                    latency = done - req.enqueued_at
+                    prediction = Prediction(
+                        request_id=req.request_id,
+                        model=entry.name,
+                        logits=sl,
+                        top_k=_top_k_lists(sl, req_order, req.top_k),
+                        batch_images=result.n_images,
+                        latency_s=latency,
+                        cost=cost,
                     )
-                latency = done - req.enqueued_at
+                except BaseException as exc:
+                    failed += 1
+                    self._fail_batch([req], exc)
+                    continue
                 samples.append(
-                    (latency, exec_start - req.enqueued_at, req.n_images)
-                )
-                prediction = Prediction(
-                    request_id=req.request_id,
-                    model=entry.name,
-                    logits=sl,
-                    top_k=_top_k_lists(sl, req_order, req.top_k),
-                    batch_images=int(stacked.shape[0]),
-                    latency_s=latency,
-                    cost=cost,
+                    (latency, result.exec_start - req.enqueued_at, req.n_images)
                 )
                 if not req.future.done():  # client may have cancelled
                     try:
@@ -292,14 +335,20 @@ class SconnaService:
                     except futures.InvalidStateError:
                         pass  # lost the race with a cancel
             self.metrics.record_requests(samples)
-        except BaseException as exc:  # route failures to the waiting clients
+            if failed:
+                self.metrics.record_error(failed)
+        except BaseException as exc:  # completion-side failure (e.g. costs)
             self.metrics.record_error(len(batch))
-            for req in batch:
-                if not req.future.done():
-                    try:
-                        req.future.set_exception(exc)
-                    except futures.InvalidStateError:
-                        pass  # lost the race with a cancel
+            self._fail_batch(batch, exc)
+
+    @staticmethod
+    def _fail_batch(batch: "list[InferenceRequest]", exc: BaseException) -> None:
+        for req in batch:
+            if not req.future.done():
+                try:
+                    req.future.set_exception(exc)
+                except futures.InvalidStateError:
+                    pass  # lost the race with a cancel
 
     def _descriptor_for(self, entry: _ModelEntry, req: InferenceRequest):
         if entry.descriptor is None:
@@ -312,22 +361,47 @@ class SconnaService:
         return entry.descriptor
 
     # -- metrics / lifecycle ---------------------------------------------
+    def reset_metrics(self) -> None:
+        """Discard request-side *and* every backend worker's metrics
+        (benchmarks use this to keep warm-up traffic out of results)."""
+        self.metrics.reset()
+        self._backend.reset_metrics()
+
     def metrics_snapshot(self) -> dict:
-        snap = self.metrics.snapshot()
+        """One aggregated view: request-side metrics (this object) merged
+        with every backend worker's / shard's execution-side metrics."""
+        agg = ServeMetrics.merged([self.metrics, *self._backend.metrics_states()])
+        snap = agg.snapshot()
         snap["models"] = self.models()
+        snap["backend"] = self._backend.info()
+        snap["costs"] = self.costs.stats()
         return snap
 
     def close(self, timeout: float | None = 10.0) -> None:
-        """Graceful shutdown: drain every lane, then stop the workers.
+        """Graceful shutdown: drain every lane, then stop the backend.
 
         Requests already submitted complete; new submissions raise.
+        Under the process backend this also reaps every shard process.
+        A lane that fails to drain in time does not block the rest of
+        the teardown - every lane and the backend are always attempted
+        (otherwise one stuck scheduler would leak shard processes
+        forever), and the first failure is re-raised at the end.
         """
         if self._closed:
             return
         self._closed = True
+        errors: "list[BaseException]" = []
         for entry in self._models.values():
-            entry.batcher.close(timeout)
-        self._pool.close(timeout)
+            try:
+                entry.batcher.close(timeout)
+            except BaseException as exc:
+                errors.append(exc)
+        try:
+            self._backend.close(timeout)
+        except BaseException as exc:
+            errors.append(exc)
+        if errors:
+            raise errors[0]
 
     def __enter__(self) -> "SconnaService":
         return self
@@ -345,3 +419,89 @@ def _top_k_lists(
         [(int(c), float(logits[i, c])) for c in order[i, :k]]
         for i in range(logits.shape[0])
     ]
+
+
+class ShutdownHandlers:
+    """Installed SIGINT/SIGTERM handlers that drain a service on signal.
+
+    Relying on garbage collection to stop a service leaks shard worker
+    processes when the interpreter is killed mid-serve; these handlers
+    make a signal perform the orderly teardown instead: HTTP servers
+    stop accepting, every lane drains, the backend reaps its workers -
+    no orphaned children.  After cleanup the previous handler is
+    restored and (when ``chain=True``) the signal re-raised, so default
+    process-exit semantics still apply.
+
+    Use :func:`install_shutdown_handlers`; call from the main thread
+    (CPython only delivers signals there).  HTTP servers passed in must
+    be running ``serve_forever`` on *another* thread (as
+    :func:`~repro.serve.httpd.serve_http` does) - ``shutdown()`` blocks
+    until that loop exits.
+    """
+
+    def __init__(
+        self,
+        service,
+        servers: "tuple | list" = (),
+        signals: "tuple[int, ...]" = (signal_module.SIGINT, signal_module.SIGTERM),
+        chain: bool = True,
+        timeout: float | None = 10.0,
+    ) -> None:
+        self.service = service
+        self.servers = tuple(servers)
+        self.chain = chain
+        self.timeout = timeout
+        self.triggered: "int | None" = None
+        self._done = threading.Event()
+        self._previous: "dict[int, object]" = {}
+        for signum in signals:
+            self._previous[signum] = signal_module.signal(signum, self._handle)
+
+    def _handle(self, signum, frame) -> None:
+        self.trigger(signum)
+        if self.chain:
+            signal_module.raise_signal(signum)
+
+    def trigger(self, signum: int) -> None:
+        """Run the teardown (idempotent); restores the previous handlers."""
+        first = self.triggered is None
+        self.triggered = signum
+        if not first:
+            return
+        for server in self.servers:
+            try:
+                server.shutdown()
+            except Exception:
+                pass
+        try:
+            self.service.close(self.timeout)
+        finally:
+            self.restore()
+            self._done.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until a signal has completed the teardown."""
+        return self._done.wait(timeout)
+
+    def restore(self) -> None:
+        """Put the previous signal handlers back."""
+        for signum, previous in self._previous.items():
+            try:
+                signal_module.signal(signum, previous)
+            except (ValueError, TypeError):
+                pass  # not the main thread / handler not restorable
+        self._previous = {}
+
+
+def install_shutdown_handlers(
+    service,
+    servers: "tuple | list" = (),
+    signals: "tuple[int, ...]" = (signal_module.SIGINT, signal_module.SIGTERM),
+    chain: bool = True,
+    timeout: float | None = 10.0,
+) -> ShutdownHandlers:
+    """Install SIGINT/SIGTERM handlers that drain ``service`` (and shut
+    down the given HTTP ``servers`` first); returns the handle."""
+    return ShutdownHandlers(
+        service, servers=servers, signals=signals, chain=chain, timeout=timeout
+    )

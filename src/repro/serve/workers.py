@@ -1,14 +1,18 @@
 """Thread worker pool executing coalesced inference batches.
 
-Threads - not processes - because the engine's hot path spends its time
-inside BLAS matmuls and the native remainder kernel, both of which
-release the GIL; two workers keep one core on compute while another
-fills im2col buffers.  Each worker thread owns warm scratch buffers
-automatically: :class:`repro.cnn.engine.SconnaEngine` keeps its
-:class:`_BufferPool` in thread-local storage, so a worker's first batch
-allocates the im2col / remainder workspaces and every later batch of
-the same geometry reuses them.  :meth:`WorkerPool.warm` lets a service
-pre-pay that first-batch cost at registration time.
+This is the substrate of the in-process execution backend
+(:class:`repro.serve.backends.ThreadBackend`).  Threads - not processes
+- because the engine's hot path spends its time inside BLAS matmuls and
+the native remainder kernel, both of which release the GIL; two workers
+keep one core on compute while another fills im2col buffers.  When that
+single runtime becomes the bottleneck, the process backend in
+:mod:`repro.serve.backends` shards work across worker *processes*
+instead.  Each worker thread owns warm scratch buffers automatically:
+:class:`repro.cnn.engine.SconnaEngine` keeps its :class:`_BufferPool`
+in thread-local storage, so a worker's first batch allocates the
+im2col / remainder workspaces and every later batch of the same
+geometry reuses them.  :meth:`WorkerPool.warm` lets a service pre-pay
+that first-batch cost at registration time.
 """
 
 from __future__ import annotations
@@ -72,6 +76,14 @@ class WorkerPool:
     @property
     def task_errors(self) -> int:
         return self._task_errors
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def pending(self) -> int:
+        """Tasks queued but not yet picked up (approximate, for metrics)."""
+        return self._tasks.qsize()
 
     def close(self, timeout: float | None = 10.0) -> None:
         """Drain queued tasks, then stop and join every worker."""

@@ -1,0 +1,311 @@
+"""Execution backends: thread/process equivalence, sharding, recovery.
+
+The acceptance contract of the backend seam: the same seeded request
+stream produces bit-identical per-request logits through
+``ThreadBackend`` and ``ProcessBackend`` (the per-request deterministic
+ADC noise survives process dispatch), shard crashes are recovered
+without losing requests, and close() drains in-flight work and reaps
+every shard process.
+"""
+
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.cnn.datasets import N_CLASSES, generate_dataset
+from repro.cnn.inference import QuantizedModel
+from repro.cnn.micro import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from repro.cnn.serialization import dumps_quantized_model, loads_quantized_model
+from repro.serve import (
+    BatchingPolicy,
+    ModelRegistry,
+    ProcessBackend,
+    SconnaService,
+    ServeMetrics,
+    ThreadBackend,
+    install_shutdown_handlers,
+    make_backend,
+    serve_http,
+)
+from repro.utils.rng import make_rng
+
+POLICY = BatchingPolicy(max_batch_size=8, max_wait_ms=2.0)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = make_rng(0)
+    model = Sequential(
+        Conv2d(3, 6, 3, padding=1, rng=rng), ReLU(), MaxPool2d(4),
+        Flatten(), Linear(6 * 6 * 6, N_CLASSES, rng=rng),
+    )
+    ds = generate_dataset(6, seed=3)
+    qm = QuantizedModel.from_trained(model, ds.images[:24])
+    return qm, ds
+
+
+@pytest.fixture(scope="module")
+def process_service(setup):
+    """One shared 2-shard service - spawn cost is paid once per module."""
+    qm, _ = setup
+    svc = SconnaService(policy=POLICY, backend="process", n_shards=2)
+    svc.add_model("tiny", qm, warm_shape=(3, 24, 24))
+    yield svc
+    svc.close()
+
+
+def seeded_stream(svc, ds, n=18):
+    """A mixed request stream: seeded singles, a multi-image stack, an
+    ideal request - everything the determinism contract covers."""
+    futs = []
+    for i in range(n):
+        if i % 6 == 4:
+            futs.append(svc.predict_async("tiny", ds.images[:3], seed=100 + i))
+        elif i % 6 == 5:
+            futs.append(svc.predict_async("tiny", ds.images[i % 6], ideal=True))
+        else:
+            futs.append(svc.predict_async("tiny", ds.images[i % 6], seed=i))
+    return [f.result(120.0) for f in futs]
+
+
+class TestServeMetricsMerge:
+    def test_counters_and_histograms_add(self):
+        a, b = ServeMetrics(), ServeMetrics()
+        a.record_batch(2, 8)
+        a.record_requests([(0.1, 0.01, 1), (0.2, 0.02, 1)])
+        b.record_batch(1, 8)
+        b.record_batch(1, 4)
+        b.record_error(3)
+        merged = ServeMetrics.merged([a, b])
+        snap = merged.snapshot()
+        assert snap["requests"] == 2
+        assert snap["batches"] == 3
+        assert snap["errors"] == 3
+        assert snap["batch_size"]["histogram"] == {"4": 1, "8": 2}
+
+    def test_merge_accepts_exported_state(self):
+        a = ServeMetrics()
+        a.record_requests([(0.5, 0.1, 2)])
+        state = a.state()
+        merged = ServeMetrics().merge(state).merge(state)
+        snap = merged.snapshot()
+        assert snap["requests"] == 2
+        assert snap["images"] == 4
+        assert snap["latency"]["p50_ms"] == pytest.approx(500.0)
+
+    def test_completion_span_widens(self):
+        a, b = ServeMetrics(), ServeMetrics()
+        a.record_request(0.1, 0.0)
+        time.sleep(0.02)
+        b.record_request(0.1, 0.0)
+        merged = ServeMetrics.merged([a, b])
+        assert merged.snapshot()["requests_per_s"] is not None
+
+    def test_string_histogram_keys_from_json_roundtrip(self):
+        a = ServeMetrics()
+        a.record_batch(1, 8)
+        state = a.state()
+        state["batch_hist"] = {str(k): v for k, v in state["batch_hist"].items()}
+        snap = ServeMetrics().merge(state).snapshot()
+        assert snap["batch_size"]["histogram"] == {"8": 1}
+
+
+class TestThreadBackendSeam:
+    def test_explicit_backend_instance(self, setup):
+        qm, ds = setup
+        backend = ThreadBackend(n_workers=1)
+        svc = SconnaService(policy=POLICY, backend=backend)
+        svc.add_model("tiny", qm)
+        try:
+            from repro.stochastic.error_models import SconnaErrorModel
+
+            direct = qm.forward(
+                ds.images[1][None], mode="sconna",
+                error_model=SconnaErrorModel(adc_mape=0.0),
+            )
+            pred = svc.predict("tiny", ds.images[1], ideal=True)
+            assert np.array_equal(pred.logits, direct)
+            snap = svc.metrics_snapshot()
+            assert snap["backend"]["kind"] == "thread"
+            assert snap["batches"] >= 1
+        finally:
+            svc.close()
+
+    def test_make_backend_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("gpu")
+
+
+class TestModelBytesRoundTrip:
+    def test_dumps_loads_bit_identical(self, setup):
+        qm, ds = setup
+        clone = loads_quantized_model(dumps_quantized_model(qm))
+        a = qm.forward(ds.images[:2], mode="int8")
+        b = clone.forward(ds.images[:2], mode="int8")
+        assert np.array_equal(a, b)
+
+    def test_pickled_model_forward_matches(self, setup):
+        import pickle
+
+        qm, ds = setup
+        clone = pickle.loads(pickle.dumps(qm))
+        a = qm.forward(ds.images[:2], mode="int8")
+        b = clone.forward(ds.images[:2], mode="int8")
+        assert np.array_equal(a, b)
+
+
+class TestProcessBackend:
+    def test_equivalence_bit_identical_per_request(self, setup, process_service):
+        """The acceptance test: the same seeded request stream through
+        both backends yields bit-identical logits per request."""
+        qm, ds = setup
+        thread_svc = SconnaService(policy=POLICY, n_workers=2)
+        thread_svc.add_model("tiny", qm)
+        try:
+            through_threads = seeded_stream(thread_svc, ds)
+            through_processes = seeded_stream(process_service, ds)
+            for a, b in zip(through_threads, through_processes):
+                assert np.array_equal(a.logits, b.logits)
+        finally:
+            thread_svc.close()
+
+    def test_aggregated_metrics_and_backend_info(self, setup, process_service):
+        _, ds = setup
+        futs = [
+            process_service.predict_async("tiny", ds.images[i % 6], seed=i)
+            for i in range(10)
+        ]
+        for f in futs:
+            f.result(120.0)
+        snap = process_service.metrics_snapshot()
+        assert snap["requests"] >= 10
+        assert snap["batches"] >= 1  # merged in from shard-side metrics
+        assert snap["backend"]["kind"] == "process"
+        assert snap["backend"]["shards"] == 2
+        assert len(snap["backend"]["per_shard"]) == 2
+        assert snap["models"] == ["tiny"]
+
+    def test_cost_annotation_computed_in_parent(self, setup, process_service):
+        _, ds = setup
+        pred = process_service.predict("tiny", ds.images[0], with_cost=True, timeout=120.0)
+        assert pred.cost is not None
+        assert pred.cost.accelerator == "SCONNA"
+        assert process_service.costs.stats()["entries"] >= 1
+
+    def test_execution_failure_routed_to_future(self, setup, process_service):
+        bad = np.zeros((1, 3, 10, 10))  # wrong spatial dims for the FC
+        with pytest.raises(Exception):
+            process_service.predict("tiny", bad, timeout=120.0)
+
+    def test_shard_crash_recovery(self, setup, process_service):
+        """Kill a shard process: the backend reaps it, respawns the
+        slot, reloads the model, and seeded results are unchanged."""
+        qm, ds = setup
+        expected = process_service.predict("tiny", ds.images[2], seed=5, timeout=120.0)
+        backend = process_service.backend
+        restarts_before = backend.restarts
+        backend._shards[0].process.terminate()
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            info = backend.info()
+            if info["alive"] == 2 and backend.restarts > restarts_before:
+                break
+            time.sleep(0.1)
+        info = backend.info()
+        assert info["alive"] == 2
+        assert backend.restarts > restarts_before
+        after = process_service.predict("tiny", ds.images[2], seed=5, timeout=120.0)
+        assert np.array_equal(after.logits, expected.logits)
+
+    def test_drain_on_close_and_reaped_shards(self, setup):
+        qm, ds = setup
+        svc = SconnaService(policy=POLICY, backend="process", n_shards=1)
+        svc.add_model("tiny", qm)
+        futs = [
+            svc.predict_async("tiny", ds.images[i % 6], seed=i) for i in range(8)
+        ]
+        svc.close(timeout=120.0)
+        for f in futs:
+            assert f.exception(timeout=0) is None  # drained, not dropped
+        for shard in svc.backend._shards:
+            assert not shard.process.is_alive()
+        with pytest.raises(RuntimeError):
+            svc.predict("tiny", ds.images[0])
+
+    def test_registry_archive_is_the_shard_handoff(self, setup, tmp_path):
+        """A registry-backed model reaches shards through its NPZ path
+        and still round-trips bit-identically over HTTP."""
+        import json
+        import urllib.request
+
+        qm, ds = setup
+        registry = ModelRegistry(tmp_path)
+        registry.save("tiny", qm, arch_model="MobileNet_V2")
+        svc = SconnaService(policy=POLICY, backend="process", n_shards=1)
+        svc.add_from_registry(registry, "tiny")
+        server, _ = serve_http(svc)
+        try:
+            from repro.stochastic.error_models import SconnaErrorModel
+
+            direct = qm.forward(
+                ds.images[2][None], mode="sconna",
+                error_model=SconnaErrorModel(adc_mape=0.0),
+            )
+            body = json.dumps({
+                "model": "tiny", "image": ds.images[2].tolist(), "ideal": True,
+            }).encode()
+            req = urllib.request.Request(
+                server.url + "/v1/predict", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            resp = json.loads(urllib.request.urlopen(req, timeout=120).read())
+            assert np.array_equal(np.asarray(resp["logits"]), direct)
+            metrics = json.loads(
+                urllib.request.urlopen(server.url + "/v1/metrics", timeout=120).read()
+            )
+            assert metrics["backend"]["kind"] == "process"
+        finally:
+            server.shutdown()
+            svc.close()
+
+    def test_backend_validation(self):
+        with pytest.raises(ValueError):
+            ProcessBackend(n_shards=0)
+
+
+class TestShutdownHandlers:
+    def test_trigger_drains_service_and_restores_handlers(self, setup):
+        qm, ds = setup
+        previous_int = signal.getsignal(signal.SIGINT)
+        previous_term = signal.getsignal(signal.SIGTERM)
+        svc = SconnaService(policy=POLICY, n_workers=1)
+        svc.add_model("tiny", qm)
+        server, _ = serve_http(svc)
+        handlers = install_shutdown_handlers(
+            svc, servers=(server,), chain=False
+        )
+        assert signal.getsignal(signal.SIGTERM) is not previous_term
+        futs = [
+            svc.predict_async("tiny", ds.images[i % 6], seed=i) for i in range(6)
+        ]
+        handlers.trigger(signal.SIGTERM)
+        assert handlers.triggered == signal.SIGTERM
+        assert handlers.wait(timeout=10.0)
+        for f in futs:
+            assert f.exception(timeout=0) is None  # in-flight work drained
+        with pytest.raises(RuntimeError):
+            svc.predict("tiny", ds.images[0])
+        # previous handlers are back
+        assert signal.getsignal(signal.SIGINT) == previous_int
+        assert signal.getsignal(signal.SIGTERM) == previous_term
+
+    def test_trigger_is_idempotent(self, setup):
+        qm, _ = setup
+        svc = SconnaService(policy=POLICY, n_workers=1)
+        svc.add_model("tiny", qm)
+        handlers = install_shutdown_handlers(svc, chain=False)
+        handlers.trigger(signal.SIGINT)
+        handlers.trigger(signal.SIGINT)  # second call is a no-op
+        assert handlers.triggered == signal.SIGINT
