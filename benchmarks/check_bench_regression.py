@@ -1,0 +1,92 @@
+"""CI bench-regression guard for the serving path.
+
+Compares a fresh smoke run of ``run_bench_serve.py`` (written with
+``--json-out``) against the committed ``BENCH_serve.json`` baseline and
+fails when the batch-1 sustained request rate regresses by more than
+``--max-regression`` (default 30%).  Batch-1 is the guarded scenario
+because it is the pure request-path cost - one request, one forward
+pass, no coalescing luck - so it moves only when the serving or engine
+code actually got slower.
+
+Throughput is hardware-relative, so the comparison only fires when the
+baseline was recorded on the same ``cores`` count as the current run;
+otherwise the check reports the mismatch and passes (a 4-core CI runner
+must not be graded against a 1-core container's baseline).
+
+Usage (what ``ci.yml`` runs)::
+
+    python benchmarks/run_bench_serve.py --smoke --json-out smoke.json
+    python benchmarks/check_bench_regression.py smoke.json BENCH_serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def batch1_records(payload: dict) -> "dict[tuple, dict]":
+    """Index batch-1 thread records by (mode,) for comparison."""
+    out = {}
+    for rec in payload.get("records", []):
+        if rec.get("scenario") == "batch1" and rec.get("backend") == "thread":
+            out[(rec["mode"],)] = rec
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh run JSON (--json-out output)")
+    parser.add_argument("baseline", help="committed BENCH_serve.json")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="tolerated fractional drop in batch-1 "
+                             "requests/s (default: 0.30)")
+    args = parser.parse_args()
+
+    current = json.loads(Path(args.current).read_text())
+    baseline = json.loads(Path(args.baseline).read_text())
+
+    cur_cores = current.get("cores")
+    base_cores = baseline.get("cores")
+    print(f"bench-regression: current  {cur_cores} core(s) on "
+          f"{current.get('platform')}")
+    print(f"bench-regression: baseline {base_cores} core(s) on "
+          f"{baseline.get('platform')}")
+    if cur_cores != base_cores:
+        print("bench-regression: core counts differ - throughputs are not "
+              "comparable, skipping the guard")
+        return 0
+
+    cur = batch1_records(current)
+    base = batch1_records(baseline)
+    compared = 0
+    failures = []
+    for key, base_rec in base.items():
+        cur_rec = cur.get(key)
+        if cur_rec is None:
+            continue  # smoke runs measure a subset of modes
+        compared += 1
+        floor = base_rec["requests_per_s"] * (1.0 - args.max_regression)
+        verdict = "ok" if cur_rec["requests_per_s"] >= floor else "REGRESSED"
+        print(f"bench-regression: mode={key[0]} batch1 "
+              f"{cur_rec['requests_per_s']:.1f} req/s vs baseline "
+              f"{base_rec['requests_per_s']:.1f} "
+              f"(floor {floor:.1f}) -> {verdict}")
+        if verdict != "ok":
+            failures.append(key[0])
+    if not compared:
+        print("bench-regression: no comparable batch-1 records between the "
+              "two files - nothing guarded")
+        return 0
+    if failures:
+        print(f"bench-regression: FAILED for mode(s) {failures} - batch-1 "
+              f"sustained req/s dropped more than "
+              f"{args.max_regression:.0%} vs the committed baseline")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

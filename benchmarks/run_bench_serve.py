@@ -8,9 +8,10 @@ execution backend) around a zoo proxy model and drives it open-loop
   the naive "one request, one forward pass" server;
 * ``dynamic`` - the dynamic micro-batching policy on the thread backend;
 * ``dynamic`` x :class:`~repro.serve.backends.ProcessBackend` - the same
-  policy sharded over N worker processes, swept over ``--shards`` on the
-  ``sconna`` datapath (whose per-image compute dominates its batch cost,
-  making it the datapath that needs multi-core scaling).
+  policy sharded over N worker processes, swept over ``--shards`` *and*
+  ``--transport`` (pipe-pickle vs shared-memory rings) on the ``sconna``
+  datapath (whose per-image compute dominates its batch cost, making it
+  the datapath that needs multi-core scaling).
 
 Writes ``BENCH_serve.json`` at the repo root::
 
@@ -22,9 +23,12 @@ batch-size histogram, and speedups over batch-1 (and, for process
 records, over the single-process dynamic baseline - the multi-core
 scaling number; on a single-core container expect <= 1x, the sharding
 gain needs real cores).  ``--smoke`` runs a seconds-scale version for
-CI and writes nothing; ``--check-equivalence`` additionally pushes one
-seeded request stream through both backends and fails unless the
-per-request logits are bit-identical.
+CI without touching ``BENCH_serve.json``; ``--json-out PATH`` writes the
+run's records wherever asked (the CI bench-regression checker consumes a
+smoke run's output); ``--check-equivalence`` additionally pushes one
+seeded request stream through both backends (and each requested
+``--transport``) and fails unless the per-request logits are
+bit-identical.
 """
 
 from __future__ import annotations
@@ -61,12 +65,12 @@ def build_registry(root: Path, model_name: str, seed: int = 0):
 
 
 def make_service(registry, ds, model_name, *, mode, policy, n_workers,
-                 backend="thread", n_shards=2):
+                 backend="thread", n_shards=2, transport="shm"):
     from repro.serve import SconnaService
 
     service = SconnaService(
         policy=policy, n_workers=n_workers, mode=mode,
-        backend=backend, n_shards=n_shards,
+        backend=backend, n_shards=n_shards, transport=transport,
     )
     service.add_from_registry(registry, model_name, warm_shape=ds.images[0].shape)
     return service
@@ -74,7 +78,7 @@ def make_service(registry, ds, model_name, *, mode, policy, n_workers,
 
 def run_scenario(
     registry, ds, model_name, *, mode, policy, n_workers, n_requests,
-    repeats=1, backend="thread", n_shards=2,
+    repeats=1, backend="thread", n_shards=2, transport="shm",
 ):
     """Open-loop drive: async-submit everything, wait for every future.
 
@@ -87,6 +91,7 @@ def run_scenario(
         service = make_service(
             registry, ds, model_name, mode=mode, policy=policy,
             n_workers=n_workers, backend=backend, n_shards=n_shards,
+            transport=transport,
         )
         try:
             for i in range(8):  # warm the request path itself
@@ -115,6 +120,7 @@ def run_scenario(
         "mode": mode,
         "backend": backend,
         "shards": n_shards if backend == "process" else None,
+        "transport": transport if backend == "process" else None,
         "requests": n_requests,
         "workers": n_workers,
         "max_batch_size": policy.max_batch_size,
@@ -130,16 +136,18 @@ def run_scenario(
 
 
 def check_equivalence(registry, ds, model_name, *, policy, n_shards,
-                      n_requests=40) -> None:
+                      transports=("pipe", "shm"), n_requests=40) -> None:
     """The cross-backend determinism gate: one seeded request stream
-    through ThreadBackend and ProcessBackend must produce bit-identical
-    per-request logits.  Exits nonzero on the first mismatch."""
+    through ThreadBackend and ProcessBackend (each requested transport)
+    must produce bit-identical per-request logits.  Exits nonzero on
+    the first mismatch."""
     import numpy as np
 
-    def drive(backend):
+    def drive(backend, transport="shm"):
         service = make_service(
             registry, ds, model_name, mode="sconna", policy=policy,
             n_workers=2, backend=backend, n_shards=n_shards,
+            transport=transport,
         )
         try:
             futures = [
@@ -153,18 +161,21 @@ def check_equivalence(registry, ds, model_name, *, policy, n_shards,
             service.close()
 
     thread_logits = drive("thread")
-    process_logits = drive("process")
-    mismatches = [
-        i
-        for i, (a, b) in enumerate(zip(thread_logits, process_logits))
-        if not np.array_equal(a, b)
-    ]
-    if mismatches:
-        print(f"EQUIVALENCE FAILED: {len(mismatches)}/{n_requests} requests "
-              f"differ between backends (first: request {mismatches[0]})")
-        sys.exit(1)
+    for transport in transports:
+        process_logits = drive("process", transport=transport)
+        mismatches = [
+            i
+            for i, (a, b) in enumerate(zip(thread_logits, process_logits))
+            if not np.array_equal(a, b)
+        ]
+        if mismatches:
+            print(f"EQUIVALENCE FAILED ({transport}): "
+                  f"{len(mismatches)}/{n_requests} requests differ between "
+                  f"backends (first: request {mismatches[0]})")
+            sys.exit(1)
     print(f"equivalence: {n_requests} seeded sconna requests bit-identical "
-          f"across thread and {n_shards}-shard process backends")
+          f"across thread and {n_shards}-shard process backends "
+          f"(transports: {', '.join(transports)})")
 
 
 def parse_shards(spec: str) -> "list[int]":
@@ -190,12 +201,23 @@ def main() -> None:
     parser.add_argument("--shards", type=parse_shards, default=None,
                         help="comma-separated shard counts for the process "
                              "sweep (default: 2 plus the core count when >2)")
+    parser.add_argument("--transport", default="both",
+                        choices=("pipe", "shm", "both"),
+                        help="process-backend transports to measure / gate "
+                             "(default: both)")
     parser.add_argument("--smoke", action="store_true",
-                        help="seconds-scale CI run; does not write the JSON")
+                        help="seconds-scale CI run; does not rewrite "
+                             "BENCH_serve.json")
+    parser.add_argument("--json-out", default=None,
+                        help="write this run's records as JSON to the given "
+                             "path (works with --smoke; feeds the CI "
+                             "bench-regression checker)")
     parser.add_argument("--check-equivalence", action="store_true",
                         help="assert thread/process bit-identical logits "
                              "for a seeded request stream")
     args = parser.parse_args()
+    transports = ("pipe", "shm") if args.transport == "both" \
+        else (args.transport,)
     cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
         else (os.cpu_count() or 1)
     if args.shards is None:
@@ -203,7 +225,10 @@ def main() -> None:
     modes = ("int8",) if args.smoke else ("int8", "sconna")
     repeats = 1 if args.smoke else 3
     if args.smoke:
-        args.requests = 80
+        # enough requests that the batch-1 rate is stable - the CI
+        # bench-regression guard compares it against the committed
+        # baseline, so a noisy 80-request estimate would flake
+        args.requests = 200
 
     records = []
     speedups = {}
@@ -215,7 +240,8 @@ def main() -> None:
                 policy=BatchingPolicy(
                     max_batch_size=min(args.max_batch_size, 8), max_wait_ms=2.0
                 ),
-                n_shards=min(args.shards), n_requests=40,
+                n_shards=min(args.shards), transports=transports,
+                n_requests=40,
             )
         print(f"serving {args.model} ({args.requests} open-loop requests/"
               f"scenario, {cores} cores)")
@@ -258,28 +284,32 @@ def main() -> None:
                     None,
                 )
                 for n_shards in args.shards:
-                    rec = run_scenario(
-                        registry, ds, args.model, mode=mode,
-                        policy=BatchingPolicy(
-                            max_batch_size=min(args.max_batch_size, 32),
-                            max_wait_ms=args.max_wait_ms,
-                        ),
-                        n_workers=args.workers, n_requests=args.requests,
-                        repeats=repeats, backend="process", n_shards=n_shards,
-                    )
-                    rec["scenario"] = "dynamic"
-                    if base is not None:
-                        rec["speedup_vs_thread_dynamic"] = round(
-                            rec["requests_per_s"] / base["requests_per_s"], 2
+                    for transport in transports:
+                        # IPC-bound scenarios are noisier than in-process
+                        # ones (context-switch luck); a deeper best-of-N
+                        # keeps the pipe-vs-shm comparison stable
+                        rec = run_scenario(
+                            registry, ds, args.model, mode=mode,
+                            policy=BatchingPolicy(
+                                max_batch_size=min(args.max_batch_size, 32),
+                                max_wait_ms=args.max_wait_ms,
+                            ),
+                            n_workers=args.workers,
+                            n_requests=args.requests,
+                            repeats=repeats + 2, backend="process",
+                            n_shards=n_shards, transport=transport,
                         )
-                        speedups[f"{mode}-process-{n_shards}"] = \
-                            rec["speedup_vs_thread_dynamic"]
-                    records.append(rec)
-                    print(_fmt(rec))
-
-    if args.smoke:
-        print("smoke run: BENCH_serve.json not rewritten")
-        return
+                        rec["scenario"] = "dynamic"
+                        if base is not None:
+                            rec["speedup_vs_thread_dynamic"] = round(
+                                rec["requests_per_s"]
+                                / base["requests_per_s"], 2
+                            )
+                            speedups[
+                                f"{mode}-process-{transport}-{n_shards}"
+                            ] = rec["speedup_vs_thread_dynamic"]
+                        records.append(rec)
+                        print(_fmt(rec))
 
     payload = {
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -289,6 +319,13 @@ def main() -> None:
         "model": args.model,
         "records": records,
     }
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json_out}")
+    if args.smoke:
+        print("smoke run: BENCH_serve.json not rewritten")
+        return
+
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {OUTPUT}")
     if args.backend != "both":
@@ -303,8 +340,8 @@ def main() -> None:
 
 def _fmt(rec: dict) -> str:
     tag = rec["backend"] if rec["shards"] is None \
-        else f"{rec['backend']}x{rec['shards']}"
-    return (f"  {rec['mode']:6s} {rec['scenario']:8s} {tag:10s}: "
+        else f"{rec['backend']}x{rec['shards']}/{rec['transport']}"
+    return (f"  {rec['mode']:6s} {rec['scenario']:8s} {tag:14s}: "
             f"{rec['requests_per_s']:8.1f} req/s   "
             f"p50 {rec['latency_p50_ms']:7.1f} ms   "
             f"p99 {rec['latency_p99_ms']:7.1f} ms   "

@@ -11,6 +11,8 @@ printed at exit.
 
 Run:  PYTHONPATH=src python examples/serve_http_demo.py
       PYTHONPATH=src python examples/serve_http_demo.py --backend process --shards 2
+      PYTHONPATH=src python examples/serve_http_demo.py --backend process \
+          --transport pipe --placement snet=0
 """
 
 import argparse
@@ -46,7 +48,22 @@ def main() -> None:
                         help="worker processes for --backend process")
     parser.add_argument("--workers", type=int, default=2,
                         help="worker threads for --backend thread")
+    parser.add_argument("--transport", default="shm",
+                        choices=("pipe", "shm"),
+                        help="process-backend batch transport (default: shm "
+                             "shared-memory rings)")
+    parser.add_argument("--placement", default=None,
+                        help="shard placement for the demo model, e.g. "
+                             "'snet=0' (default: every shard)")
     args = parser.parse_args()
+    placement = None
+    if args.placement is not None:
+        from repro.serve import ShardPlacement
+
+        try:
+            placement = ShardPlacement.parse(args.placement)
+        except ValueError as exc:
+            parser.error(str(exc))
 
     print("training snet_proxy (short run - this is a serving demo) ...")
     dataset = generate_dataset(n_per_class=60, seed=0)
@@ -65,6 +82,8 @@ def main() -> None:
             n_workers=args.workers,
             backend=args.backend,
             n_shards=args.shards,
+            transport=args.transport,
+            placement=placement,
         )
         service.add_from_registry(registry, "snet", warm_shape=(3, 24, 24))
         server, _ = serve_http(service)
@@ -73,7 +92,8 @@ def main() -> None:
         install_shutdown_handlers(service, servers=(server,))
         backend_info = service.backend.info()
         topology = (
-            f"{backend_info.get('shards')} shard processes"
+            f"{backend_info.get('shards')} shard processes, "
+            f"{backend_info.get('transport')} transport"
             if args.backend == "process"
             else f"{args.workers} worker threads"
         )

@@ -14,8 +14,11 @@ cost):
 * :mod:`repro.serve.backends`  - the :class:`ExecutionBackend` seam and
   its implementations: :class:`ThreadBackend` (one process, a warm
   thread pool) and :class:`ProcessBackend` (N shard worker processes
-  loading models through the NPZ serialization, with crash respawn and
-  in-flight redispatch),
+  loading models through the NPZ serialization, with crash respawn,
+  in-flight redispatch, and per-model :class:`ShardPlacement`),
+* :mod:`repro.serve.shm`       - the shared-memory ring transport the
+  process backend moves batch tensors and logits through (descriptors
+  on the pipe, payload bytes in ``/dev/shm``),
 * :mod:`repro.serve.workers`   - the thread worker pool behind
   :class:`ThreadBackend`,
 * :mod:`repro.serve.service`   - the :class:`SconnaService` facade
@@ -34,6 +37,7 @@ from repro.serve.backends import (
     BatchResult,
     ExecutionBackend,
     ProcessBackend,
+    ShardPlacement,
     ThreadBackend,
     make_backend,
 )
@@ -42,6 +46,7 @@ from repro.serve.costs import CostAccountant, RequestCost, descriptor_from_quant
 from repro.serve.httpd import ServeHTTPServer, serve_http
 from repro.serve.metrics import ServeMetrics, percentile
 from repro.serve.registry import ModelRegistry, RegistryEntry
+from repro.serve.shm import RingAllocator, ShmArena, ShmDescriptor
 from repro.serve.service import (
     Prediction,
     SconnaService,
@@ -54,8 +59,12 @@ __all__ = [
     "BatchResult",
     "ExecutionBackend",
     "ProcessBackend",
+    "ShardPlacement",
     "ThreadBackend",
     "make_backend",
+    "RingAllocator",
+    "ShmArena",
+    "ShmDescriptor",
     "BatchingPolicy",
     "InferenceRequest",
     "MicroBatcher",

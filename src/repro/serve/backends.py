@@ -20,10 +20,16 @@ Two implementations:
   owns a full Python runtime (its own GIL, BLAS pools, warm engine
   buffers) and loads models through the NPZ serialization - from the
   shared registry's archive when one exists, from in-memory archive
-  bytes otherwise.  Batches travel over pipes; results return on
-  per-shard collector threads.  A shard that dies is reaped, respawned
-  (up to ``max_restarts``), its models reloaded, and its in-flight
-  batches redispatched to live shards.
+  bytes otherwise.  Batch tensors travel through per-shard
+  ``multiprocessing.shared_memory`` rings with only descriptors on the
+  pipe (``transport="shm"``, the default; ``"pipe"`` keeps the classic
+  pickled-array transport, and ring-full backpressure degrades single
+  batches to it); results return on per-shard collector threads.
+  :class:`ShardPlacement` routes each model to a shard subset (default:
+  all).  A shard that dies is reaped, respawned (up to
+  ``max_restarts``), its placed models reloaded, its shm rings
+  unlinked and recreated, and its in-flight batches redispatched to
+  live shards.
 
 **Determinism across backends.**  A request's ADC noise lives in its
 :class:`~repro.stochastic.error_models.SconnaErrorModel`, whose RNG
@@ -54,6 +60,12 @@ import numpy as np
 
 from repro.serve.batching import InferenceRequest
 from repro.serve.metrics import ServeMetrics
+from repro.serve.shm import (
+    DEFAULT_RING_BYTES,
+    RingAllocator,
+    ShmArena,
+    attach_arena,
+)
 from repro.serve.workers import WorkerPool
 from repro.stochastic.error_models import PerRequestErrorModels, SconnaErrorModel
 
@@ -92,6 +104,68 @@ def batch_error_model(
     )
 
 
+class ShardPlacement:
+    """Per-model shard placement policy for :class:`ProcessBackend`.
+
+    Maps model names to the shard slots allowed to host them; a model
+    with no assignment runs on every shard (the historical behaviour).
+    Placement keeps a model with a big working set from occupying every
+    shard runtime: its lane dispatches only to its subset, and only
+    those shards ever load its weights.
+
+    ``assignments`` is ``{model_name: [slot, ...]}``.  Slots are
+    validated against the backend's shard count at ``add_model`` time,
+    so one policy object can be built before the backend exists.
+    """
+
+    def __init__(self, assignments: "dict[str, object] | None" = None) -> None:
+        self.assignments: "dict[str, tuple[int, ...]]" = {}
+        for name, slots in (assignments or {}).items():
+            resolved = tuple(sorted({int(s) for s in slots}))
+            if not resolved:
+                raise ValueError(f"placement for {name!r} is empty")
+            if any(s < 0 for s in resolved):
+                raise ValueError(f"placement for {name!r} has negative slots")
+            self.assignments[str(name)] = resolved
+
+    def shards_for(self, name: str, n_shards: int) -> "tuple[int, ...]":
+        """The validated slot subset for ``name`` (default: all)."""
+        slots = self.assignments.get(name)
+        if slots is None:
+            return tuple(range(n_shards))
+        bad = [s for s in slots if s >= n_shards]
+        if bad:
+            raise ValueError(
+                f"placement for {name!r} names shard(s) {bad} but the "
+                f"backend has only {n_shards} shard(s)"
+            )
+        return slots
+
+    @classmethod
+    def parse(cls, spec: str) -> "ShardPlacement":
+        """Parse a CLI spec: ``"modelA=0,1;modelB=2"``."""
+        assignments: "dict[str, list[int]]" = {}
+        for part in spec.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad placement {part!r}; expected 'model=slot,slot,...'"
+                )
+            name, slots = part.split("=", 1)
+            try:
+                assignments[name.strip()] = [
+                    int(tok) for tok in slots.split(",") if tok.strip()
+                ]
+            except ValueError:
+                raise ValueError(f"bad placement slots in {part!r}") from None
+        return cls(assignments)
+
+    def as_dict(self) -> "dict[str, list[int]]":
+        return {name: list(slots) for name, slots in self.assignments.items()}
+
+
 class ExecutionBackend(abc.ABC):
     """Executes coalesced batches for named models.
 
@@ -112,13 +186,16 @@ class ExecutionBackend(abc.ABC):
         mode: str,
         archive: "object | None" = None,
         warm: "tuple[int, int, int, int] | None" = None,
+        placement: "object | None" = None,
     ) -> None:
         """Make ``name`` executable.
 
         ``archive`` is the model's registry NPZ path when one exists
         (process shards load from it); ``warm`` is an optional
         ``(n, C, H, W)`` dummy-batch shape every worker runs once so
-        first real batches find hot buffers.
+        first real batches find hot buffers.  ``placement`` is an
+        optional shard-slot subset for this model (process backend
+        only; backends without shards ignore it).
         """
 
     @abc.abstractmethod
@@ -159,7 +236,12 @@ class ThreadBackend(ExecutionBackend):
         self._closed = False
         self.metrics = ServeMetrics()
 
-    def add_model(self, name, qmodel, mode, archive=None, warm=None) -> None:
+    def add_model(
+        self, name, qmodel, mode, archive=None, warm=None, placement=None
+    ) -> None:
+        # placement is a sharding concept; the thread pool shares one
+        # runtime, so it is accepted (the service passes it uniformly)
+        # and ignored
         if self._closed:
             raise RuntimeError("backend is closed")
         self._models[name] = (qmodel, mode)
@@ -236,6 +318,7 @@ class _Inflight:
     sizes: "list[int]"
     on_done: object
     dispatched_at: float
+    slots: "tuple[int, ...]" = ()   #: shard slots this model is placed on
 
 
 @dataclass
@@ -252,13 +335,26 @@ class _Shard:
     reader: "threading.Thread | None" = None
     alive: bool = True
     expected_exit: bool = False
+    #: shm transport (None under transport="pipe"): parent-owned arenas -
+    #: tx carries batch tensors parent->shard, rx carries logits back
+    tx: "ShmArena | None" = None
+    rx: "ShmArena | None" = None
+    tx_alloc: "RingAllocator | None" = None
+    tx_offsets: "dict[int, int]" = field(default_factory=dict)  #: bid -> tx offset
 
     def send(self, msg: tuple) -> None:
         with self.send_lock:
             self.conn.send(msg)
 
+    def destroy_arenas(self) -> None:
+        """Owner-side teardown of both rings (idempotent; the parent is
+        the only process that ever unlinks)."""
+        for arena in (self.tx, self.rx):
+            if arena is not None:
+                arena.destroy()
 
-def _shard_main(conn, shard_id: int) -> None:
+
+def _shard_main(conn, shard_id: int, shm_spec=None) -> None:
     """Entry point of one shard worker process.
 
     A single-threaded loop: receive a message, act, reply.  One
@@ -266,6 +362,13 @@ def _shard_main(conn, shard_id: int) -> None:
     from running N of these processes.  The loop exits on a ``stop``
     message or when the pipe reaches EOF (the parent died), so shards
     can never outlive their parent as orphans.
+
+    ``shm_spec`` is ``(tx_name, rx_name, ring_bytes)`` under the shm
+    transport: the shard *attaches* to the parent-owned arenas (never
+    creates or unlinks them), reads ``shmbatch`` tensors out of tx, and
+    returns logits through rx when its ring has room - falling back to
+    a pickled ``ok`` reply when it does not.  The shard-side rx
+    allocator reclaims regions on the parent's ``freerx`` messages.
 
     SIGINT is ignored: a terminal Ctrl-C signals the whole foreground
     process group, and shards dying mid-batch would defeat the parent's
@@ -280,6 +383,38 @@ def _shard_main(conn, shard_id: int) -> None:
         load_quantized_model,
         loads_quantized_model,
     )
+
+    tx = rx = rx_alloc = None
+    if shm_spec is not None:
+        tx_name, rx_name, ring_bytes = shm_spec
+        tx = attach_arena(tx_name, ring_bytes)
+        rx = attach_arena(rx_name, ring_bytes)
+        rx_alloc = RingAllocator(ring_bytes)
+
+    def run_batch(bid, name, images, emodels, sizes) -> tuple:
+        try:
+            entry = models.get(name)
+            if entry is None:
+                raise KeyError(
+                    f"shard {shard_id} has no model {name!r} loaded"
+                )
+            qm, mode = entry
+            error_model = (
+                PerRequestErrorModels(emodels, sizes)
+                if mode == "sconna"
+                else None
+            )
+            logits = qm.forward(images, mode=mode, error_model=error_model)
+            metrics.record_batch(len(sizes), int(images.shape[0]))
+        except BaseException as exc:
+            metrics.record_error(len(sizes))
+            return ("err", bid, exc)
+        if rx_alloc is not None:
+            logits = np.ascontiguousarray(logits)
+            offset = rx_alloc.alloc(logits.nbytes)
+            if offset is not None:
+                return ("okshm", bid, rx.write_array(offset, logits))
+        return ("ok", bid, logits)
 
     metrics = ServeMetrics()
     models: "dict[str, tuple[object, str]]" = {}
@@ -314,29 +449,36 @@ def _shard_main(conn, shard_id: int) -> None:
             _shard_reply(conn, reply)
         elif op == "batch":
             _, bid, name, images, emodels, sizes = msg
+            _shard_reply(conn, run_batch(bid, name, images, emodels, sizes))
+        elif op == "shmbatch":
+            _, bid, name, desc, emodels, sizes = msg
             try:
-                entry = models.get(name)
-                if entry is None:
-                    raise KeyError(
-                        f"shard {shard_id} has no model {name!r} loaded"
-                    )
-                qm, mode = entry
-                error_model = (
-                    PerRequestErrorModels(emodels, sizes)
-                    if mode == "sconna"
-                    else None
-                )
-                logits = qm.forward(images, mode=mode, error_model=error_model)
-                metrics.record_batch(len(sizes), int(images.shape[0]))
-                reply = ("ok", bid, logits)
+                # zero-copy: the parent keeps this tx region allocated
+                # until our reply arrives, and the reply is only sent
+                # after forward() is done with the view
+                images = tx.read_array(desc, copy=False)
             except BaseException as exc:
                 metrics.record_error(len(sizes))
-                reply = ("err", bid, exc)
-            _shard_reply(conn, reply)
+                _shard_reply(conn, ("err", bid, exc))
+                continue
+            _shard_reply(conn, run_batch(bid, name, images, emodels, sizes))
+            del images  # release the mmap export so close() can unmap
+        elif op == "freerx":
+            try:
+                rx_alloc.free(msg[1])
+            except (KeyError, AttributeError):
+                # a free for a region this runtime never allocated (a
+                # duplicate, or rx_alloc is None under the pipe
+                # transport): losing one free is recoverable, dying
+                # mid-serve is not
+                pass
         elif op == "metrics":
             _shard_reply(conn, ("metrics", msg[1], metrics.state()))
         elif op == "reset_metrics":
             metrics.reset()
+    for arena in (tx, rx):
+        if arena is not None:
+            arena.close()  # attachment only - the parent owns the unlink
     try:
         conn.close()
     except OSError:
@@ -362,14 +504,32 @@ def _shard_reply(conn, reply: tuple) -> None:
 class ProcessBackend(ExecutionBackend):
     """Multi-process sharded execution: N worker processes behind pipes.
 
-    Dispatch is least-loaded over live shards.  Each shard executes its
+    Dispatch is least-loaded over the live shards a model is *placed*
+    on (``placement``; default every shard).  Each shard executes its
     batches serially in arrival order, so a model's ``load`` (sent
     first, pipe ordering) is always visible before its batches.  Crash
     handling: the shard's collector thread sees pipe EOF, the backend
-    reaps the process, respawns the slot (replaying every model load),
-    and redispatches the dead shard's in-flight batches - at-least-once
-    execution whose results are identical because each batch carries its
-    own pickled RNG state.
+    reaps the process, respawns the slot (replaying the model loads
+    placed there), and redispatches the dead shard's in-flight batches -
+    at-least-once execution whose results are identical because each
+    batch carries its own pickled RNG state.
+
+    **Transport.**  ``transport="shm"`` (default) moves batch tensors
+    (and result logits on the return path) through per-shard
+    ``multiprocessing.shared_memory`` ring arenas; only a small
+    descriptor (offset, shape, dtype) plus the request ids and pickled
+    RNG state cross the pipe.  The parent owns both arenas of every
+    shard: it allocates tx regions (freed when that batch's reply
+    arrives - the single-threaded shard is necessarily done reading by
+    then), reads rx logits (freed shard-side on the parent's ``freerx``
+    message), and **unlinks both segments** on shard death, respawn and
+    ``close()`` - no ``/dev/shm/repro_*`` segment survives the backend,
+    even when a shard dies mid-batch.  A ring-full condition or a batch
+    larger than the ring degrades that batch to the classic pipe-pickle
+    path (``transport="pipe"`` forces it everywhere), so backpressure
+    bounds memory without stalling dispatch.  Bytes move verbatim in
+    both transports, so the cross-backend bit-equivalence contract is
+    transport-independent.
     """
 
     kind = "process"
@@ -380,57 +540,169 @@ class ProcessBackend(ExecutionBackend):
         start_method: str | None = None,
         max_restarts: int = 3,
         load_timeout_s: float = 180.0,
+        transport: str = "shm",
+        ring_bytes: int = DEFAULT_RING_BYTES,
+        placement: "ShardPlacement | dict | None" = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
+        if transport not in ("pipe", "shm"):
+            raise ValueError(f"unknown transport {transport!r}; "
+                             "expected 'pipe' or 'shm'")
+        if ring_bytes < 1:
+            raise ValueError("ring_bytes must be >= 1")
         # spawn by default: forking a parent that already runs scheduler
         # and HTTP threads is a deadlock lottery
         self._ctx = multiprocessing.get_context(start_method or "spawn")
         self.start_method = start_method or "spawn"
         self.max_restarts = max_restarts
         self.load_timeout_s = load_timeout_s
+        self.ring_bytes = int(ring_bytes)
+        self.requested_transport = transport
+        if transport == "shm":
+            try:  # probe: /dev/shm may be absent or unwritable
+                ShmArena(4096).destroy()
+            except Exception as exc:
+                import warnings
+
+                warnings.warn(
+                    f"shared-memory transport unavailable "
+                    f"({type(exc).__name__}: {exc}); falling back to the "
+                    "pipe transport",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                transport = "pipe"
+        self.transport = transport
+        if placement is None or isinstance(placement, ShardPlacement):
+            self.placement = placement
+        else:
+            self.placement = ShardPlacement(placement)
         self._lock = threading.RLock()
         self._drained = threading.Condition(self._lock)
         self._admin_lock = threading.Lock()  # serializes add_model acks
         self._metrics_lock = threading.Lock()  # serializes metrics rounds
-        self._models: "dict[str, tuple[str, _ModelSrc, object]]" = {}
+        self._models: "dict[str, tuple[str, _ModelSrc, object, tuple[int, ...]]]" = {}
         self._bids = itertools.count(1)
         self._tokens = itertools.count(1)
         self._closed = False
         self.restarts = 0
+        #: transport counters (under _lock): batches sent through shm,
+        #: through the pipe by configuration, and pipe fallbacks forced
+        #: by ring backpressure / oversized batches
+        self._shm_batches = 0
+        self._pipe_batches = 0
+        self._pipe_fallbacks = 0
+        #: every segment name this backend ever created (tests assert
+        #: all of them are gone from /dev/shm after close)
+        self.segment_names: "set[str]" = set()
         #: crashed-shard orphans currently between inflight tables (a
         #: drain must wait for them to land on a live shard or fail)
         self._rescuing = 0
         #: final metrics states captured from shards stopped by close()
         self._retired_states: "list[dict]" = []
-        self._shards: "list[_Shard]" = [
-            self._spawn(slot) for slot in range(n_shards)
-        ]
+        self._shards: "list[_Shard]" = []
+        try:
+            for slot in range(n_shards):
+                self._shards.append(self._spawn(slot))
+        except OSError:
+            if self.transport != "shm":
+                raise
+            # the 4 KB probe passed but the full rings do not fit (e.g.
+            # a container's small /dev/shm tmpfs - posix_fallocate in
+            # ShmArena makes that a clean OSError here rather than a
+            # SIGBUS mid-serve): release everything spawned so far and
+            # retry wholesale on the pipe transport
+            self._abort_spawned()
+            import warnings
+
+            warnings.warn(
+                f"/dev/shm cannot hold {n_shards} x 2 rings of "
+                f"{self.ring_bytes} B; falling back to the pipe "
+                "transport (shrink ring_bytes or grow /dev/shm to keep "
+                "shared-memory dispatch)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.transport = "pipe"
+            self._shards = [self._spawn(slot) for slot in range(n_shards)]
+
+    def _abort_spawned(self) -> None:
+        """Tear down the shards a failed ``__init__`` spawn loop already
+        started - nothing may leak when construction cannot complete."""
+        partial, self._shards = self._shards, []
+        for shard in partial:
+            shard.expected_exit = True
+            try:
+                shard.send(("stop",))
+            except OSError:
+                pass
+        for shard in partial:
+            self._reap_shard(shard, 2.0)
+
+    @staticmethod
+    def _reap_shard(shard: _Shard, join_timeout: float) -> None:
+        """The one shard-reaping sequence (shared by close() and the
+        __init__ fallback): join the process (terminate if it will not
+        die), close the pipe, join the collector, destroy the rings."""
+        shard.process.join(join_timeout)
+        if shard.process.is_alive():
+            shard.process.terminate()
+            shard.process.join(2.0)
+        try:
+            shard.conn.close()
+        except OSError:
+            pass
+        if shard.reader is not None:
+            shard.reader.join(2.0)
+        # every ring dies with its shard: unlink here so neither exit
+        # path can leave /dev/shm entries behind
+        shard.destroy_arenas()
 
     # -- shard lifecycle -------------------------------------------------
     def _spawn(self, slot: int) -> _Shard:
+        tx = rx = tx_alloc = None
+        shm_spec = None
+        if self.transport == "shm":
+            tx = ShmArena(self.ring_bytes)
+            try:
+                rx = ShmArena(self.ring_bytes)
+            except BaseException:
+                tx.destroy()
+                raise
+            tx_alloc = RingAllocator(self.ring_bytes)
+            self.segment_names.update((tx.name, rx.name))
+            shm_spec = (tx.name, rx.name, self.ring_bytes)
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_shard_main,
-            args=(child_conn, slot),
+            args=(child_conn, slot, shm_spec),
             name=f"sconna-shard-{slot}",
             daemon=True,  # belt: the pipe-EOF exit in _shard_main is the braces
         )
-        process.start()
+        try:
+            process.start()
+        except BaseException:
+            for arena in (tx, rx):
+                if arena is not None:
+                    arena.destroy()
+            raise
         child_conn.close()  # the parent keeps only its own end
-        shard = _Shard(slot=slot, process=process, conn=parent_conn)
+        shard = _Shard(slot=slot, process=process, conn=parent_conn,
+                       tx=tx, rx=rx, tx_alloc=tx_alloc)
         shard.reader = threading.Thread(
             target=self._collect, args=(shard,),
             name=f"sconna-shard-{slot}-collector", daemon=True,
         )
         shard.reader.start()
-        # replay every registered model into the fresh runtime (token
-        # None: respawn replays are fire-and-forget; pipe ordering still
-        # guarantees the load lands before any redispatched batch)
+        # replay the models placed on this slot into the fresh runtime
+        # (token None: respawn replays are fire-and-forget; pipe ordering
+        # still guarantees the load lands before any redispatched batch)
         with self._lock:
             replay = list(self._models.items())
-        for name, (mode, src, warm) in replay:
-            shard.send(("load", None, name, src[0], src[1], mode, warm))
+        for name, (mode, src, warm, slots) in replay:
+            if slot in slots:
+                shard.send(("load", None, name, src[0], src[1], mode, warm))
         return shard
 
     def _collect(self, shard: _Shard) -> None:
@@ -446,24 +718,47 @@ class ProcessBackend(ExecutionBackend):
                     shard.acks.put(msg)
             elif op == "metrics":
                 shard.metrics_replies.put(msg)
-            elif op in ("ok", "err"):
+            elif op in ("ok", "okshm", "err"):
                 bid = msg[1]
+                logits = None
+                if op == "okshm":
+                    # copy the logits out *before* releasing anything;
+                    # the freerx goes back even when the read fails -
+                    # otherwise the shard's rx region would leak until
+                    # its next respawn and shrink the ring for good
+                    desc = msg[2]
+                    try:
+                        logits = shard.rx.read_array(desc)
+                    except BaseException as exc:
+                        op, msg = "err", ("err", bid, exc)
+                    try:
+                        shard.send(("freerx", desc.offset))
+                    except OSError:
+                        pass  # dying shard; respawn gets fresh rings
+                elif op == "ok":
+                    logits = msg[2]
                 with self._lock:
                     item = shard.inflight.pop(bid, None)
+                    tx_offset = shard.tx_offsets.pop(bid, None)
+                    if tx_offset is not None and shard.tx_alloc is not None:
+                        try:
+                            shard.tx_alloc.free(tx_offset)
+                        except KeyError:
+                            pass
                     self._drained.notify_all()
                 if item is None:
                     continue  # already redispatched elsewhere
-                if op == "ok":
+                if op == "err":
+                    item.on_done(msg[2])
+                else:
                     item.on_done(
                         BatchResult(
-                            logits=msg[2],
-                            n_images=int(msg[2].shape[0]),
+                            logits=logits,
+                            n_images=int(logits.shape[0]),
                             exec_start=item.dispatched_at,
                             shard=shard.slot,
                         )
                     )
-                else:
-                    item.on_done(msg[2])
         self._on_shard_exit(shard)
 
     def _on_shard_exit(self, shard: _Shard) -> None:
@@ -472,6 +767,7 @@ class ProcessBackend(ExecutionBackend):
             shard.alive = False
             orphans = list(shard.inflight.values())
             shard.inflight.clear()
+            shard.tx_offsets.clear()  # regions die with the arenas below
             # hold the drain open until every orphan is redispatched (or
             # failed): between the clear above and the re-add in
             # _dispatch, no inflight table owns these batches
@@ -488,6 +784,10 @@ class ProcessBackend(ExecutionBackend):
             shard.process.join(timeout=5.0)
         except Exception:
             pass
+        # reclaim the dead shard's segments *now* - a respawn gets fresh
+        # rings, and a shard that crashed mid-batch must not leak
+        # /dev/shm entries for however long the backend lives
+        shard.destroy_arenas()
         if respawn:
             try:
                 replacement = self._spawn(shard.slot)
@@ -507,19 +807,37 @@ class ProcessBackend(ExecutionBackend):
                     self._drained.notify_all()
 
     # -- model management ------------------------------------------------
-    def add_model(self, name, qmodel, mode, archive=None, warm=None) -> None:
+    def _resolve_placement(self, name, placement) -> "tuple[int, ...]":
+        """The shard slots hosting ``name``: an explicit per-model
+        subset wins, then the backend's :class:`ShardPlacement` policy,
+        then every shard."""
+        n = len(self._shards)
+        if placement is not None:
+            if isinstance(placement, ShardPlacement):
+                return placement.shards_for(name, n)
+            return ShardPlacement({name: placement}).shards_for(name, n)
+        if self.placement is not None:
+            return self.placement.shards_for(name, n)
+        return tuple(range(n))
+
+    def add_model(
+        self, name, qmodel, mode, archive=None, warm=None, placement=None
+    ) -> None:
         if archive is not None:
             src: _ModelSrc = ("path", str(archive))
         else:
             from repro.cnn.serialization import dumps_quantized_model
 
             src = ("bytes", dumps_quantized_model(qmodel))
+        slots = self._resolve_placement(name, placement)
         with self._admin_lock:
             with self._lock:
                 if self._closed:
                     raise RuntimeError("backend is closed")
-                self._models[name] = (mode, src, warm)
-                shards = [s for s in self._shards if s.alive]
+                self._models[name] = (mode, src, warm, slots)
+                shards = [
+                    s for s in self._shards if s.alive and s.slot in slots
+                ]
             token = next(self._tokens)
             for shard in shards:
                 try:
@@ -558,8 +876,10 @@ class ProcessBackend(ExecutionBackend):
         with self._lock:
             if self._closed:
                 raise RuntimeError("backend is closed")
-            if name not in self._models:
+            entry = self._models.get(name)
+            if entry is None:
                 raise KeyError(f"backend has no model {name!r}")
+            slots = entry[3]
         self._dispatch(
             _Inflight(
                 name=name,
@@ -568,26 +888,58 @@ class ProcessBackend(ExecutionBackend):
                 sizes=[r.n_images for r in batch],
                 on_done=on_done,
                 dispatched_at=time.monotonic(),
+                slots=slots,
             )
         )
 
     def _dispatch(self, item: _Inflight) -> None:
-        """Assign one batch to the least-loaded live shard and send it.
+        """Assign one batch to the least-loaded live shard in the
+        model's placement and send it - through the shard's shm tx ring
+        when the transport is shm and the ring has room, over the pipe
+        otherwise (ring-full backpressure and oversized batches degrade
+        to the pipe path rather than stalling).
 
-        Raises when no shard is alive; a send that fails because the
-        chosen shard just died is *not* an error - the entry is already
-        in that shard's in-flight table, so the collector's exit path
-        redispatches it.
+        Raises when no placed shard is alive; a send that fails because
+        the chosen shard just died is *not* an error - the entry is
+        already in that shard's in-flight table, so the collector's exit
+        path redispatches it.
         """
         with self._lock:
-            live = [s for s in self._shards if s.alive]
+            live = [
+                s for s in self._shards if s.alive and s.slot in item.slots
+            ]
             if not live:
                 raise RuntimeError(
-                    "no live shards (exceeded max_restarts or closing)"
+                    f"no live shards for model {item.name!r} "
+                    f"(placement {sorted(item.slots)}; exceeded "
+                    "max_restarts or closing)"
                 )
             shard = min(live, key=lambda s: len(s.inflight))
             bid = next(self._bids)
             shard.inflight[bid] = item
+            offset = None
+            if shard.tx_alloc is not None:
+                offset = shard.tx_alloc.alloc(item.images.nbytes)
+                if offset is not None:
+                    shard.tx_offsets[bid] = offset
+                    self._shm_batches += 1
+                else:
+                    self._pipe_fallbacks += 1
+            else:
+                self._pipe_batches += 1
+        if offset is not None:
+            try:
+                desc = shard.tx.write_array(offset, item.images)
+                shard.send(
+                    ("shmbatch", bid, item.name, desc, item.models, item.sizes)
+                )
+            except (OSError, ValueError, BufferError, TypeError):
+                # arena/pipe died under us (a closed SharedMemory's buf
+                # is None, so frombuffer raises TypeError): the entry is
+                # already in the shard's inflight table, the EOF path
+                # rescues it
+                pass
+            return
         try:
             shard.send(("batch", bid, item.name, item.images, item.models, item.sizes))
         except (OSError, ValueError):
@@ -649,12 +1001,22 @@ class ProcessBackend(ExecutionBackend):
 
     def info(self) -> dict:
         with self._lock:
+            placement = {
+                name: list(entry[3]) for name, entry in self._models.items()
+            }
             per_shard = [
                 {
                     "shard": s.slot,
                     "alive": s.alive,
                     "pid": getattr(s.process, "pid", None),
                     "in_flight": len(s.inflight),
+                    "models": sorted(
+                        name for name, entry in self._models.items()
+                        if s.slot in entry[3]
+                    ),
+                    "ring_bytes_in_use": (
+                        s.tx_alloc.in_use if s.tx_alloc is not None else None
+                    ),
                 }
                 for s in self._shards
             ]
@@ -664,6 +1026,15 @@ class ProcessBackend(ExecutionBackend):
                 "alive": sum(1 for s in self._shards if s.alive),
                 "restarts": self.restarts,
                 "start_method": self.start_method,
+                "transport": self.transport,
+                "requested_transport": self.requested_transport,
+                "ring_bytes": (
+                    self.ring_bytes if self.transport == "shm" else None
+                ),
+                "shm_batches": self._shm_batches,
+                "pipe_batches": self._pipe_batches,
+                "pipe_fallbacks": self._pipe_fallbacks,
+                "placement": placement,
                 "per_shard": per_shard,
             }
 
@@ -705,16 +1076,7 @@ class ProcessBackend(ExecutionBackend):
             remaining = (
                 2.0 if deadline is None else max(0.5, deadline - time.monotonic())
             )
-            shard.process.join(remaining)
-            if shard.process.is_alive():
-                shard.process.terminate()
-                shard.process.join(2.0)
-            try:
-                shard.conn.close()
-            except OSError:
-                pass
-            if shard.reader is not None:
-                shard.reader.join(2.0)
+            self._reap_shard(shard, remaining)
         # fail anything that never came back (shards killed mid-drain)
         leftovers: "list[_Inflight]" = []
         with self._lock:
@@ -729,15 +1091,20 @@ def make_backend(
     backend: "ExecutionBackend | str",
     n_workers: int = 2,
     n_shards: int = 2,
+    transport: str = "shm",
+    placement: "ShardPlacement | dict | None" = None,
 ) -> ExecutionBackend:
     """Resolve a backend spec: an instance passes through; ``"thread"``
-    and ``"process"`` construct the standard implementations."""
+    and ``"process"`` construct the standard implementations
+    (``transport`` and ``placement`` apply to the process backend)."""
     if isinstance(backend, ExecutionBackend):
         return backend
     if backend == "thread":
         return ThreadBackend(n_workers=n_workers)
     if backend == "process":
-        return ProcessBackend(n_shards=n_shards)
+        return ProcessBackend(
+            n_shards=n_shards, transport=transport, placement=placement
+        )
     raise ValueError(
         f"unknown backend {backend!r}; expected 'thread', 'process', "
         "or an ExecutionBackend instance"

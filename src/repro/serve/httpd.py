@@ -9,11 +9,13 @@ the process backend - the HTTP layer is identical either way).
 Also a standalone server CLI with execution-backend selection::
 
     python -m repro.serve --registry MODELS_DIR \
-        --backend process --shards 4 --port 8000
+        --backend process --shards 4 --transport shm \
+        --placement "big=0,1;small=2,3" --port 8000
 
 serves every model in the registry (or ``--model`` picks some), installs
 SIGINT/SIGTERM handlers that drain in-flight requests and reap shard
-processes, and blocks until a signal arrives.
+processes, blocks until a signal arrives, and prints the aggregated
+backend topology (shards, transport, per-model placement) on exit.
 
 Routes::
 
@@ -207,6 +209,14 @@ def main(argv: "list[str] | None" = None) -> None:
                         help="worker processes for --backend process")
     parser.add_argument("--workers", type=int, default=2,
                         help="worker threads for --backend thread")
+    parser.add_argument("--transport", default="shm",
+                        choices=("pipe", "shm"),
+                        help="process-backend batch transport: shared-memory "
+                             "rings (default) or pickled arrays on pipes")
+    parser.add_argument("--placement", default=None,
+                        help="per-model shard placement, e.g. "
+                             "'modelA=0,1;modelB=2' (default: every model "
+                             "on every shard)")
     parser.add_argument("--max-batch-size", type=int, default=32)
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
     parser.add_argument("--host", default="127.0.0.1")
@@ -218,6 +228,19 @@ def main(argv: "list[str] | None" = None) -> None:
     names = args.model or registry.names()
     if not names:
         parser.error(f"registry {args.registry!r} has no models")
+    placement = None
+    if args.placement is not None:
+        from repro.serve.backends import ShardPlacement
+
+        try:
+            placement = ShardPlacement.parse(args.placement)
+            # validate slot ranges *before* any shard process exists,
+            # so a typo'd slot is a usage error, not a traceback over a
+            # half-built service
+            for model_name in placement.assignments:
+                placement.shards_for(model_name, args.shards)
+        except ValueError as exc:
+            parser.error(str(exc))
     service = SconnaService(
         policy=BatchingPolicy(
             max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms
@@ -226,23 +249,48 @@ def main(argv: "list[str] | None" = None) -> None:
         mode=args.mode,
         backend=args.backend,
         n_shards=args.shards,
+        transport=args.transport,
+        placement=placement,
     )
     for name in names:
         service.add_from_registry(registry, name)
     server, _ = serve_http(
         service, host=args.host, port=args.port, verbose=args.verbose
     )
-    handlers = install_shutdown_handlers(service, servers=(server,))
+    # chain=False: the signal must hand control *back* after the drain
+    # so the topology report below still runs; the signal is re-raised
+    # manually at the end to keep the usual exit status
+    handlers = install_shutdown_handlers(service, servers=(server,), chain=False)
     backend_info = service.backend.info()
+    if args.backend == "process":
+        topology = (f"shards={backend_info.get('shards')}, "
+                    f"transport={backend_info.get('transport')}")
+    else:
+        topology = f"workers={args.workers}"
     print(f"serving {names} at {server.url}  "
-          f"(backend={backend_info['kind']}, "
-          f"{'shards=' + str(backend_info.get('shards')) if args.backend == 'process' else 'workers=' + str(args.workers)})")
+          f"(backend={backend_info['kind']}, {topology})")
     print("POST /v1/predict | GET /v1/models /v1/metrics /healthz  "
           "(SIGINT/SIGTERM drains and exits)")
     try:
         handlers.wait()
     except KeyboardInterrupt:
-        pass  # chained SIGINT after a completed drain: exit quietly
+        pass  # SIGINT lands as KeyboardInterrupt too; teardown already ran
+    # the service is drained: print the final aggregated topology so an
+    # operator sees where every model ran and how batches travelled
+    snap = service.metrics_snapshot()
+    print("topology at exit: "
+          + json.dumps(snap["backend"], sort_keys=True), flush=True)
+    if handlers.triggered is not None:
+        # die by the signal that stopped us (handlers restored the
+        # default action during teardown) - callers see the usual code;
+        # a re-raised SIGINT surfaces as KeyboardInterrupt and keeps
+        # the historical quiet exit
+        import signal as signal_module
+
+        try:
+            signal_module.raise_signal(handlers.triggered)
+        except KeyboardInterrupt:
+            pass
 
 
 if __name__ == "__main__":

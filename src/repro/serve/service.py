@@ -95,6 +95,8 @@ class SconnaService:
         metrics: ServeMetrics | None = None,
         backend: "ExecutionBackend | str" = "thread",
         n_shards: int = 2,
+        transport: str = "shm",
+        placement: "object | None" = None,
     ) -> None:
         if mode not in ("float", "int8", "sconna"):
             raise ValueError(f"unknown default mode {mode!r}")
@@ -102,7 +104,10 @@ class SconnaService:
         self.default_mode = mode
         self.metrics = metrics or ServeMetrics()
         self.costs = cost_accountant or CostAccountant()
-        self._backend = make_backend(backend, n_workers=n_workers, n_shards=n_shards)
+        self._backend = make_backend(
+            backend, n_workers=n_workers, n_shards=n_shards,
+            transport=transport, placement=placement,
+        )
         self._models: "dict[str, _ModelEntry]" = {}
         self._ids = itertools.count(1)
         self._closed = False
@@ -121,6 +126,7 @@ class SconnaService:
         arch_model: str | None = None,
         warm_shape: "tuple[int, int, int] | None" = None,
         archive: "object | None" = None,
+        placement: "object | None" = None,
     ) -> None:
         """Register a model under ``name`` and open its batching lane.
 
@@ -133,6 +139,9 @@ class SconnaService:
         does not pay allocation costs.  ``archive`` is the model's NPZ
         path when one exists (e.g. from a registry): the process backend
         has its shards load from it instead of re-serializing.
+        ``placement`` routes this model's lane to a shard-slot subset
+        under the process backend (default: every shard); only those
+        shards load the model, and its batches dispatch only to them.
         """
         if self._closed:
             raise RuntimeError("service is closed")
@@ -155,9 +164,11 @@ class SconnaService:
             c, h, w = entry.input_shape
             warm = (min(lane_policy.max_batch_size, 4), c, h, w)
         # the backend must be able to execute the model before the lane
-        # opens; under the process backend this blocks until every shard
-        # acknowledges the load
-        self._backend.add_model(name, qmodel, mode, archive=archive, warm=warm)
+        # opens; under the process backend this blocks until every
+        # placed shard acknowledges the load
+        self._backend.add_model(
+            name, qmodel, mode, archive=archive, warm=warm, placement=placement
+        )
         if descriptor is not None:
             self.costs.prewarm(descriptor)
         entry.batcher = MicroBatcher(
@@ -177,12 +188,14 @@ class SconnaService:
         mode: str | None = None,
         policy: BatchingPolicy | None = None,
         warm_shape: "tuple[int, int, int] | None" = None,
+        placement: "object | None" = None,
     ) -> None:
         """Load a registry entry and serve it under its registered name.
 
         The registry archive doubles as the hand-off point to shard
         worker processes, so a registry-backed model is never
-        re-serialized for the process backend.
+        re-serialized for the process backend.  Shard placement comes
+        from the manifest's ``placement`` field unless overridden here.
         """
         reg_entry = registry.entry(name)
         self.add_model(
@@ -193,6 +206,7 @@ class SconnaService:
             arch_model=reg_entry.arch_model,
             warm_shape=warm_shape,
             archive=registry.archive_path(name),
+            placement=placement if placement is not None else reg_entry.placement,
         )
 
     def models(self) -> "list[str]":

@@ -159,17 +159,28 @@ class TestModelBytesRoundTrip:
 class TestProcessBackend:
     def test_equivalence_bit_identical_per_request(self, setup, process_service):
         """The acceptance test: the same seeded request stream through
-        both backends yields bit-identical logits per request."""
+        ThreadBackend, ProcessBackend(pipe) and ProcessBackend(shm)
+        yields bit-identical logits per request (the process fixture
+        runs the default shm transport)."""
         qm, ds = setup
         thread_svc = SconnaService(policy=POLICY, n_workers=2)
         thread_svc.add_model("tiny", qm)
+        pipe_svc = SconnaService(
+            policy=POLICY, backend="process", n_shards=1, transport="pipe"
+        )
+        pipe_svc.add_model("tiny", qm)
         try:
+            assert process_service.backend.info()["transport"] == "shm"
+            assert pipe_svc.backend.info()["transport"] == "pipe"
             through_threads = seeded_stream(thread_svc, ds)
-            through_processes = seeded_stream(process_service, ds)
-            for a, b in zip(through_threads, through_processes):
+            through_shm = seeded_stream(process_service, ds)
+            through_pipe = seeded_stream(pipe_svc, ds)
+            for a, b, c in zip(through_threads, through_shm, through_pipe):
                 assert np.array_equal(a.logits, b.logits)
+                assert np.array_equal(a.logits, c.logits)
         finally:
             thread_svc.close()
+            pipe_svc.close()
 
     def test_aggregated_metrics_and_backend_info(self, setup, process_service):
         _, ds = setup

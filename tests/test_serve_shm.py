@@ -1,0 +1,318 @@
+"""Shared-memory shard transport: ring edge cases, placement, cleanup.
+
+The transport's contract, beyond the bit-equivalence locked in
+``test_serve_backends.py``: ring allocation wraps and reclaims out of
+completion order, a batch larger than the ring degrades to the pipe
+path (backpressure, not failure), a shard crash mid-batch redispatches
+its work *and* reclaims its segments, ``close()`` is idempotent, and no
+``/dev/shm/repro_*`` segment survives the backend under any exit path.
+"""
+
+import glob
+import time
+
+import numpy as np
+import pytest
+
+from repro.cnn.datasets import N_CLASSES, generate_dataset
+from repro.cnn.inference import QuantizedModel
+from repro.cnn.micro import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from repro.serve import (
+    BatchingPolicy,
+    ModelRegistry,
+    ProcessBackend,
+    RingAllocator,
+    SconnaService,
+    ShardPlacement,
+    ShmArena,
+)
+from repro.serve.shm import SEGMENT_PREFIX, attach_arena
+from repro.utils.rng import make_rng
+
+POLICY = BatchingPolicy(max_batch_size=8, max_wait_ms=2.0)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = make_rng(0)
+    model = Sequential(
+        Conv2d(3, 6, 3, padding=1, rng=rng), ReLU(), MaxPool2d(4),
+        Flatten(), Linear(6 * 6 * 6, N_CLASSES, rng=rng),
+    )
+    ds = generate_dataset(6, seed=3)
+    qm = QuantizedModel.from_trained(model, ds.images[:24])
+    return qm, ds
+
+
+def segments_alive(names) -> "list[str]":
+    return [n for n in names if glob.glob(f"/dev/shm/{n}")]
+
+
+class TestRingAllocator:
+    def test_wrap_around(self):
+        """The cursor wraps to reclaimed space at the front of the ring."""
+        ring = RingAllocator(100)
+        a = ring.alloc(40)
+        b = ring.alloc(40)
+        assert (a, b) == (0, 40)
+        assert ring.alloc(40) is None  # only 20 B left at the tail
+        ring.free(a)
+        wrapped = ring.alloc(40)
+        assert wrapped == 0  # wrapped past the live region at 40..80
+        assert ring.in_use == 80
+        ring.free(b)
+        ring.free(wrapped)
+        assert ring.in_use == 0
+
+    def test_out_of_order_free_cannot_strand_capacity(self):
+        ring = RingAllocator(100)
+        offsets = [ring.alloc(25) for _ in range(4)]
+        assert ring.alloc(1) is None
+        # free in reverse completion order - a head/tail ring would
+        # strand everything behind the oldest live region
+        for off in reversed(offsets[:3]):
+            ring.free(off)
+        assert ring.alloc(75) == 0
+        ring.free(offsets[3])
+
+    def test_oversized_and_full(self):
+        ring = RingAllocator(64)
+        assert ring.alloc(65) is None
+        assert ring.alloc(64) == 0
+        assert ring.alloc(1) is None
+
+    def test_double_free_raises(self):
+        ring = RingAllocator(16)
+        off = ring.alloc(8)
+        ring.free(off)
+        with pytest.raises(KeyError):
+            ring.free(off)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RingAllocator(0)
+
+
+class TestShmArena:
+    def test_roundtrip_bit_exact_and_prefixed(self):
+        arena = ShmArena(1 << 16)
+        try:
+            assert arena.name.startswith(SEGMENT_PREFIX)
+            data = np.arange(96, dtype=np.float64).reshape(2, 3, 4, 4)
+            data += 1e-9  # non-trivial mantissas
+            desc = arena.write_array(128, data)
+            assert desc.offset == 128 and desc.dtype == "float64"
+            out = arena.read_array(desc)
+            assert np.array_equal(out, data)
+            assert out.base is None  # a copy, never a view into the arena
+        finally:
+            arena.destroy()
+        assert not glob.glob(f"/dev/shm/{arena.name}")
+
+    def test_attach_sees_owner_writes(self):
+        arena = ShmArena(4096)
+        try:
+            data = np.linspace(0.0, 1.0, 32, dtype=np.float64)
+            desc = arena.write_array(0, data)
+            attachment = attach_arena(arena.name, 4096)
+            try:
+                assert np.array_equal(attachment.read_array(desc), data)
+            finally:
+                attachment.close()
+        finally:
+            arena.destroy()
+
+    def test_write_past_capacity_rejected(self):
+        arena = ShmArena(64)
+        try:
+            with pytest.raises(ValueError, match="exceeds arena"):
+                arena.write_array(32, np.zeros(8, dtype=np.float64))
+        finally:
+            arena.destroy()
+
+    def test_destroy_idempotent(self):
+        arena = ShmArena(4096)
+        arena.destroy()
+        arena.destroy()  # second unlink must not raise
+
+
+class TestShardPlacement:
+    def test_parse_and_as_dict(self):
+        p = ShardPlacement.parse("a=0,1;b=2")
+        assert p.as_dict() == {"a": [0, 1], "b": [2]}
+        assert p.shards_for("a", 4) == (0, 1)
+        assert p.shards_for("unplaced", 3) == (0, 1, 2)
+
+    def test_out_of_range_slot_rejected_at_resolution(self):
+        p = ShardPlacement({"a": [0, 5]})
+        with pytest.raises(ValueError, match="only 2 shard"):
+            p.shards_for("a", 2)
+
+    def test_bad_specs(self):
+        with pytest.raises(ValueError):
+            ShardPlacement.parse("a")
+        with pytest.raises(ValueError):
+            ShardPlacement.parse("a=x")
+        with pytest.raises(ValueError):
+            ShardPlacement({"a": []})
+        with pytest.raises(ValueError):
+            ShardPlacement({"a": [-1]})
+
+    def test_registry_manifest_round_trip(self, setup, tmp_path):
+        qm, _ = setup
+        registry = ModelRegistry(tmp_path)
+        registry.save("pinned", qm, placement=[1, 0, 1])
+        entry = registry.entry("pinned")
+        assert entry.placement == (0, 1)
+        assert entry.as_dict()["placement"] == [0, 1]
+        registry.save("anywhere", qm)
+        assert registry.entry("anywhere").placement is None
+        with pytest.raises(ValueError):
+            registry.save("bad", qm, placement=[])
+
+
+class TestShmTransport:
+    def test_batch_larger_than_ring_falls_back_to_pipe(self, setup):
+        """A ring smaller than one image cannot carry any batch: every
+        dispatch degrades to the pipe path and results are unchanged."""
+        qm, ds = setup
+        backend = ProcessBackend(n_shards=1, ring_bytes=4096)
+        svc = SconnaService(policy=POLICY, backend=backend)
+        svc.add_model("tiny", qm)
+        try:
+            direct = svc.predict("tiny", ds.images[0], ideal=True, timeout=120.0)
+            info = backend.info()
+            assert info["transport"] == "shm"
+            assert info["pipe_fallbacks"] >= 1
+            assert info["shm_batches"] == 0
+            from repro.stochastic.error_models import SconnaErrorModel
+
+            expected = qm.forward(
+                ds.images[0][None], mode="sconna",
+                error_model=SconnaErrorModel(adc_mape=0.0),
+            )
+            assert np.array_equal(direct.logits, expected)
+        finally:
+            svc.close()
+        assert not segments_alive(backend.segment_names)
+
+    def test_shm_batches_flow_through_rings(self, setup):
+        qm, ds = setup
+        backend = ProcessBackend(n_shards=1)
+        svc = SconnaService(policy=POLICY, backend=backend)
+        svc.add_model("tiny", qm)
+        try:
+            futs = [
+                svc.predict_async("tiny", ds.images[i % 6], seed=i)
+                for i in range(10)
+            ]
+            for f in futs:
+                f.result(120.0)
+            info = backend.info()
+            assert info["shm_batches"] >= 1
+            assert info["pipe_batches"] == 0
+            # every completed batch returned its tx region
+            assert info["per_shard"][0]["ring_bytes_in_use"] == 0
+        finally:
+            svc.close()
+
+    def test_crash_mid_batch_redispatches_and_reclaims_segments(self, setup):
+        qm, ds = setup
+        backend = ProcessBackend(n_shards=2)
+        svc = SconnaService(policy=POLICY, backend=backend)
+        svc.add_model("tiny", qm)
+        try:
+            expected = svc.predict("tiny", ds.images[2], seed=5, timeout=120.0)
+            before = set(backend.segment_names)
+            restarts = backend.restarts
+            victim = backend._shards[0]
+            victim_names = {victim.tx.name, victim.rx.name}
+            # keep requests in flight while the shard dies
+            futs = [
+                svc.predict_async("tiny", ds.images[i % 6], seed=100 + i)
+                for i in range(8)
+            ]
+            victim.process.terminate()
+            for f in futs:
+                f.result(120.0)  # redispatched, not dropped
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if backend.info()["alive"] == 2 and backend.restarts > restarts:
+                    break
+                time.sleep(0.05)
+            assert backend.restarts > restarts
+            # the dead shard's rings are gone; the respawn got fresh ones
+            assert not segments_alive(victim_names)
+            assert len(set(backend.segment_names) - before) == 2
+            after = svc.predict("tiny", ds.images[2], seed=5, timeout=120.0)
+            assert np.array_equal(after.logits, expected.logits)
+        finally:
+            svc.close()
+        assert not segments_alive(backend.segment_names)
+
+    def test_close_idempotent_and_leak_free(self, setup):
+        qm, ds = setup
+        backend = ProcessBackend(n_shards=1)
+        svc = SconnaService(policy=POLICY, backend=backend)
+        svc.add_model("tiny", qm)
+        svc.predict("tiny", ds.images[0], seed=1, timeout=120.0)
+        svc.close()
+        svc.close()  # second close is a no-op
+        backend.close()  # and so is closing the already-closed backend
+        assert not segments_alive(backend.segment_names)
+        for shard in backend._shards:
+            assert not shard.process.is_alive()
+
+    def test_transport_validation(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            ProcessBackend(transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="ring_bytes"):
+            ProcessBackend(ring_bytes=0)
+
+
+class TestPlacementRouting:
+    def test_model_runs_only_on_placed_shards(self, setup):
+        qm, ds = setup
+        backend = ProcessBackend(
+            n_shards=2, placement=ShardPlacement({"tiny": [1]})
+        )
+        svc = SconnaService(policy=POLICY, backend=backend)
+        svc.add_model("tiny", qm)
+        try:
+            futs = [
+                svc.predict_async("tiny", ds.images[i % 6], seed=i)
+                for i in range(8)
+            ]
+            for f in futs:
+                f.result(120.0)
+            info = backend.info()
+            assert info["placement"] == {"tiny": [1]}
+            assert info["per_shard"][0]["models"] == []
+            assert info["per_shard"][1]["models"] == ["tiny"]
+        finally:
+            svc.close()
+
+    def test_placement_out_of_range_fails_add(self, setup):
+        qm, _ = setup
+        backend = ProcessBackend(n_shards=2)
+        svc = SconnaService(policy=POLICY, backend=backend)
+        try:
+            with pytest.raises(ValueError, match="only 2 shard"):
+                svc.add_model("tiny", qm, placement=[3])
+        finally:
+            svc.close()
+
+    def test_placement_survives_via_registry(self, setup, tmp_path):
+        """A manifest-pinned model is served on its manifest slots."""
+        qm, ds = setup
+        registry = ModelRegistry(tmp_path)
+        registry.save("tiny", qm, placement=[0])
+        svc = SconnaService(policy=POLICY, backend="process", n_shards=2)
+        svc.add_from_registry(registry, "tiny")
+        try:
+            pred = svc.predict("tiny", ds.images[0], seed=0, timeout=120.0)
+            assert pred.logits.shape[1] == N_CLASSES
+            info = svc.backend.info()
+            assert info["placement"] == {"tiny": [0]}
+        finally:
+            svc.close()
