@@ -1,14 +1,20 @@
 """CI bench-regression guard for the serving path.
 
-Compares a fresh smoke run of ``run_bench_serve.py`` (written with
-``--json-out``) against the committed ``BENCH_serve.json`` baseline and
-fails when the batch-1 sustained request rate regresses by more than
-``--max-regression`` (default 30%).  Batch-1 is the guarded scenario
-because it is the pure request-path cost - one request, one forward
-pass, no coalescing luck - so it moves only when the serving or engine
-code actually got slower.
+Compares a fresh smoke run of ``run_bench_serve.py`` or
+``run_bench_http.py`` (written with ``--json-out``) against the
+committed ``BENCH_serve.json`` baseline and fails when a guarded
+sustained request rate regresses by more than ``--max-regression``
+(default 30%).  Two sections are guarded, each only when both files
+carry it:
 
-Throughput is hardware-relative, so the comparison only fires when the
+* **batch-1 thread records** - the pure request-path cost: one
+  request, one forward pass, no coalescing luck - so it moves only
+  when the serving or engine code actually got slower;
+* **``http`` records** (one per wire encoding: json / npy / frame) -
+  the HTTP ingest cost: a parser or codec regression shows up here
+  before anywhere else.
+
+Throughput is hardware-relative, so each comparison only fires when the
 baseline was recorded on the same ``cores`` count as the current run;
 otherwise the check reports the mismatch and passes (a 4-core CI runner
 must not be graded against a 1-core container's baseline).
@@ -17,6 +23,8 @@ Usage (what ``ci.yml`` runs)::
 
     python benchmarks/run_bench_serve.py --smoke --json-out smoke.json
     python benchmarks/check_bench_regression.py smoke.json BENCH_serve.json
+    python benchmarks/run_bench_http.py --smoke --json-out http_smoke.json
+    python benchmarks/check_bench_regression.py http_smoke.json BENCH_serve.json
 """
 
 from __future__ import annotations
@@ -36,6 +44,19 @@ def batch1_records(payload: dict) -> "dict[tuple, dict]":
     return out
 
 
+def http_records(payload: dict) -> "dict[tuple, dict]":
+    """Index HTTP ingest records by (wire,) for comparison."""
+    http = payload.get("http") or {}
+    return {(rec["wire"],): rec for rec in http.get("records", [])}
+
+
+def http_cores(payload: dict):
+    """The core count the http section was measured on (the section
+    carries its own, since it can be regenerated independently)."""
+    http = payload.get("http") or {}
+    return http.get("cores", payload.get("cores"))
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", help="fresh run JSON (--json-out output)")
@@ -48,42 +69,51 @@ def main() -> int:
     current = json.loads(Path(args.current).read_text())
     baseline = json.loads(Path(args.baseline).read_text())
 
-    cur_cores = current.get("cores")
-    base_cores = baseline.get("cores")
-    print(f"bench-regression: current  {cur_cores} core(s) on "
+    print(f"bench-regression: current  {current.get('cores')} core(s) on "
           f"{current.get('platform')}")
-    print(f"bench-regression: baseline {base_cores} core(s) on "
+    print(f"bench-regression: baseline {baseline.get('cores')} core(s) on "
           f"{baseline.get('platform')}")
-    if cur_cores != base_cores:
-        print("bench-regression: core counts differ - throughputs are not "
-              "comparable, skipping the guard")
-        return 0
 
-    cur = batch1_records(current)
-    base = batch1_records(baseline)
     compared = 0
-    failures = []
-    for key, base_rec in base.items():
-        cur_rec = cur.get(key)
-        if cur_rec is None:
-            continue  # smoke runs measure a subset of modes
-        compared += 1
-        floor = base_rec["requests_per_s"] * (1.0 - args.max_regression)
-        verdict = "ok" if cur_rec["requests_per_s"] >= floor else "REGRESSED"
-        print(f"bench-regression: mode={key[0]} batch1 "
-              f"{cur_rec['requests_per_s']:.1f} req/s vs baseline "
-              f"{base_rec['requests_per_s']:.1f} "
-              f"(floor {floor:.1f}) -> {verdict}")
-        if verdict != "ok":
-            failures.append(key[0])
+    failures: "list[str]" = []
+
+    def guard(label, cur_map, base_map, cur_cores, base_cores) -> None:
+        nonlocal compared
+        if not cur_map or not base_map:
+            return  # this run / baseline does not carry the section
+        if cur_cores != base_cores:
+            print(f"bench-regression: {label} core counts differ "
+                  f"({cur_cores} vs {base_cores}) - not comparable, "
+                  "skipping this section")
+            return
+        for key, base_rec in base_map.items():
+            cur_rec = cur_map.get(key)
+            if cur_rec is None:
+                continue  # smoke runs measure a subset
+            compared += 1
+            floor = base_rec["requests_per_s"] * (1.0 - args.max_regression)
+            verdict = "ok" if cur_rec["requests_per_s"] >= floor \
+                else "REGRESSED"
+            print(f"bench-regression: {label}={key[0]} "
+                  f"{cur_rec['requests_per_s']:.1f} req/s vs baseline "
+                  f"{base_rec['requests_per_s']:.1f} "
+                  f"(floor {floor:.1f}) -> {verdict}")
+            if verdict != "ok":
+                failures.append(f"{label}={key[0]}")
+
+    guard("batch1 mode", batch1_records(current), batch1_records(baseline),
+          current.get("cores"), baseline.get("cores"))
+    guard("http wire", http_records(current), http_records(baseline),
+          http_cores(current), http_cores(baseline))
+
     if not compared:
-        print("bench-regression: no comparable batch-1 records between the "
-              "two files - nothing guarded")
+        print("bench-regression: no comparable records between the two "
+              "files - nothing guarded")
         return 0
     if failures:
-        print(f"bench-regression: FAILED for mode(s) {failures} - batch-1 "
-              f"sustained req/s dropped more than "
-              f"{args.max_regression:.0%} vs the committed baseline")
+        print(f"bench-regression: FAILED for {failures} - sustained req/s "
+              f"dropped more than {args.max_regression:.0%} vs the "
+              "committed baseline")
         return 1
     return 0
 

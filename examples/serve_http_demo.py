@@ -3,40 +3,37 @@
 Trains a compact CNN briefly, quantizes it, stores it in a model
 registry, serves it through :class:`repro.serve.SconnaService` with
 dynamic micro-batching on the selected execution backend, and exercises
-the JSON-over-HTTP endpoint the way an external client would -
-including a per-request accelerator cost annotation.  SIGINT/SIGTERM
-handlers drain in-flight requests and reap shard processes, and the
-aggregated metrics snapshot (request-side + every backend worker) is
-printed at exit.
+the HTTP endpoint the way an external client would - through
+:class:`repro.serve.SconnaClient` on the binary frame wire (one
+keep-alive connection; `--wire json` falls back to the classic JSON
+body), including a per-request accelerator cost annotation and a
+streamed multi-image request.  SIGINT/SIGTERM handlers drain in-flight
+requests and reap shard processes, and the aggregated metrics snapshot
+(request-side + every backend worker) is printed at exit.
 
 Run:  PYTHONPATH=src python examples/serve_http_demo.py
       PYTHONPATH=src python examples/serve_http_demo.py --backend process --shards 2
       PYTHONPATH=src python examples/serve_http_demo.py --backend process \
-          --transport pipe --placement snet=0
+          --transport pipe --placement snet=0 --affinity auto
+      PYTHONPATH=src python examples/serve_http_demo.py --wire json
 """
 
 import argparse
 import json
 import tempfile
-import urllib.request
+
+import numpy as np
 
 from repro.cnn import QuantizedModel, build_proxy, generate_dataset, train_test_split
 from repro.cnn.train import train
 from repro.serve import (
     BatchingPolicy,
     ModelRegistry,
+    SconnaClient,
     SconnaService,
     install_shutdown_handlers,
     serve_http,
 )
-
-
-def post_json(url: str, payload: dict) -> dict:
-    req = urllib.request.Request(
-        url, data=json.dumps(payload).encode(),
-        headers={"Content-Type": "application/json"},
-    )
-    return json.loads(urllib.request.urlopen(req, timeout=60).read())
 
 
 def main() -> None:
@@ -52,9 +49,16 @@ def main() -> None:
                         choices=("pipe", "shm"),
                         help="process-backend batch transport (default: shm "
                              "shared-memory rings)")
+    parser.add_argument("--affinity", default="none",
+                        choices=("auto", "none"),
+                        help="process-backend CPU pinning (default: none)")
     parser.add_argument("--placement", default=None,
                         help="shard placement for the demo model, e.g. "
                              "'snet=0' (default: every shard)")
+    parser.add_argument("--wire", default="frame",
+                        choices=("frame", "npy", "json"),
+                        help="HTTP request encoding (default: frame - the "
+                             "binary wire protocol)")
     args = parser.parse_args()
     placement = None
     if args.placement is not None:
@@ -84,6 +88,7 @@ def main() -> None:
             n_shards=args.shards,
             transport=args.transport,
             placement=placement,
+            affinity=None if args.affinity == "none" else args.affinity,
         )
         service.add_from_registry(registry, "snet", warm_shape=(3, 24, 24))
         server, _ = serve_http(service)
@@ -93,7 +98,8 @@ def main() -> None:
         backend_info = service.backend.info()
         topology = (
             f"{backend_info.get('shards')} shard processes, "
-            f"{backend_info.get('transport')} transport"
+            f"{backend_info.get('transport')} transport, "
+            f"affinity {backend_info.get('affinity')}"
             if args.backend == "process"
             else f"{args.workers} worker threads"
         )
@@ -112,25 +118,35 @@ def main() -> None:
             )
             print(f"in-process burst: 24 requests, {hits} top-1 hits")
 
-            # one HTTP request with cost annotation
-            resp = post_json(
-                server.url + "/v1/predict",
-                {
-                    "model": "snet",
-                    "image": test_set.images[0].tolist(),
-                    "top_k": 3,
-                    "seed": 0,
-                    "cost": True,
-                },
-            )
-            top = resp["top_k"][0]
-            cost = resp["cost"]
-            print(f"HTTP predict: label {int(test_set.labels[0])}, "
-                  f"top-3 {[t['class'] for t in top]}")
-            print(f"  simulated cost on {cost['accelerator']} "
-                  f"({cost['model']}): {cost['latency_s'] * 1e6:.1f} us, "
-                  f"{cost['energy_j'] * 1e3:.2f} mJ, "
-                  f"bottleneck: {cost['bottleneck']}")
+            with SconnaClient(server.url, wire_format=args.wire) as client:
+                # one HTTP request with cost annotation (binary frame
+                # body by default: the image crosses as raw float64
+                # bytes, not ASCII decimal)
+                resp = client.predict(
+                    test_set.images[0], model="snet", top_k=3, seed=0,
+                    cost=True,
+                )
+                cost = resp.cost
+                print(f"HTTP predict ({args.wire} wire): "
+                      f"label {int(test_set.labels[0])}, "
+                      f"top-3 {[c for c, _ in resp.top_k[0]]}")
+                print(f"  simulated cost on {cost['accelerator']} "
+                      f"({cost['model']}): {cost['latency_s'] * 1e6:.1f} us, "
+                      f"{cost['energy_j'] * 1e3:.2f} mJ, "
+                      f"bottleneck: {cost['bottleneck']}")
+
+                # a streamed multi-image stack: per-image logits arrive
+                # as chunked frames over the same connection
+                stack = np.stack([test_set.images[i] for i in range(6)])
+                streamed = [
+                    int(part.top_k[0][0][0])
+                    for part in client.predict_stream(stack, model="snet")
+                ]
+                truth = [int(test_set.labels[i]) for i in range(6)]
+                print(f"HTTP stream: 6-image stack -> per-image frames, "
+                      f"predicted {streamed} vs labels {truth}")
+                print(f"  connections opened by the client: {client.opened} "
+                      "(keep-alive)")
         finally:
             server.shutdown()
             service.close()
@@ -144,6 +160,7 @@ def main() -> None:
                   f"p99 {snap['latency']['p99_ms']:.1f} ms, "
                   f"batch histogram {snap['batch_size']['histogram']}")
             print(f"  backend: {json.dumps(snap['backend'])}")
+            print(f"  admission: {json.dumps(snap['admission'])}")
             print(f"  simulation cache: {json.dumps(snap['costs'])}")
     print("done - see docs/serving.md for the architecture")
 

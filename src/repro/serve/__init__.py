@@ -24,8 +24,17 @@ cost):
 * :mod:`repro.serve.service`   - the :class:`SconnaService` facade
   (in-process ``predict``) plus :func:`install_shutdown_handlers` for
   signal-driven draining,
-* :mod:`repro.serve.httpd`     - stdlib JSON-over-HTTP endpoint (also a
-  CLI: ``python -m repro.serve``),
+* :mod:`repro.serve.admission` - :class:`AdmissionPolicy` load shedding
+  (bounded in-flight requests / payload bytes; 429 over the wire),
+* :mod:`repro.serve.wire`      - the binary tensor wire protocol
+  (NPY bodies and length-prefixed multi-tensor frames) the HTTP layer
+  negotiates alongside JSON,
+* :mod:`repro.serve.client`    - :class:`SconnaClient`, the stdlib-only
+  keep-alive HTTP client (binary by default, JSON fallback, streamed
+  multi-image responses),
+* :mod:`repro.serve.httpd`     - stdlib HTTP/1.1 endpoint speaking JSON
+  and the binary wire, with chunked per-image streaming (also a CLI:
+  ``python -m repro.serve``),
 * :mod:`repro.serve.metrics`   - throughput / latency-percentile /
   batch-shape accounting, mergeable across shard processes,
 * :mod:`repro.serve.costs`     - per-request simulated accelerator cost
@@ -33,6 +42,11 @@ cost):
   (always computed in the serving parent, never in shards).
 """
 
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionError,
+    AdmissionPolicy,
+)
 from repro.serve.backends import (
     BatchResult,
     ExecutionBackend,
@@ -42,8 +56,25 @@ from repro.serve.backends import (
     make_backend,
 )
 from repro.serve.batching import BatchingPolicy, InferenceRequest, MicroBatcher
+from repro.serve.client import (
+    AdmissionRejected,
+    ClientError,
+    ClientPrediction,
+    SconnaClient,
+)
 from repro.serve.costs import CostAccountant, RequestCost, descriptor_from_quantized
 from repro.serve.httpd import ServeHTTPServer, serve_http
+from repro.serve.wire import (
+    CONTENT_TYPE_FRAME,
+    CONTENT_TYPE_JSON,
+    CONTENT_TYPE_NPY,
+    WireError,
+    decode_frame,
+    decode_npy,
+    encode_frame,
+    encode_npy,
+    read_frame,
+)
 from repro.serve.metrics import ServeMetrics, percentile
 from repro.serve.registry import ModelRegistry, RegistryEntry
 from repro.serve.shm import RingAllocator, ShmArena, ShmDescriptor
@@ -56,6 +87,22 @@ from repro.serve.service import (
 from repro.serve.workers import WorkerPool
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "AdmissionPolicy",
+    "AdmissionRejected",
+    "ClientError",
+    "ClientPrediction",
+    "SconnaClient",
+    "CONTENT_TYPE_FRAME",
+    "CONTENT_TYPE_JSON",
+    "CONTENT_TYPE_NPY",
+    "WireError",
+    "decode_frame",
+    "decode_npy",
+    "encode_frame",
+    "encode_npy",
+    "read_frame",
     "BatchResult",
     "ExecutionBackend",
     "ProcessBackend",

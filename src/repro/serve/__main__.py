@@ -1,5 +1,10 @@
 """``python -m repro.serve`` - the standalone HTTP serving CLI.
 
+Serves registry models over HTTP/1.1 (JSON and the binary tensor wire
+of :mod:`repro.serve.wire`), with backend selection (``--backend
+--shards --transport --placement --affinity``) and admission control
+(``--max-inflight --max-queued-mb``).
+
 Delegates to :func:`repro.serve.httpd.main` (this entry avoids the
 runpy double-import warning that ``python -m repro.serve.httpd`` prints
 because the package's ``__init__`` already imports that module).  The

@@ -1,0 +1,118 @@
+"""Admission control: bounded in-flight work, load shedding over queuing.
+
+Without a bound, a client burst grows the micro-batching queues without
+limit: every request is eventually served, but tail latency and memory
+climb with the backlog, and by the time a request reaches the engine its
+caller has usually timed out.  An :class:`AdmissionPolicy` caps what the
+service will *accept* instead - requests beyond ``max_inflight`` or
+``max_queued_bytes`` are rejected at the front door with
+:class:`AdmissionError`, which the HTTP layer maps to
+``429 Too Many Requests`` + ``Retry-After``.  Shedding is cheap (no
+tensor ever enters a queue) and visible: shed counts are recorded into
+:class:`~repro.serve.metrics.ServeMetrics` and surface in
+``/v1/metrics`` under ``shed`` and ``admission``.
+
+``AdmissionController`` is the tiny thread-safe gate the service calls:
+``admit(nbytes)`` on submission (raises when over budget), ``release``
+exactly once per admitted request when its future resolves.  "In
+flight" counts admitted-but-unresolved requests - queued *and*
+executing - because both hold payload memory and both stand between a
+new arrival and its deadline.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Acceptance limits of one service (``None`` disables a limit)."""
+
+    max_inflight: "int | None" = None      #: admitted, not yet completed
+    max_queued_bytes: "int | None" = None  #: sum of admitted payload bytes
+    retry_after_s: float = 0.05            #: backoff hint sent with a 429
+
+    def __post_init__(self) -> None:
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1 (or None)")
+        if self.max_queued_bytes is not None and self.max_queued_bytes < 1:
+            raise ValueError("max_queued_bytes must be >= 1 (or None)")
+        if self.retry_after_s < 0:
+            raise ValueError("retry_after_s must be >= 0")
+
+    def as_dict(self) -> dict:
+        return {
+            "max_inflight": self.max_inflight,
+            "max_queued_bytes": self.max_queued_bytes,
+            "retry_after_s": self.retry_after_s,
+        }
+
+
+class AdmissionError(RuntimeError):
+    """Request rejected by admission control; retry after a backoff."""
+
+    def __init__(self, message: str, retry_after_s: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionController:
+    """Thread-safe gate enforcing one :class:`AdmissionPolicy`.
+
+    A ``policy`` of ``None`` admits everything (the historical
+    behaviour) while still tracking occupancy for the metrics endpoint.
+    """
+
+    def __init__(self, policy: "AdmissionPolicy | None" = None,
+                 metrics=None) -> None:
+        self.policy = policy
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._queued_bytes = 0
+        self._shed = 0
+
+    def admit(self, nbytes: int) -> None:
+        """Account one request of ``nbytes`` payload; raises
+        :class:`AdmissionError` (and records the shed) when over budget."""
+        policy = self.policy
+        with self._lock:
+            if policy is not None:
+                reason = None
+                if (policy.max_inflight is not None
+                        and self._inflight >= policy.max_inflight):
+                    reason = (f"{self._inflight} requests in flight "
+                              f"(limit {policy.max_inflight})")
+                elif (policy.max_queued_bytes is not None
+                        and self._queued_bytes + nbytes
+                        > policy.max_queued_bytes):
+                    reason = (f"{self._queued_bytes + nbytes} payload bytes "
+                              f"in flight (limit {policy.max_queued_bytes})")
+                if reason is not None:
+                    self._shed += 1
+                    if self._metrics is not None:
+                        self._metrics.record_shed()
+                    raise AdmissionError(
+                        f"request shed: {reason}",
+                        retry_after_s=policy.retry_after_s,
+                    )
+            self._inflight += 1
+            self._queued_bytes += nbytes
+
+    def release(self, nbytes: int) -> None:
+        """Undo one :meth:`admit` (the request completed or failed)."""
+        with self._lock:
+            self._inflight -= 1
+            self._queued_bytes -= nbytes
+
+    def stats(self) -> dict:
+        """JSON-ready occupancy for the metrics endpoint."""
+        with self._lock:
+            return {
+                "policy": None if self.policy is None else self.policy.as_dict(),
+                "in_flight": self._inflight,
+                "queued_bytes": self._queued_bytes,
+                "shed": self._shed,
+            }

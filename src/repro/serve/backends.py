@@ -51,6 +51,7 @@ from __future__ import annotations
 import abc
 import itertools
 import multiprocessing
+import os
 import queue
 import threading
 import time
@@ -341,6 +342,7 @@ class _Shard:
     rx: "ShmArena | None" = None
     tx_alloc: "RingAllocator | None" = None
     tx_offsets: "dict[int, int]" = field(default_factory=dict)  #: bid -> tx offset
+    cpus: "tuple[int, ...] | None" = None   #: CPU pin requested for this shard
 
     def send(self, msg: tuple) -> None:
         with self.send_lock:
@@ -354,7 +356,7 @@ class _Shard:
                 arena.destroy()
 
 
-def _shard_main(conn, shard_id: int, shm_spec=None) -> None:
+def _shard_main(conn, shard_id: int, shm_spec=None, cpus=None) -> None:
     """Entry point of one shard worker process.
 
     A single-threaded loop: receive a message, act, reply.  One
@@ -374,10 +376,22 @@ def _shard_main(conn, shard_id: int, shm_spec=None) -> None:
     process group, and shards dying mid-batch would defeat the parent's
     graceful drain - the parent alone decides when a shard stops (pipe
     ``stop``/EOF, or SIGTERM as the parent's force-kill fallback).
+
+    ``cpus`` is an optional CPU set to pin this shard to
+    (``ProcessBackend(affinity="auto")``): without a pin the kernel
+    migrates shards between cores, evicting their warm engine buffers
+    from cache; with one, each shard's working set stays resident.
+    Pinning is best-effort - platforms without ``sched_setaffinity``
+    (or a CPU set the kernel rejects) just run unpinned.
     """
     import signal
 
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    if cpus and hasattr(os, "sched_setaffinity"):
+        try:
+            os.sched_setaffinity(0, cpus)
+        except OSError:
+            pass  # a core went offline, or the mask is disallowed
 
     from repro.cnn.serialization import (
         load_quantized_model,
@@ -543,6 +557,7 @@ class ProcessBackend(ExecutionBackend):
         transport: str = "shm",
         ring_bytes: int = DEFAULT_RING_BYTES,
         placement: "ShardPlacement | dict | None" = None,
+        affinity: "str | None" = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
@@ -551,6 +566,17 @@ class ProcessBackend(ExecutionBackend):
                              "expected 'pipe' or 'shm'")
         if ring_bytes < 1:
             raise ValueError("ring_bytes must be >= 1")
+        if affinity not in (None, "auto"):
+            raise ValueError(f"unknown affinity {affinity!r}; "
+                             "expected 'auto' or None")
+        #: "auto" pins shard slot i to core i (mod the allowed set) so
+        #: shards stop migrating between cores; None leaves scheduling
+        #: to the kernel.  Requires os.sched_setaffinity (Linux) - on
+        #: other platforms the knob is accepted and ignored.
+        self.affinity = affinity
+        self._cores: "tuple[int, ...] | None" = None
+        if affinity == "auto" and hasattr(os, "sched_getaffinity"):
+            self._cores = tuple(sorted(os.sched_getaffinity(0)))
         # spawn by default: forking a parent that already runs scheduler
         # and HTTP threads is a deadlock lottery
         self._ctx = multiprocessing.get_context(start_method or "spawn")
@@ -673,10 +699,13 @@ class ProcessBackend(ExecutionBackend):
             tx_alloc = RingAllocator(self.ring_bytes)
             self.segment_names.update((tx.name, rx.name))
             shm_spec = (tx.name, rx.name, self.ring_bytes)
+        cpus = None
+        if self._cores:
+            cpus = (self._cores[slot % len(self._cores)],)
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_shard_main,
-            args=(child_conn, slot, shm_spec),
+            args=(child_conn, slot, shm_spec, cpus),
             name=f"sconna-shard-{slot}",
             daemon=True,  # belt: the pipe-EOF exit in _shard_main is the braces
         )
@@ -689,7 +718,7 @@ class ProcessBackend(ExecutionBackend):
             raise
         child_conn.close()  # the parent keeps only its own end
         shard = _Shard(slot=slot, process=process, conn=parent_conn,
-                       tx=tx, rx=rx, tx_alloc=tx_alloc)
+                       tx=tx, rx=rx, tx_alloc=tx_alloc, cpus=cpus)
         shard.reader = threading.Thread(
             target=self._collect, args=(shard,),
             name=f"sconna-shard-{slot}-collector", daemon=True,
@@ -1017,6 +1046,7 @@ class ProcessBackend(ExecutionBackend):
                     "ring_bytes_in_use": (
                         s.tx_alloc.in_use if s.tx_alloc is not None else None
                     ),
+                    "cpus": None if s.cpus is None else list(s.cpus),
                 }
                 for s in self._shards
             ]
@@ -1026,6 +1056,7 @@ class ProcessBackend(ExecutionBackend):
                 "alive": sum(1 for s in self._shards if s.alive),
                 "restarts": self.restarts,
                 "start_method": self.start_method,
+                "affinity": self.affinity,
                 "transport": self.transport,
                 "requested_transport": self.requested_transport,
                 "ring_bytes": (
@@ -1093,17 +1124,20 @@ def make_backend(
     n_shards: int = 2,
     transport: str = "shm",
     placement: "ShardPlacement | dict | None" = None,
+    affinity: "str | None" = None,
 ) -> ExecutionBackend:
     """Resolve a backend spec: an instance passes through; ``"thread"``
     and ``"process"`` construct the standard implementations
-    (``transport`` and ``placement`` apply to the process backend)."""
+    (``transport``, ``placement`` and ``affinity`` apply to the process
+    backend)."""
     if isinstance(backend, ExecutionBackend):
         return backend
     if backend == "thread":
         return ThreadBackend(n_workers=n_workers)
     if backend == "process":
         return ProcessBackend(
-            n_shards=n_shards, transport=transport, placement=placement
+            n_shards=n_shards, transport=transport, placement=placement,
+            affinity=affinity,
         )
     raise ValueError(
         f"unknown backend {backend!r}; expected 'thread', 'process', "

@@ -1,0 +1,363 @@
+"""``SconnaClient`` - a stdlib-only keep-alive client for the HTTP API.
+
+One client wraps one persistent ``http.client.HTTPConnection`` (HTTP/1.1
+keep-alive: many requests, one TCP handshake) and speaks the binary wire
+protocol by default:
+
+* ``wire="frame"`` (default) - requests and responses as
+  ``application/x-sconna-frame`` bodies (:mod:`repro.serve.wire`):
+  parameters in frame metadata, the image tensor as raw bytes;
+* ``wire="npy"``   - the image as an ``application/x-npy`` body with
+  parameters in the query string (responses still arrive as frames);
+* ``wire="json"``  - the classic JSON document.
+
+A server that does not understand the binary types (``415``) downgrades
+the client to JSON for the rest of its life - binary by default, JSON
+fallback, no caller involvement.  Logits are bit-identical across all
+three wires (locked by tests and the CI equivalence step).
+
+Admission-control rejections (``429``) raise :class:`AdmissionRejected`
+carrying the server's ``Retry-After`` hint; pass ``retry_429 > 0`` to
+have the client sleep that hint and retry transparently.  A keep-alive
+connection the server closed under us (idle reap, restart) is detected
+and rebuilt once per request - ``opened`` counts how many TCP
+connections the client ever made, which is 1 for a healthy session of
+any length.
+
+Usage::
+
+    with SconnaClient(server.url) as client:
+        result = client.predict(image, model="snet", seed=0, top_k=3)
+        print(result.top_class, result.latency_ms)
+        for part in client.predict_stream(stack, model="snet"):
+            print(part.index, part.logits)
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+import urllib.parse
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve import wire
+from repro.serve.wire import (
+    CONTENT_TYPE_FRAME,
+    CONTENT_TYPE_JSON,
+    CONTENT_TYPE_NPY,
+    WireError,
+)
+
+
+class ClientError(RuntimeError):
+    """An HTTP-level failure; carries the response status and body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class AdmissionRejected(ClientError):
+    """The server shed this request (429); retry after ``retry_after_s``."""
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(429, message)
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class ClientPrediction:
+    """One prediction as seen by the client (mirrors ``Prediction``)."""
+
+    request_id: int
+    model: str
+    logits: np.ndarray
+    top_k: "list[list[tuple[int, float]]]"
+    batch_images: int
+    latency_ms: float
+    cost: "dict | None" = None
+    index: "int | None" = None     #: position within a streamed response
+    total: "int | None" = None     #: streamed-response frame count
+
+    @property
+    def top_class(self) -> int:
+        return self.top_k[0][0][0]
+
+
+def _result_from(meta: dict, logits: np.ndarray) -> ClientPrediction:
+    return ClientPrediction(
+        request_id=int(meta.get("request_id", 0)),
+        model=str(meta.get("model", "")),
+        logits=logits,
+        top_k=[
+            [(int(e["class"]), float(e["logit"])) for e in per_image]
+            for per_image in meta.get("top_k", [])
+        ],
+        batch_images=int(meta.get("batch_images", logits.shape[0])),
+        latency_ms=float(meta.get("latency_ms", 0.0)),
+        cost=meta.get("cost"),
+        index=meta.get("index"),
+        total=meta.get("total"),
+    )
+
+
+class SconnaClient:
+    """Keep-alive HTTP client for one serving endpoint."""
+
+    def __init__(
+        self,
+        url: str,
+        wire_format: str = "frame",
+        timeout: float = 60.0,
+        retry_429: int = 0,
+    ) -> None:
+        if wire_format not in ("frame", "npy", "json"):
+            raise ValueError(f"unknown wire format {wire_format!r}")
+        parsed = urllib.parse.urlsplit(url if "//" in url else f"http://{url}")
+        if parsed.scheme not in ("", "http"):
+            raise ValueError(f"only http:// endpoints are supported: {url!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.wire_format = wire_format
+        self.timeout = timeout
+        self.retry_429 = retry_429
+        self.opened = 0          #: TCP connections made (1 == keep-alive held)
+        self._conn: "http.client.HTTPConnection | None" = None
+        self._json_fallback = False
+
+    # -- connection plumbing ---------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._conn.connect()
+            # mirror the server's TCP_NODELAY: a request whose headers
+            # and body leave in separate writes must not wait out the
+            # server's delayed ACK between them
+            self._conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+            self.opened += 1
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "SconnaClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, body: "bytes | None" = None,
+        headers: "dict[str, str] | None" = None,
+    ) -> http.client.HTTPResponse:
+        """One round trip; a dead keep-alive connection is rebuilt once.
+
+        The retry only covers failures *sending* the request or reading
+        the status line of a connection the server already closed -
+        the request never executed, so re-sending is safe.  A *timeout*
+        is never retried: the server may well be executing the request
+        right now, and re-sending it would double the load.
+        """
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers or {})
+                return conn.getresponse()
+            except TimeoutError:
+                self.close()
+                raise
+            except (http.client.NotConnected, http.client.BadStatusLine,
+                    BrokenPipeError, ConnectionResetError,
+                    ConnectionRefusedError, OSError):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _raise_for_status(self, resp, body: bytes) -> None:
+        try:
+            message = json.loads(body)["error"]
+        except Exception:
+            message = body[:200].decode(errors="replace")
+        if resp.status == 429:
+            raise AdmissionRejected(
+                message, retry_after_s=float(resp.headers.get("Retry-After", 0.05))
+            )
+        raise ClientError(resp.status, message)
+
+    # -- GET endpoints ---------------------------------------------------
+    def _get_json(self, path: str) -> dict:
+        resp = self._request("GET", path)
+        body = resp.read()
+        if resp.status != 200:
+            self._raise_for_status(resp, body)
+        return json.loads(body)
+
+    def health(self) -> dict:
+        return self._get_json("/healthz")
+
+    def models(self) -> "list[str]":
+        return self._get_json("/v1/models")["models"]
+
+    def metrics(self) -> dict:
+        return self._get_json("/v1/metrics")
+
+    # -- predict ---------------------------------------------------------
+    def predict(
+        self,
+        image: np.ndarray,
+        model: "str | None" = None,
+        seed: "int | None" = None,
+        ideal: bool = False,
+        top_k: int = 1,
+        cost: bool = False,
+        wire_format: "str | None" = None,
+    ) -> ClientPrediction:
+        """Run one request; binary wire by default, JSON on fallback."""
+        fields = {
+            "model": model, "seed": seed, "ideal": ideal,
+            "top_k": top_k, "cost": cost,
+        }
+        retries = self.retry_429
+        while True:
+            try:
+                return self._predict_once(image, fields, wire_format)
+            except AdmissionRejected as exc:
+                if retries <= 0:
+                    raise
+                retries -= 1
+                time.sleep(exc.retry_after_s)
+
+    def _effective_wire(self, wire_format: "str | None") -> str:
+        chosen = wire_format or self.wire_format
+        if self._json_fallback and wire_format is None:
+            chosen = "json"
+        return chosen
+
+    def _predict_once(
+        self, image, fields: dict, wire_format: "str | None"
+    ) -> ClientPrediction:
+        chosen = self._effective_wire(wire_format)
+        path, body, headers = self._encode_request(image, fields, chosen)
+        resp = self._request("POST", path, body=body, headers=headers)
+        payload = resp.read()
+        if resp.status == 415 and chosen != "json" and wire_format is None:
+            # an endpoint predating the binary wire: downgrade for good
+            self._json_fallback = True
+            return self._predict_once(image, fields, None)
+        if resp.status != 200:
+            self._raise_for_status(resp, payload)
+        ctype = (resp.headers.get("Content-Type") or "").partition(";")[0]
+        if ctype == CONTENT_TYPE_FRAME:
+            meta, tensors = wire.decode_frame(payload)
+            if "error" in meta:
+                raise ClientError(resp.status, meta["error"])
+            return _result_from(meta, tensors["logits"])
+        if ctype == CONTENT_TYPE_NPY:
+            logits = wire.decode_npy(payload)
+            meta = {
+                "request_id": resp.headers.get("X-Sconna-Request-Id", 0),
+                "model": resp.headers.get("X-Sconna-Model", ""),
+                "batch_images": resp.headers.get(
+                    "X-Sconna-Batch-Images", logits.shape[0]
+                ),
+                "latency_ms": resp.headers.get("X-Sconna-Latency-Ms", 0.0),
+            }
+            return _result_from(meta, logits)
+        doc = json.loads(payload)
+        return _result_from(doc, np.asarray(doc["logits"], dtype=np.float64))
+
+    def predict_stream(
+        self,
+        images: np.ndarray,
+        model: "str | None" = None,
+        seed: "int | None" = None,
+        ideal: bool = False,
+        top_k: int = 1,
+        cost: bool = False,
+    ):
+        """Stream an ``(n, C, H, W)`` stack; yields one
+        :class:`ClientPrediction` per image, in order, as frames arrive.
+
+        A frame carrying a server-side ``error`` raises
+        :class:`ClientError` (or :class:`AdmissionRejected`) at its
+        position; frames already yielded stand.
+        """
+        fields = {
+            "model": model, "seed": seed, "ideal": ideal,
+            "top_k": top_k, "cost": cost, "stream": True,
+        }
+        chosen = self._effective_wire(None)
+        if chosen == "json":
+            chosen = "frame"  # streaming is frame-only; force the wire
+        path, body, headers = self._encode_request(images, fields, chosen)
+        headers["Accept"] = CONTENT_TYPE_FRAME
+        resp = self._request("POST", path, body=body, headers=headers)
+        if resp.status != 200:
+            self._raise_for_status(resp, resp.read())
+        drained = False
+        try:
+            while True:
+                item = wire.read_frame(resp.read)
+                if item is None:
+                    drained = True
+                    return
+                meta, tensors = item
+                if "error" in meta:
+                    if "retry_after_s" in meta:
+                        raise AdmissionRejected(
+                            meta["error"], retry_after_s=meta["retry_after_s"]
+                        )
+                    raise ClientError(200, meta["error"])
+                yield _result_from(meta, tensors["logits"])
+        finally:
+            if not drained:
+                # abandoned mid-stream: unread frames would desync the
+                # next request on this connection, so drop it
+                self.close()
+
+    # -- request encoding ------------------------------------------------
+    @staticmethod
+    def _encode_request(
+        image, fields: dict, wire_format: str
+    ) -> "tuple[str, bytes, dict[str, str]]":
+        """Build (path, body, headers) for one predict call."""
+        fields = {k: v for k, v in fields.items()
+                  if v is not None and v is not False}
+        if wire_format == "frame":
+            body = wire.encode_frame(fields, {"image": np.asarray(image)})
+            headers = {
+                "Content-Type": CONTENT_TYPE_FRAME,
+                "Accept": CONTENT_TYPE_FRAME,
+            }
+            return "/v1/predict", body, headers
+        if wire_format == "npy":
+            query = urllib.parse.urlencode(
+                {k: (int(v) if isinstance(v, bool) else v)
+                 for k, v in fields.items()}
+            )
+            path = "/v1/predict" + (f"?{query}" if query else "")
+            headers = {
+                "Content-Type": CONTENT_TYPE_NPY,
+                "Accept": CONTENT_TYPE_FRAME,
+            }
+            return path, wire.encode_npy(np.asarray(image)), headers
+        if wire_format == "json":
+            payload = dict(fields, image=np.asarray(image).tolist())
+            headers = {
+                "Content-Type": CONTENT_TYPE_JSON,
+                "Accept": CONTENT_TYPE_JSON,
+            }
+            return "/v1/predict", json.dumps(payload).encode(), headers
+        raise ValueError(f"unknown wire format {wire_format!r}")

@@ -1,4 +1,4 @@
-"""Stdlib JSON-over-HTTP endpoint for :class:`~repro.serve.service.SconnaService`.
+"""Stdlib HTTP endpoint for :class:`~repro.serve.service.SconnaService`.
 
 No third-party web framework - a :class:`http.server.ThreadingHTTPServer`
 is enough here because the handler thread only *enqueues* into the
@@ -6,16 +6,58 @@ micro-batching scheduler and waits on a future; coalescing and compute
 happen in the service's own workers (threads, or shard processes under
 the process backend - the HTTP layer is identical either way).
 
-Also a standalone server CLI with execution-backend selection::
+The handler speaks **HTTP/1.1 with keep-alive**: every response carries
+``Content-Length`` (or chunked transfer-encoding on the streaming
+path), so one client connection serves many requests - the per-request
+TCP handshake the HTTP/1.0 handler paid is gone.  Error responses sent
+*before* the request body was fully read add ``Connection: close``
+(the unread body would otherwise be parsed as the next request).
 
-    python -m repro.serve --registry MODELS_DIR \
-        --backend process --shards 4 --transport shm \
-        --placement "big=0,1;small=2,3" --port 8000
+``POST /v1/predict`` negotiates the request body over ``Content-Type``
+and the response over ``Accept`` (see :mod:`repro.serve.wire`):
 
-serves every model in the registry (or ``--model`` picks some), installs
-SIGINT/SIGTERM handlers that drain in-flight requests and reap shard
-processes, blocks until a signal arrives, and prints the aggregated
-backend topology (shards, transport, per-model placement) on exit.
+======================================  =====================================
+Content-Type (request)                  body
+======================================  =====================================
+``application/json`` (default)          ``{"model", "image": nested lists,
+                                        "seed", "top_k", "ideal", "cost",
+                                        "stream"}``
+``application/x-npy``                   the image tensor as an NPY buffer;
+                                        parameters ride the query string
+                                        (``?model=&seed=&top_k=&ideal=&cost=
+                                        &stream=``)
+``application/x-sconna-frame``          one frame: the parameters as frame
+                                        metadata plus an ``image`` tensor
+======================================  =====================================
+
+======================================  =====================================
+Accept (response)                       body
+======================================  =====================================
+``application/json``                    the classic JSON document (float64
+                                        logits round-trip exactly)
+``application/x-sconna-frame``          one frame: result metadata plus a
+                                        ``logits`` tensor - bit-identical
+                                        to the JSON logits
+``application/x-npy``                   the logits tensor alone (metadata in
+                                        ``X-Sconna-*`` headers)
+``*/*`` / absent                        mirrors the request content type
+======================================  =====================================
+
+**Streaming.**  A multi-image ``(n, C, H, W)`` request with
+``stream`` set and a frame ``Accept`` returns ``Transfer-Encoding:
+chunked`` with one self-delimiting frame per image, so early images'
+logits leave the server while later ones still compute.  Unseeded and
+``ideal`` stacks are split into per-image requests and pipelined
+through the scheduler (frame ``i`` flushes as image ``i`` completes);
+a *seeded* stack stays one indivisible request - its noise stream
+spans the whole stack, that is the reproducibility contract - so its
+frames all flush after it completes, still one frame per image.
+
+**Admission control.**  When the service carries an
+:class:`~repro.serve.admission.AdmissionPolicy`, a shed request is
+answered with ``429 Too Many Requests`` plus a ``Retry-After`` header
+(decimal seconds); shed counts appear in ``/v1/metrics`` under
+``shed`` / ``admission``.
 
 Routes::
 
@@ -23,50 +65,191 @@ Routes::
     GET  /v1/models      -> {"models": [...]}
     GET  /v1/metrics     -> aggregated ServeMetrics snapshot (request-side
                             + every backend worker / shard, plus backend
-                            topology and simulation-cache stats)
+                            topology, admission stats and simulation-cache
+                            stats)
     POST /v1/predict     -> run one request
 
-``POST /v1/predict`` body (JSON)::
+Also a standalone server CLI with execution-backend selection::
 
-    {
-      "model":  "name",            # optional when one model is served
-      "image":  [[[...]]],         # (C,H,W) nested lists, or (n,C,H,W)
-      "top_k":  5,                 # optional, default 1
-      "seed":   123,               # optional per-request ADC noise seed
-      "ideal":  false,             # optional: noiseless sconna datapath
-      "cost":   true               # optional: accelerator cost annotation
-    }
+    python -m repro.serve --registry MODELS_DIR \
+        --backend process --shards 4 --transport shm --affinity auto \
+        --placement "big=0,1;small=2,3" --max-inflight 256 --port 8000
 
-Response: ``request_id``, ``logits`` (full-precision float64 - JSON
-round-trips them exactly, so an ideal-datapath response is bit-identical
-to the in-process API), ``top_k`` pairs, ``batch_images``,
-``latency_ms``, and the ``cost`` annotation when requested.
+serves every model in the registry (or ``--model`` picks some), installs
+SIGINT/SIGTERM handlers that drain in-flight requests and reap shard
+processes, blocks until a signal arrives, and prints the aggregated
+backend topology (shards, transport, per-model placement) on exit.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.serve import wire
+from repro.serve.admission import AdmissionError
+from repro.serve.wire import (
+    CONTENT_TYPE_FRAME,
+    CONTENT_TYPE_JSON,
+    CONTENT_TYPE_NPY,
+    WireError,
+)
 
 #: request body cap (a (n,3,224,224) float image batch fits comfortably)
 MAX_BODY_BYTES = 256 * 1024 * 1024
+
+_TRUE_WORDS = frozenset(("1", "true", "yes", "on"))
+_FALSE_WORDS = frozenset(("0", "false", "no", "off", ""))
+
+
+def _parse_flag(value, name: str) -> bool:
+    """A tolerant boolean: JSON booleans, ints, and query-string words."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return bool(value)
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in _TRUE_WORDS:
+            return True
+        if lowered in _FALSE_WORDS:
+            return False
+    raise ValueError(f"bad boolean for {name!r}: {value!r}")
+
+
+def parse_predict_fields(fields: dict) -> dict:
+    """Normalize request parameters from any body/query representation.
+
+    Returns ``{model, seed, top_k, ideal, cost, stream}`` with the same
+    defaults the JSON body historically had; raises :class:`ValueError`
+    on malformed values (mapped to 400 by the handler).
+    """
+    model = fields.get("model")
+    if model is not None:
+        model = str(model)
+    seed = fields.get("seed")
+    if seed is not None:
+        seed = int(seed)
+    return {
+        "model": model,
+        "seed": seed,
+        "top_k": int(fields.get("top_k", 1)),
+        "ideal": _parse_flag(fields.get("ideal", False), "ideal"),
+        "cost": _parse_flag(fields.get("cost", False), "cost"),
+        "stream": _parse_flag(fields.get("stream", False), "stream"),
+    }
+
+
+def negotiate_response_type(accept: "str | None", request_ctype: str) -> str:
+    """The response media type for an ``Accept`` header.
+
+    Explicit binary types win over JSON; an absent header or ``*/*``
+    mirrors the request body's type (binary in, binary out), and
+    anything unrecognized falls back to JSON.
+    """
+    accept = (accept or "").lower()
+    if CONTENT_TYPE_FRAME in accept:
+        return CONTENT_TYPE_FRAME
+    if CONTENT_TYPE_NPY in accept:
+        return CONTENT_TYPE_NPY
+    if CONTENT_TYPE_JSON in accept:
+        return CONTENT_TYPE_JSON
+    if not accept or "*/*" in accept:
+        if request_ctype == CONTENT_TYPE_NPY:
+            return CONTENT_TYPE_NPY
+        if request_ctype == CONTENT_TYPE_FRAME:
+            return CONTENT_TYPE_FRAME
+    return CONTENT_TYPE_JSON
+
+
+def _prediction_meta(prediction) -> dict:
+    """The JSON-able result fields shared by every response encoding."""
+    return {
+        "request_id": prediction.request_id,
+        "model": prediction.model,
+        "top_k": [
+            [{"class": c, "logit": v} for c, v in per_image]
+            for per_image in prediction.top_k
+        ],
+        "batch_images": prediction.batch_images,
+        "latency_ms": prediction.latency_s * 1e3,
+        "cost": None if prediction.cost is None else prediction.cost.as_dict(),
+    }
 
 
 class _ServeHandler(BaseHTTPRequestHandler):
     server: "ServeHTTPServer"
 
+    #: HTTP/1.1 so keep-alive is the default; every non-streamed
+    #: response carries Content-Length, the streamed one is chunked
+    protocol_version = "HTTP/1.1"
+    #: idle keep-alive connections are reaped (each holds a thread)
+    timeout = 65.0
+    #: headers and body go out as separate writes; with Nagle on, the
+    #: second write can stall ~40 ms behind the peer's delayed ACK -
+    #: on a keep-alive connection that tax lands on *every* response
+    disable_nagle_algorithm = True
+
     # -- plumbing --------------------------------------------------------
-    def _send_json(self, payload: dict, status: int = 200) -> None:
-        body = json.dumps(payload).encode()
+    def _send_body(
+        self,
+        body: bytes,
+        content_type: str,
+        status: int = 200,
+        close: bool = False,
+        extra_headers: "list[tuple[str, str]] | None" = None,
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in extra_headers or ():
+            self.send_header(name, value)
+        if close:
+            # the request body was not (fully) read: the bytes left on
+            # the socket would be parsed as the next request, so the
+            # connection cannot be reused
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error(self, status: int, message: str) -> None:
-        self._send_json({"error": message}, status=status)
+    def _send_json(
+        self, payload: dict, status: int = 200, close: bool = False,
+        extra_headers: "list[tuple[str, str]] | None" = None,
+    ) -> None:
+        self._send_body(
+            json.dumps(payload).encode(), CONTENT_TYPE_JSON, status=status,
+            close=close, extra_headers=extra_headers,
+        )
+
+    def _send_error(
+        self, status: int, message: str, close: bool = False,
+        retry_after_s: "float | None" = None,
+    ) -> None:
+        extra = None
+        if retry_after_s is not None:
+            # decimal seconds: our own client parses float(header), and
+            # integer-only parsers still get a usable hint
+            extra = [("Retry-After", f"{retry_after_s:.3f}")]
+        self._send_json(
+            {"error": message}, status=status, close=close,
+            extra_headers=extra,
+        )
+
+    def _send_exception(self, exc: BaseException) -> None:
+        """The one exception -> HTTP status mapping for predict paths."""
+        if isinstance(exc, AdmissionError):
+            self._send_error(429, str(exc), retry_after_s=exc.retry_after_s)
+        elif isinstance(exc, KeyError):
+            self._send_error(404, str(exc))
+        elif isinstance(exc, (ValueError, TypeError)):
+            self._send_error(400, str(exc))
+        else:  # inference failure -> 500 with context
+            self._send_error(500, f"{type(exc).__name__}: {exc}")
 
     def log_message(self, format: str, *args) -> None:
         if self.server.verbose:
@@ -75,70 +258,267 @@ class _ServeHandler(BaseHTTPRequestHandler):
     # -- routes ----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
         service = self.server.service
-        if self.path == "/healthz":
+        path = self.path.partition("?")[0]
+        if path == "/healthz":
             self._send_json({"status": "ok"})
-        elif self.path == "/v1/models":
+        elif path == "/v1/models":
             self._send_json({"models": service.models()})
-        elif self.path == "/v1/metrics":
+        elif path == "/v1/metrics":
             self._send_json(service.metrics_snapshot())
         else:
             self._send_error(404, f"unknown path {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler API)
-        if self.path != "/v1/predict":
-            self._send_error(404, f"unknown path {self.path!r}")
+        path, _, query = self.path.partition("?")
+        if path != "/v1/predict":
+            # the body was never read; this connection cannot be reused
+            self._send_error(404, f"unknown path {self.path!r}", close=True)
             return
         service = self.server.service
         try:
-            length = int(self.headers.get("Content-Length", 0))
-            if not (0 < length <= MAX_BODY_BYTES):
-                self._send_error(400, "missing or oversized request body")
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self._send_error(411, "Content-Length is required", close=True)
+            return
+        if length <= 0:
+            self._send_error(400, "missing request body", close=length < 0)
+            return
+        if length > MAX_BODY_BYTES:
+            self._send_error(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte cap",
+                close=True,
+            )
+            return
+        body = self._read_exact(length)
+        if body is None:
+            return  # client hung up mid-body; nothing to answer
+        ctype = (self.headers.get("Content-Type") or CONTENT_TYPE_JSON)
+        ctype = ctype.partition(";")[0].strip().lower()
+        try:
+            fields, images = self._parse_request(ctype, body, query)
+        except NotImplementedError:
+            self._send_error(
+                415,
+                f"unsupported Content-Type {ctype!r} (supported: "
+                f"{CONTENT_TYPE_JSON}, {CONTENT_TYPE_NPY}, "
+                f"{CONTENT_TYPE_FRAME})",
+            )
+            return
+        except (WireError, ValueError, TypeError, KeyError,
+                json.JSONDecodeError) as exc:
+            self._send_error(400, f"bad request body: {exc}")
+            return
+        model = fields["model"]
+        if model is None:
+            names = service.models()
+            if len(names) != 1:
+                self._send_error(
+                    400, f"'model' is required (registered: {names})"
+                )
                 return
-            payload = json.loads(self.rfile.read(length))
-            model = payload.get("model")
-            if model is None:
-                names = service.models()
-                if len(names) != 1:
-                    self._send_error(
-                        400, f"'model' is required (registered: {names})"
-                    )
-                    return
-                model = names[0]
-            if "image" not in payload:
-                self._send_error(400, "'image' is required")
+            model = names[0]
+        resp_type = negotiate_response_type(self.headers.get("Accept"), ctype)
+        if fields["stream"]:
+            if resp_type != CONTENT_TYPE_FRAME:
+                self._send_error(
+                    400, "streaming requires Accept: " + CONTENT_TYPE_FRAME
+                )
                 return
+            self._stream_predict(service, model, images, fields)
+            return
+        try:
             prediction = service.predict(
                 model,
-                payload["image"],
-                seed=payload.get("seed"),
-                ideal=bool(payload.get("ideal", False)),
-                top_k=int(payload.get("top_k", 1)),
-                with_cost=bool(payload.get("cost", False)),
+                images,
+                seed=fields["seed"],
+                ideal=fields["ideal"],
+                top_k=fields["top_k"],
+                with_cost=fields["cost"],
                 timeout=self.server.request_timeout_s,
             )
-        except KeyError as exc:
-            self._send_error(404, str(exc))
+        except Exception as exc:
+            self._send_exception(exc)
             return
-        except (ValueError, TypeError, json.JSONDecodeError) as exc:
-            self._send_error(400, str(exc))
-            return
-        except Exception as exc:  # inference failure -> 500 with context
-            self._send_error(500, f"{type(exc).__name__}: {exc}")
-            return
-        self._send_json(
-            {
-                "request_id": prediction.request_id,
-                "model": prediction.model,
-                "logits": prediction.logits.tolist(),
-                "top_k": [
-                    [{"class": c, "logit": v} for c, v in per_image]
-                    for per_image in prediction.top_k
+        meta = _prediction_meta(prediction)
+        if resp_type == CONTENT_TYPE_FRAME:
+            self._send_body(
+                wire.encode_frame(meta, {"logits": prediction.logits}),
+                CONTENT_TYPE_FRAME,
+            )
+        elif resp_type == CONTENT_TYPE_NPY:
+            self._send_body(
+                wire.encode_npy(prediction.logits),
+                CONTENT_TYPE_NPY,
+                extra_headers=[
+                    ("X-Sconna-Request-Id", str(meta["request_id"])),
+                    ("X-Sconna-Model", meta["model"]),
+                    ("X-Sconna-Batch-Images", str(meta["batch_images"])),
+                    ("X-Sconna-Latency-Ms", f"{meta['latency_ms']:.3f}"),
                 ],
-                "batch_images": prediction.batch_images,
-                "latency_ms": prediction.latency_s * 1e3,
-                "cost": None if prediction.cost is None else prediction.cost.as_dict(),
+            )
+        else:
+            meta["logits"] = prediction.logits.tolist()
+            self._send_json(meta)
+
+    # -- request parsing -------------------------------------------------
+    def _read_exact(self, length: int) -> "bytes | None":
+        """Read the full request body; ``None`` if the client hung up."""
+        chunks: "list[bytes]" = []
+        got = 0
+        while got < length:
+            chunk = self.rfile.read(length - got)
+            if not chunk:
+                self.close_connection = True
+                return None
+            chunks.append(chunk)
+            got += len(chunk)
+        return b"".join(chunks)
+
+    def _parse_request(
+        self, ctype: str, body: bytes, query: str
+    ) -> "tuple[dict, object]":
+        """Decode one request body into (normalized fields, images)."""
+        if ctype == CONTENT_TYPE_JSON:
+            payload = json.loads(body)
+            if not isinstance(payload, dict):
+                raise ValueError("JSON body must be an object")
+            if "image" not in payload:
+                raise ValueError("'image' is required")
+            return parse_predict_fields(payload), payload["image"]
+        if ctype == CONTENT_TYPE_NPY:
+            images = wire.decode_npy(body, max_bytes=MAX_BODY_BYTES)
+            params = {
+                key: values[-1]
+                for key, values in urllib.parse.parse_qs(query).items()
             }
+            return parse_predict_fields(params), images
+        if ctype == CONTENT_TYPE_FRAME:
+            meta, tensors = wire.decode_frame(body, max_bytes=MAX_BODY_BYTES)
+            if "image" not in tensors:
+                raise ValueError(
+                    f"frame carries no 'image' tensor (got: "
+                    f"{sorted(tensors)})"
+                )
+            return parse_predict_fields(meta), tensors["image"]
+        raise NotImplementedError(ctype)
+
+    # -- streaming -------------------------------------------------------
+    def _stream_predict(
+        self, service, model: str, images, fields: dict
+    ) -> None:
+        """Chunked per-image frame stream for an ``(n, C, H, W)`` stack.
+
+        Unseeded / ideal stacks are split into per-image requests and
+        pipelined (early frames flush while later images compute);
+        a seeded stack stays one request - its frames flush together
+        after it completes (the noise stream spans the stack).  Errors
+        after the 200 has been committed travel as frames carrying an
+        ``error`` field at their index.
+        """
+        images = np.asarray(images)
+        if images.ndim == 3:
+            images = images[None]
+        if images.ndim != 4:
+            self._send_error(400, "image must be (C, H, W) or (n, C, H, W)")
+            return
+        n = int(images.shape[0])
+        seeded = fields["seed"] is not None and not fields["ideal"]
+        timeout = self.server.request_timeout_s
+        kwargs = dict(
+            ideal=fields["ideal"], top_k=fields["top_k"],
+            with_cost=fields["cost"],
         )
+        if seeded:
+            # one indivisible request: submit + await *before* the 200,
+            # so validation/admission failures map to clean statuses
+            try:
+                prediction = service.predict(
+                    model, images, seed=fields["seed"],
+                    timeout=timeout, **kwargs,
+                )
+            except Exception as exc:
+                self._send_exception(exc)
+                return
+            frames = self._frames_of(prediction, n)
+            self._write_stream(frames)
+            return
+        # split path: pipeline n single-image requests through the
+        # scheduler; the first submission gates the 200 (so an unknown
+        # model or a full service still answers with a status), later
+        # submission failures become error frames at their index
+        futures: "list" = []
+        submit_errors: "dict[int, BaseException]" = {}
+        for i in range(n):
+            try:
+                futures.append(
+                    service.predict_async(model, images[i], seed=None, **kwargs)
+                )
+            except BaseException as exc:
+                if i == 0:
+                    self._send_exception(exc)
+                    return
+                futures.append(None)
+                submit_errors[i] = exc
+
+        def frame_iter():
+            for i, future in enumerate(futures):
+                if future is None:
+                    yield self._error_frame(i, n, submit_errors[i])
+                    continue
+                try:
+                    prediction = future.result(timeout)
+                except BaseException as exc:
+                    yield self._error_frame(i, n, exc)
+                    continue
+                meta = _prediction_meta(prediction)
+                meta["index"], meta["total"] = i, n
+                yield wire.encode_frame(meta, {"logits": prediction.logits})
+
+        self._write_stream(frame_iter())
+
+    @staticmethod
+    def _frames_of(prediction, n: int):
+        """Per-image frames of one completed multi-image prediction."""
+        meta = _prediction_meta(prediction)
+        cost, top_k = meta.pop("cost"), meta.pop("top_k")
+        for i in range(n):
+            frame_meta = dict(
+                meta, index=i, total=n, top_k=[top_k[i]],
+            )
+            if i == n - 1 and cost is not None:
+                frame_meta["cost"] = cost  # per-request cost rides the tail
+            yield wire.encode_frame(
+                frame_meta, {"logits": prediction.logits[i : i + 1]}
+            )
+
+    @staticmethod
+    def _error_frame(index: int, total: int, exc: BaseException) -> bytes:
+        meta = {
+            "index": index,
+            "total": total,
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+        if isinstance(exc, AdmissionError):
+            meta["retry_after_s"] = exc.retry_after_s
+        return wire.encode_frame(meta)
+
+    def _write_stream(self, frames) -> None:
+        """Send a committed 200 as chunked frames (one chunk per frame)."""
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE_FRAME)
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for frame in frames:
+                self.wfile.write(
+                    f"{len(frame):X}\r\n".encode() + frame + b"\r\n"
+                )
+                self.wfile.flush()
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            self.close_connection = True  # client went away mid-stream
 
 
 class ServeHTTPServer(ThreadingHTTPServer):
@@ -187,13 +567,15 @@ def main(argv: "list[str] | None" = None) -> None:
     """CLI entry point: serve registry models over HTTP until a signal."""
     import argparse
 
+    from repro.serve.admission import AdmissionPolicy
     from repro.serve.batching import BatchingPolicy
     from repro.serve.registry import ModelRegistry
     from repro.serve.service import SconnaService, install_shutdown_handlers
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
-        description="Serve registered SCONNA models over JSON/HTTP.",
+        description="Serve registered SCONNA models over HTTP "
+                    "(JSON and binary wire bodies).",
     )
     parser.add_argument("--registry", required=True,
                         help="model registry directory (NPZ + JSON manifests)")
@@ -213,12 +595,23 @@ def main(argv: "list[str] | None" = None) -> None:
                         choices=("pipe", "shm"),
                         help="process-backend batch transport: shared-memory "
                              "rings (default) or pickled arrays on pipes")
+    parser.add_argument("--affinity", default="none",
+                        choices=("auto", "none"),
+                        help="process-backend CPU pinning: 'auto' pins shard "
+                             "i to core i so shards stop migrating "
+                             "(default: none)")
     parser.add_argument("--placement", default=None,
                         help="per-model shard placement, e.g. "
                              "'modelA=0,1;modelB=2' (default: every model "
                              "on every shard)")
     parser.add_argument("--max-batch-size", type=int, default=32)
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--max-inflight", type=int, default=None,
+                        help="admission control: requests in flight before "
+                             "shedding with 429 (default: unbounded)")
+    parser.add_argument("--max-queued-mb", type=float, default=None,
+                        help="admission control: payload MiB in flight "
+                             "before shedding with 429 (default: unbounded)")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8000)
     parser.add_argument("--verbose", action="store_true")
@@ -241,6 +634,15 @@ def main(argv: "list[str] | None" = None) -> None:
                 placement.shards_for(model_name, args.shards)
         except ValueError as exc:
             parser.error(str(exc))
+    admission = None
+    if args.max_inflight is not None or args.max_queued_mb is not None:
+        admission = AdmissionPolicy(
+            max_inflight=args.max_inflight,
+            max_queued_bytes=(
+                None if args.max_queued_mb is None
+                else int(args.max_queued_mb * (1 << 20))
+            ),
+        )
     service = SconnaService(
         policy=BatchingPolicy(
             max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms
@@ -251,6 +653,8 @@ def main(argv: "list[str] | None" = None) -> None:
         n_shards=args.shards,
         transport=args.transport,
         placement=placement,
+        admission=admission,
+        affinity=None if args.affinity == "none" else args.affinity,
     )
     for name in names:
         service.add_from_registry(registry, name)
@@ -264,12 +668,14 @@ def main(argv: "list[str] | None" = None) -> None:
     backend_info = service.backend.info()
     if args.backend == "process":
         topology = (f"shards={backend_info.get('shards')}, "
-                    f"transport={backend_info.get('transport')}")
+                    f"transport={backend_info.get('transport')}, "
+                    f"affinity={backend_info.get('affinity')}")
     else:
         topology = f"workers={args.workers}"
     print(f"serving {names} at {server.url}  "
           f"(backend={backend_info['kind']}, {topology})")
-    print("POST /v1/predict | GET /v1/models /v1/metrics /healthz  "
+    print("POST /v1/predict (JSON | x-npy | x-sconna-frame) | "
+          "GET /v1/models /v1/metrics /healthz  "
           "(SIGINT/SIGTERM drains and exits)")
     try:
         handlers.wait()

@@ -60,6 +60,7 @@ class ServeMetrics:
         self._n_batches = 0
         self._n_batched_requests = 0
         self._n_errors = 0
+        self._n_shed = 0
         self._first_done: float | None = None
         self._last_done: float | None = None
 
@@ -101,6 +102,12 @@ class ServeMetrics:
         with self._lock:
             self._n_errors += n_requests
 
+    def record_shed(self, n_requests: int = 1) -> None:
+        """Requests rejected by admission control (never enqueued; they
+        are not errors - the client was told to back off and retry)."""
+        with self._lock:
+            self._n_shed += n_requests
+
     def reset(self) -> None:
         """Discard everything recorded so far (e.g. warm-up traffic)."""
         with self._lock:
@@ -110,7 +117,7 @@ class ServeMetrics:
             self._batch_hist.clear()
             self._n_requests = self._n_images = 0
             self._n_batches = self._n_batched_requests = 0
-            self._n_errors = 0
+            self._n_errors = self._n_shed = 0
             self._first_done = self._last_done = None
 
     # -- aggregation across shards ---------------------------------------
@@ -132,6 +139,7 @@ class ServeMetrics:
                 "n_batches": self._n_batches,
                 "n_batched_requests": self._n_batched_requests,
                 "n_errors": self._n_errors,
+                "n_shed": self._n_shed,
                 "first_done": self._first_done,
                 "last_done": self._last_done,
             }
@@ -159,6 +167,8 @@ class ServeMetrics:
             self._n_batches += state["n_batches"]
             self._n_batched_requests += state["n_batched_requests"]
             self._n_errors += state["n_errors"]
+            # .get: shard states predating admission control lack the key
+            self._n_shed += state.get("n_shed", 0)
             for theirs, pick in (
                 (state["first_done"], min), (state["last_done"], max)
             ):
@@ -186,7 +196,7 @@ class ServeMetrics:
             hist = dict(self._batch_hist)
             n_requests, n_images = self._n_requests, self._n_images
             n_batches, n_errors = self._n_batches, self._n_errors
-            n_batched_requests = self._n_batched_requests
+            n_batched_requests, n_shed = self._n_batched_requests, self._n_shed
             first, last = self._first_done, self._last_done
 
         def ms_stats(samples: "list[float]") -> dict:
@@ -208,6 +218,7 @@ class ServeMetrics:
             "images": n_images,
             "batches": n_batches,
             "errors": n_errors,
+            "shed": n_shed,
             # completions per second over the observed completion span;
             # needs >= 2 completions for a meaningful span
             "requests_per_s": (n_requests - 1) / span_s if span_s > 0 else None,

@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cnn.inference import QuantizedModel
+from repro.serve.admission import AdmissionController, AdmissionError, AdmissionPolicy
 from repro.serve.backends import (
     BatchResult,
     ExecutionBackend,
@@ -97,6 +98,8 @@ class SconnaService:
         n_shards: int = 2,
         transport: str = "shm",
         placement: "object | None" = None,
+        admission: "AdmissionPolicy | None" = None,
+        affinity: "str | None" = None,
     ) -> None:
         if mode not in ("float", "int8", "sconna"):
             raise ValueError(f"unknown default mode {mode!r}")
@@ -104,9 +107,10 @@ class SconnaService:
         self.default_mode = mode
         self.metrics = metrics or ServeMetrics()
         self.costs = cost_accountant or CostAccountant()
+        self.admission = AdmissionController(admission, metrics=self.metrics)
         self._backend = make_backend(
             backend, n_workers=n_workers, n_shards=n_shards,
-            transport=transport, placement=placement,
+            transport=transport, placement=placement, affinity=affinity,
         )
         self._models: "dict[str, _ModelEntry]" = {}
         self._ids = itertools.count(1)
@@ -253,25 +257,36 @@ class SconnaService:
             )
         if top_k < 1:
             raise ValueError("top_k must be >= 1")
-        error_model = None
-        if entry.mode == "sconna":
-            error_model = (
-                SconnaErrorModel(adc_mape=0.0)
-                if ideal
-                else SconnaErrorModel(seed=seed)
+        # the admission gate sits after validation (malformed requests
+        # are client errors, not load) and before any queue is touched:
+        # a shed request never allocates a lane slot or payload copy
+        nbytes = int(images.nbytes)
+        self.admission.admit(nbytes)
+        try:
+            error_model = None
+            if entry.mode == "sconna":
+                error_model = (
+                    SconnaErrorModel(adc_mape=0.0)
+                    if ideal
+                    else SconnaErrorModel(seed=seed)
+                )
+            request = InferenceRequest(
+                request_id=next(self._ids),
+                images=images,
+                error_model=error_model,
+                top_k=top_k,
+                with_cost=with_cost,
             )
-        request = InferenceRequest(
-            request_id=next(self._ids),
-            images=images,
-            error_model=error_model,
-            top_k=top_k,
-            with_cost=with_cost,
-        )
-        # queue depth is a gauge - sampling every 16th request keeps the
-        # submit path off the metrics lock at high request rates
-        if request.request_id % 16 == 0:
-            self.metrics.record_enqueue(entry.batcher.queue_depth())
-        return entry.batcher.submit(request)
+            # queue depth is a gauge - sampling every 16th request keeps
+            # the submit path off the metrics lock at high request rates
+            if request.request_id % 16 == 0:
+                self.metrics.record_enqueue(entry.batcher.queue_depth())
+            future = entry.batcher.submit(request)
+        except BaseException:
+            self.admission.release(nbytes)
+            raise
+        future.add_done_callback(lambda _f: self.admission.release(nbytes))
+        return future
 
     def predict(
         self,
@@ -389,6 +404,7 @@ class SconnaService:
         snap["models"] = self.models()
         snap["backend"] = self._backend.info()
         snap["costs"] = self.costs.stats()
+        snap["admission"] = self.admission.stats()
         return snap
 
     def close(self, timeout: float | None = 10.0) -> None:

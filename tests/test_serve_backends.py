@@ -284,6 +284,37 @@ class TestProcessBackend:
     def test_backend_validation(self):
         with pytest.raises(ValueError):
             ProcessBackend(n_shards=0)
+        with pytest.raises(ValueError):
+            ProcessBackend(affinity="spread")
+
+    def test_affinity_auto_pins_round_robin(self, setup):
+        """affinity="auto" assigns shard i to core i (mod the allowed
+        set), surfaces the pin in info(), and still serves correctly."""
+        import os
+
+        qm, ds = setup
+        svc = SconnaService(policy=POLICY, backend="process", n_shards=2,
+                            transport="pipe", affinity="auto")
+        try:
+            svc.add_model("tiny", qm)
+            pred = svc.predict("tiny", ds.images[0], seed=1, timeout=120.0)
+            assert pred.logits.shape == (1, N_CLASSES)
+            info = svc.backend.info()
+            assert info["affinity"] == "auto"
+            cpus = [s["cpus"] for s in info["per_shard"]]
+            if hasattr(os, "sched_getaffinity"):
+                cores = sorted(os.sched_getaffinity(0))
+                expected = [[cores[slot % len(cores)]] for slot in range(2)]
+                assert cpus == expected
+            else:  # knob accepted and ignored off-Linux
+                assert cpus == [None, None]
+        finally:
+            svc.close()
+
+    def test_affinity_defaults_off(self, setup, process_service):
+        info = process_service.backend.info()
+        assert info["affinity"] is None
+        assert all(s["cpus"] is None for s in info["per_shard"])
 
 
 class TestShutdownHandlers:

@@ -1,0 +1,377 @@
+"""HTTP wire paths: binary bodies, negotiation, streaming, admission.
+
+The contract under test: whatever encoding a request or response rides,
+the logits are bit-identical to the JSON path - the wire must never
+change a number - and the HTTP layer behaves like a keep-alive HTTP/1.1
+endpoint (one connection, many requests; ``Connection: close`` only on
+errors that abort an unread body).
+"""
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.cnn.datasets import N_CLASSES, generate_dataset
+from repro.cnn.inference import QuantizedModel
+from repro.cnn.micro import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from repro.serve import (
+    AdmissionError,
+    AdmissionPolicy,
+    AdmissionRejected,
+    BatchingPolicy,
+    ClientError,
+    SconnaClient,
+    SconnaService,
+    serve_http,
+)
+from repro.serve.httpd import negotiate_response_type, parse_predict_fields
+from repro.serve.wire import CONTENT_TYPE_FRAME, CONTENT_TYPE_JSON, CONTENT_TYPE_NPY
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = make_rng(0)
+    model = Sequential(
+        Conv2d(3, 6, 3, padding=1, rng=rng), ReLU(), MaxPool2d(4),
+        Flatten(), Linear(6 * 6 * 6, N_CLASSES, rng=rng),
+    )
+    ds = generate_dataset(6, seed=3)
+    qm = QuantizedModel.from_trained(model, ds.images[:24])
+    return qm, ds
+
+
+@pytest.fixture(scope="module")
+def served(setup):
+    qm, _ = setup
+    svc = SconnaService(
+        policy=BatchingPolicy(max_batch_size=8, max_wait_ms=2.0), n_workers=2
+    )
+    svc.add_model("tiny", qm)
+    server, _ = serve_http(svc)
+    yield svc, server
+    server.shutdown()
+    svc.close()
+
+
+class TestBinaryEquivalence:
+    def test_seeded_logits_bit_identical_across_wires(self, setup, served):
+        """The acceptance gate: one seeded request, three encodings,
+        one answer - to the last bit."""
+        _, ds = setup
+        _, server = served
+        with SconnaClient(server.url) as client:
+            kwargs = dict(model="tiny", seed=7, top_k=3)
+            ref = client.predict(ds.images[2], wire_format="json", **kwargs)
+            for wire_name in ("npy", "frame"):
+                got = client.predict(ds.images[2], wire_format=wire_name,
+                                     **kwargs)
+                assert np.array_equal(got.logits, ref.logits), wire_name
+                assert got.top_k == ref.top_k
+
+    def test_frame_response_matches_direct_forward(self, setup, served):
+        from repro.stochastic.error_models import SconnaErrorModel
+
+        qm, ds = setup
+        _, server = served
+        direct = qm.forward(
+            ds.images[1][None], mode="sconna",
+            error_model=SconnaErrorModel(adc_mape=0.0),
+        )
+        with SconnaClient(server.url) as client:
+            got = client.predict(ds.images[1], model="tiny", ideal=True)
+        assert np.array_equal(got.logits, direct)
+
+    def test_cost_annotation_rides_the_frame(self, setup, served):
+        _, ds = setup
+        _, server = served
+        with SconnaClient(server.url) as client:
+            got = client.predict(ds.images[0], model="tiny", cost=True)
+        assert got.cost is not None
+        assert got.cost["accelerator"] == "SCONNA"
+
+    def test_npy_accept_returns_raw_logits(self, setup, served):
+        _, ds = setup
+        _, server = served
+        with SconnaClient(server.url) as client:
+            ref = client.predict(ds.images[3], model="tiny", seed=5,
+                                 wire_format="json")
+        from repro.serve import encode_npy, decode_npy
+
+        conn = http.client.HTTPConnection(server.server_address[0],
+                                          server.server_address[1])
+        try:
+            conn.request(
+                "POST", "/v1/predict?model=tiny&seed=5",
+                body=encode_npy(np.asarray(ds.images[3], dtype=np.float64)),
+                headers={"Content-Type": CONTENT_TYPE_NPY,
+                         "Accept": CONTENT_TYPE_NPY},
+            )
+            resp = conn.getresponse()
+            body = resp.read()
+            assert resp.status == 200
+            assert resp.headers["Content-Type"] == CONTENT_TYPE_NPY
+            assert np.array_equal(decode_npy(body), ref.logits)
+            assert resp.headers["X-Sconna-Model"] == "tiny"
+        finally:
+            conn.close()
+
+
+class TestStreaming:
+    def test_streamed_reassembly_bit_identical_to_json(self, setup, served):
+        """Chunked per-image frames, reassembled, equal the JSON logits
+        for the same stack - split (ideal) and indivisible (seeded)."""
+        _, ds = setup
+        _, server = served
+        stack = ds.images[:4]
+        with SconnaClient(server.url) as client:
+            for kwargs in (dict(ideal=True, top_k=2), dict(seed=11)):
+                ref = client.predict(stack, model="tiny",
+                                     wire_format="json", **kwargs)
+                parts = list(client.predict_stream(stack, model="tiny",
+                                                   **kwargs))
+                assert [p.index for p in parts] == [0, 1, 2, 3]
+                assert all(p.total == 4 for p in parts)
+                reassembled = np.concatenate([p.logits for p in parts], axis=0)
+                assert np.array_equal(reassembled, ref.logits), kwargs
+
+    def test_stream_requires_frame_accept(self, setup, served):
+        _, ds = setup
+        _, server = served
+        conn = http.client.HTTPConnection(*server.server_address[:2])
+        try:
+            conn.request(
+                "POST", "/v1/predict",
+                body=json.dumps({"model": "tiny", "stream": True,
+                                 "image": ds.images[:2].tolist()}).encode(),
+                headers={"Content-Type": CONTENT_TYPE_JSON,
+                         "Accept": CONTENT_TYPE_JSON},
+            )
+            resp = conn.getresponse()
+            resp.read()
+            assert resp.status == 400
+        finally:
+            conn.close()
+
+    def test_stream_unknown_model_is_clean_404(self, setup, served):
+        _, ds = setup
+        _, server = served
+        with SconnaClient(server.url) as client:
+            with pytest.raises(ClientError) as err:
+                list(client.predict_stream(ds.images[:2], model="ghost"))
+        assert err.value.status == 404
+
+
+class TestKeepAliveAndErrors:
+    def test_http11_keep_alive_single_connection(self, setup, served):
+        _, ds = setup
+        _, server = served
+        with SconnaClient(server.url) as client:
+            for wire_name in ("frame", "npy", "json"):
+                client.predict(ds.images[0], model="tiny", ideal=True,
+                               wire_format=wire_name)
+            client.models()
+            client.metrics()
+            assert client.opened == 1  # every call rode one connection
+
+    def test_protocol_version_is_1_1(self, served):
+        _, server = served
+        conn = http.client.HTTPConnection(*server.server_address[:2])
+        try:
+            conn.request("GET", "/healthz")
+            resp = conn.getresponse()
+            resp.read()
+            assert resp.version == 11
+            # keep-alive: a second request on the same socket succeeds
+            conn.request("GET", "/healthz")
+            resp = conn.getresponse()
+            assert json.loads(resp.read()) == {"status": "ok"}
+        finally:
+            conn.close()
+
+    def test_oversized_body_is_413_connection_close(self, served, monkeypatch):
+        import repro.serve.httpd as httpd_module
+
+        _, server = served
+        monkeypatch.setattr(httpd_module, "MAX_BODY_BYTES", 64)
+        conn = http.client.HTTPConnection(*server.server_address[:2])
+        try:
+            conn.request(
+                "POST", "/v1/predict", body=b"x" * 65,
+                headers={"Content-Type": CONTENT_TYPE_JSON},
+            )
+            resp = conn.getresponse()
+            body = resp.read()
+            assert resp.status == 413
+            assert "cap" in json.loads(body)["error"]
+            # the unread body poisons the socket: the server must close
+            assert resp.headers["Connection"] == "close"
+        finally:
+            conn.close()
+
+    def test_missing_length_is_411_connection_close(self, served):
+        _, server = served
+        conn = http.client.HTTPConnection(*server.server_address[:2])
+        try:
+            conn.putrequest("POST", "/v1/predict")
+            conn.putheader("Content-Type", CONTENT_TYPE_JSON)
+            conn.endheaders()  # no Content-Length, no body
+            resp = conn.getresponse()
+            resp.read()
+            assert resp.status == 411
+            assert resp.headers["Connection"] == "close"
+        finally:
+            conn.close()
+
+    def test_unsupported_content_type_is_415(self, served):
+        _, server = served
+        conn = http.client.HTTPConnection(*server.server_address[:2])
+        try:
+            conn.request("POST", "/v1/predict", body=b"a,b,c",
+                         headers={"Content-Type": "text/csv"})
+            resp = conn.getresponse()
+            body = resp.read()
+            assert resp.status == 415
+            assert "x-sconna-frame" in json.loads(body)["error"]
+        finally:
+            conn.close()
+
+    def test_malformed_frame_body_is_400(self, served):
+        _, server = served
+        conn = http.client.HTTPConnection(*server.server_address[:2])
+        try:
+            conn.request("POST", "/v1/predict",
+                         body=b"XXXX" + b"\x00" * 20,
+                         headers={"Content-Type": CONTENT_TYPE_FRAME})
+            resp = conn.getresponse()
+            body = resp.read()
+            assert resp.status == 400
+            assert "magic" in json.loads(body)["error"]
+        finally:
+            conn.close()
+
+    def test_client_falls_back_to_json_on_415(self, setup, served, monkeypatch):
+        """A server predating the binary wire answers 415; the client
+        downgrades to JSON transparently and stays there."""
+        from repro.serve.httpd import _ServeHandler
+
+        _, ds = setup
+        _, server = served
+        original = _ServeHandler._parse_request
+
+        def legacy(self, ctype, body, query):
+            if ctype != CONTENT_TYPE_JSON:
+                raise NotImplementedError(ctype)
+            return original(self, ctype, body, query)
+
+        monkeypatch.setattr(_ServeHandler, "_parse_request", legacy)
+        with SconnaClient(server.url) as client:
+            got = client.predict(ds.images[0], model="tiny", seed=3)
+            assert client._json_fallback
+            again = client.predict(ds.images[0], model="tiny", seed=3)
+        assert np.array_equal(got.logits, again.logits)
+
+
+class TestAdmission:
+    def make_service(self, qm, **admission_kwargs):
+        svc = SconnaService(
+            n_workers=1, admission=AdmissionPolicy(**admission_kwargs)
+        )
+        svc.add_model("tiny", qm)
+        return svc
+
+    def test_shed_is_429_with_retry_after(self, setup):
+        qm, ds = setup
+        svc = self.make_service(qm, max_queued_bytes=64, retry_after_s=0.25)
+        server, _ = serve_http(svc)
+        try:
+            with SconnaClient(server.url) as client:
+                with pytest.raises(AdmissionRejected) as err:
+                    client.predict(ds.images[0], model="tiny")
+                assert err.value.status == 429
+                assert err.value.retry_after_s == pytest.approx(0.25)
+                snap = client.metrics()
+            assert snap["shed"] == 1
+            assert snap["admission"]["shed"] == 1
+            assert snap["admission"]["in_flight"] == 0
+            assert snap["admission"]["policy"]["max_queued_bytes"] == 64
+        finally:
+            server.shutdown()
+            svc.close()
+
+    def test_max_inflight_sheds_then_recovers(self, setup):
+        """Hold one request open in the scheduler; the second is shed;
+        after the first completes the service admits again."""
+        qm, ds = setup
+        svc = SconnaService(
+            n_workers=1,
+            policy=BatchingPolicy(max_batch_size=8, max_wait_ms=500.0,
+                                  min_fill=8),
+            admission=AdmissionPolicy(max_inflight=1),
+        )
+        svc.add_model("tiny", qm)
+        try:
+            held = svc.predict_async("tiny", ds.images[0], ideal=True)
+            with pytest.raises(AdmissionError):
+                svc.predict("tiny", ds.images[1], ideal=True)
+            held.result(timeout=30.0)  # the open batch flushes on its own
+            ok = svc.predict("tiny", ds.images[1], ideal=True, timeout=30.0)
+            assert ok.logits.shape == (1, N_CLASSES)
+            assert svc.admission.stats()["shed"] == 1
+            assert svc.admission.stats()["in_flight"] == 0
+        finally:
+            svc.close()
+
+    def test_release_even_when_request_fails(self, setup):
+        qm, _ = setup
+        svc = self.make_service(qm, max_inflight=2)
+        try:
+            bad = np.zeros((1, 3, 10, 10))  # wrong geometry for the FC
+            for _ in range(4):  # more failures than max_inflight
+                with pytest.raises(Exception):
+                    svc.predict("tiny", bad, timeout=10.0)
+            assert svc.admission.stats()["in_flight"] == 0
+        finally:
+            svc.close()
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_queued_bytes=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(retry_after_s=-1.0)
+
+
+class TestNegotiationHelpers:
+    def test_accept_priorities(self):
+        assert negotiate_response_type(
+            CONTENT_TYPE_FRAME, CONTENT_TYPE_JSON) == CONTENT_TYPE_FRAME
+        assert negotiate_response_type(
+            f"{CONTENT_TYPE_JSON}, {CONTENT_TYPE_FRAME}",
+            CONTENT_TYPE_JSON) == CONTENT_TYPE_FRAME
+        assert negotiate_response_type(
+            CONTENT_TYPE_NPY, CONTENT_TYPE_JSON) == CONTENT_TYPE_NPY
+        assert negotiate_response_type(
+            "text/html", CONTENT_TYPE_FRAME) == CONTENT_TYPE_JSON
+
+    def test_wildcard_mirrors_request_type(self):
+        assert negotiate_response_type(None, CONTENT_TYPE_FRAME) \
+            == CONTENT_TYPE_FRAME
+        assert negotiate_response_type("*/*", CONTENT_TYPE_NPY) \
+            == CONTENT_TYPE_NPY
+        assert negotiate_response_type("*/*", CONTENT_TYPE_JSON) \
+            == CONTENT_TYPE_JSON
+
+    def test_parse_predict_fields(self):
+        fields = parse_predict_fields(
+            {"model": "m", "seed": "5", "top_k": "3", "ideal": "true",
+             "cost": 1, "stream": "0"}
+        )
+        assert fields == {"model": "m", "seed": 5, "top_k": 3,
+                          "ideal": True, "cost": True, "stream": False}
+        assert parse_predict_fields({})["model"] is None
+        with pytest.raises(ValueError):
+            parse_predict_fields({"ideal": "maybe"})
