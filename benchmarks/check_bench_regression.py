@@ -1,10 +1,11 @@
-"""CI bench-regression guard for the serving path.
+"""CI bench-regression guard for the serving path and the kernels.
 
-Compares a fresh smoke run of ``run_bench_serve.py`` or
-``run_bench_http.py`` (written with ``--json-out``) against the
-committed ``BENCH_serve.json`` baseline and fails when a guarded
-sustained request rate regresses by more than ``--max-regression``
-(default 30%).  Two sections are guarded, each only when both files
+Compares a fresh smoke run of ``run_bench_serve.py``,
+``run_bench_http.py`` or ``run_bench_kernels.py`` (written with
+``--json-out``) against the committed baseline
+(``BENCH_serve.json`` / ``BENCH_kernels.json``) and fails when a
+guarded figure regresses by more than ``--max-regression``
+(default 30%).  Three sections are guarded, each only when both files
 carry it:
 
 * **batch-1 thread records** - the pure request-path cost: one
@@ -12,7 +13,13 @@ carry it:
   when the serving or engine code actually got slower;
 * **``http`` records** (one per wire encoding: json / npy / frame) -
   the HTTP ingest cost: a parser or codec regression shows up here
-  before anywhere else.
+  before anywhere else;
+* **kernel ``results``** (``BENCH_kernels.json`` layout) - a per-op
+  wall-time floor: each op shared by both files must not be slower than
+  the baseline by more than the tolerance.  This covers the raw engine
+  kernels *and* the whole-network fused-plan end-to-end records, so a
+  lost fusion or autotune misfire fails CI even when the serving path
+  hides it behind batching.
 
 Throughput is hardware-relative, so each comparison only fires when the
 baseline was recorded on the same ``cores`` count as the current run;
@@ -25,6 +32,8 @@ Usage (what ``ci.yml`` runs)::
     python benchmarks/check_bench_regression.py smoke.json BENCH_serve.json
     python benchmarks/run_bench_http.py --smoke --json-out http_smoke.json
     python benchmarks/check_bench_regression.py http_smoke.json BENCH_serve.json
+    python benchmarks/run_bench_kernels.py --smoke --json-out k_smoke.json
+    python benchmarks/check_bench_regression.py k_smoke.json BENCH_kernels.json
 """
 
 from __future__ import annotations
@@ -36,11 +45,16 @@ from pathlib import Path
 
 
 def batch1_records(payload: dict) -> "dict[tuple, dict]":
-    """Index batch-1 thread records by (mode,) for comparison."""
+    """Index batch-1 thread records by (mode, input dtype).
+
+    The dtype lands in the key's display slot so the verdict line reads
+    ``batch1 mode=('int8', 'uint8')`` - the uint8-input record guards
+    the integer-native request path separately from the float one.
+    """
     out = {}
     for rec in payload.get("records", []):
         if rec.get("scenario") == "batch1" and rec.get("backend") == "thread":
-            out[(rec["mode"],)] = rec
+            out[(rec["mode"], rec.get("input_dtype", "float64"))] = rec
     return out
 
 
@@ -48,6 +62,15 @@ def http_records(payload: dict) -> "dict[tuple, dict]":
     """Index HTTP ingest records by (wire,) for comparison."""
     http = payload.get("http") or {}
     return {(rec["wire"],): rec for rec in http.get("records", [])}
+
+
+def kernel_records(payload: dict) -> "dict[tuple, dict]":
+    """Index kernel-bench records (``BENCH_kernels.json``) by (op,)."""
+    return {
+        (rec["op"],): rec
+        for rec in payload.get("results", [])
+        if "wall_time_s" in rec
+    }
 
 
 def http_cores(payload: dict):
@@ -64,6 +87,11 @@ def main() -> int:
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="tolerated fractional drop in batch-1 "
                              "requests/s (default: 0.30)")
+    parser.add_argument("--min-kernel-wall-ms", type=float, default=0.5,
+                        help="kernel ops whose baseline best wall time is "
+                             "below this are reported but not guarded - "
+                             "microsecond ops measure the timer, not the "
+                             "kernel (default: 0.5)")
     args = parser.parse_args()
 
     current = json.loads(Path(args.current).read_text())
@@ -91,29 +119,64 @@ def main() -> int:
             if cur_rec is None:
                 continue  # smoke runs measure a subset
             compared += 1
+            tag = "/".join(str(k) for k in key)
             floor = base_rec["requests_per_s"] * (1.0 - args.max_regression)
             verdict = "ok" if cur_rec["requests_per_s"] >= floor \
                 else "REGRESSED"
-            print(f"bench-regression: {label}={key[0]} "
+            print(f"bench-regression: {label}={tag} "
                   f"{cur_rec['requests_per_s']:.1f} req/s vs baseline "
                   f"{base_rec['requests_per_s']:.1f} "
                   f"(floor {floor:.1f}) -> {verdict}")
             if verdict != "ok":
-                failures.append(f"{label}={key[0]}")
+                failures.append(f"{label}={tag}")
+
+    def guard_kernels(cur_map, base_map, cur_cores, base_cores) -> None:
+        # wall-time floor: lower is better, so the failure direction is
+        # inverted relative to the req/s guards above
+        nonlocal compared
+        if not cur_map or not base_map:
+            return
+        if cur_cores != base_cores:
+            print(f"bench-regression: kernel core counts differ "
+                  f"({cur_cores} vs {base_cores}) - not comparable, "
+                  "skipping this section")
+            return
+        floor_s = args.min_kernel_wall_ms / 1e3
+        for key, base_rec in base_map.items():
+            cur_rec = cur_map.get(key)
+            if cur_rec is None:
+                continue
+            if base_rec["wall_time_s"] < floor_s:
+                print(f"bench-regression: kernel={key[0]} baseline "
+                      f"{base_rec['wall_time_s'] * 1e3:.3f} ms < "
+                      f"{args.min_kernel_wall_ms} ms - too fast to guard, "
+                      "skipping")
+                continue
+            compared += 1
+            ceiling = base_rec["wall_time_s"] * (1.0 + args.max_regression)
+            verdict = "ok" if cur_rec["wall_time_s"] <= ceiling \
+                else "REGRESSED"
+            print(f"bench-regression: kernel={key[0]} "
+                  f"{cur_rec['wall_time_s'] * 1e3:.2f} ms vs baseline "
+                  f"{base_rec['wall_time_s'] * 1e3:.2f} "
+                  f"(ceiling {ceiling * 1e3:.2f}) -> {verdict}")
+            if verdict != "ok":
+                failures.append(f"kernel={key[0]}")
 
     guard("batch1 mode", batch1_records(current), batch1_records(baseline),
           current.get("cores"), baseline.get("cores"))
     guard("http wire", http_records(current), http_records(baseline),
           http_cores(current), http_cores(baseline))
+    guard_kernels(kernel_records(current), kernel_records(baseline),
+                  current.get("cores"), baseline.get("cores"))
 
     if not compared:
         print("bench-regression: no comparable records between the two "
               "files - nothing guarded")
         return 0
     if failures:
-        print(f"bench-regression: FAILED for {failures} - sustained req/s "
-              f"dropped more than {args.max_regression:.0%} vs the "
-              "committed baseline")
+        print(f"bench-regression: FAILED for {failures} - regressed more "
+              f"than {args.max_regression:.0%} vs the committed baseline")
         return 1
     return 0
 

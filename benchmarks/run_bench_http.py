@@ -93,8 +93,13 @@ def request_bytes(images, wire_name: str) -> int:
     return len(body)
 
 
-def run_scenario(url, images, wire_name, n_requests, n_clients):
-    """Drive ``n_requests`` keep-alive requests; returns the record."""
+def run_scenario(url, images, wire_name, n_requests, n_clients, label=None):
+    """Drive ``n_requests`` keep-alive requests; returns the record.
+
+    ``label`` overrides the record's ``wire`` tag (the uint8-input
+    scenario rides the frame encoding but is guarded as its own
+    record).
+    """
     from repro.serve.client import SconnaClient
 
     latencies: "list[float]" = []
@@ -131,10 +136,11 @@ def run_scenario(url, images, wire_name, n_requests, n_clients):
     nbytes = request_bytes(images, wire_name)
     n_images = len(latencies) * images.shape[0]
     return {
-        "wire": wire_name,
+        "wire": label or wire_name,
         "requests": len(latencies),
         "clients": n_clients,
         "batch_shape": list(images.shape),
+        "input_dtype": str(images.dtype),
         "request_bytes": nbytes,
         "wall_time_s": round(wall, 4),
         "requests_per_s": round(len(latencies) / wall, 1),
@@ -181,9 +187,20 @@ def check_equivalence(url, images) -> None:
             print("EQUIVALENCE FAILED: split-streamed ideal frames differ "
                   "from the JSON logits")
             sys.exit(1)
+        # integer-native gate: the same uint8 pixels must produce
+        # bit-identical logits whether they arrive as a binary frame
+        # (narrow dtype end to end, fused LUT entry) or as JSON integer
+        # lists (decoded wide, quantized through the float64 workspace)
+        u8 = (images * 200).astype(np.uint8)
+        frame_u8 = client.predict(u8, model="wirebench", wire_format="frame")
+        json_u8 = client.predict(u8, model="wirebench", wire_format="json")
+        if not np.array_equal(frame_u8.logits, json_u8.logits):
+            print("EQUIVALENCE FAILED: uint8 frame logits differ from "
+                  "the JSON-list path for the same pixels")
+            sys.exit(1)
     print(f"equivalence: seeded logits bit-identical across "
-          f"{', '.join(WIRES)} and both streaming paths "
-          f"({images.shape[0]}-image stack)")
+          f"{', '.join(WIRES)}, both streaming paths, and the uint8 "
+          f"frame entry ({images.shape[0]}-image stack)")
 
 
 def main() -> None:
@@ -225,15 +242,22 @@ def main() -> None:
         print(f"HTTP ingest: {args.requests} x {BATCH_SHAPE} float64 "
               f"batches per wire, {args.clients} client(s), {cores} core(s)")
         records = []
-        for wire_name in WIRES:
+        # the uint8 scenario: pixels quantized at the client ride the
+        # frame wire at one byte each and enter the fused plan through
+        # its LUT - the full integer-native socket-to-logits path
+        scenarios = [(w, images, None) for w in WIRES]
+        scenarios.append(
+            ("frame", (images * 200).astype(np.uint8), "frame-u8")
+        )
+        for wire_name, imgs, label in scenarios:
             # one warm-up pass per wire keeps first-connection and
             # first-parse costs out of the measured window
-            run_scenario(server.url, images, wire_name, 8, args.clients)
+            run_scenario(server.url, imgs, wire_name, 8, args.clients)
             best = None
             for _ in range(max(1, args.repeats)):
                 rec = run_scenario(
-                    server.url, images, wire_name,
-                    args.requests, args.clients,
+                    server.url, imgs, wire_name,
+                    args.requests, args.clients, label=label,
                 )
                 if best is None or rec["requests_per_s"] > best["requests_per_s"]:
                     best = rec
@@ -250,7 +274,9 @@ def main() -> None:
         server.shutdown()
         service.close()
 
-    frame_gain = records[-1]["speedup_vs_json"]
+    frame_gain = next(
+        r for r in records if r["wire"] == "frame"
+    )["speedup_vs_json"]
     http_section = {
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "platform": platform.platform(),

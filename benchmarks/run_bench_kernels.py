@@ -13,7 +13,9 @@ the tests catch functional ones.
 
 from __future__ import annotations
 
+import argparse
 import json
+import os
 import platform
 import time
 from datetime import datetime, timezone
@@ -36,7 +38,15 @@ def best_time(fn, repeats: int = 5, warmup: int = 1) -> float:
     return min(times)
 
 
-def main() -> None:
+def cpu_cores() -> int:
+    """Cores actually usable (CI pins the bench with taskset)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def main(smoke: bool = False, json_out: "Path | None" = None) -> None:
     from repro.arch.events import EventKernel
     from repro.cnn.engine import (
         SconnaEngine,
@@ -146,17 +156,65 @@ def main() -> None:
     t = best_time(lambda: vdpe.compute_vdp(i_vec, w_vec, apply_adc_error=False))
     record("vdpe_compute_vdp_4608", t, 4608, "MAC/s")
 
+    # -- whole-network end to end: fused plan vs per-layer reference -----
+    # The acceptance-criteria record: one proxy CNN, batch 8, int8 and
+    # sconna (ideal ADC, so both paths are deterministic and the delta
+    # is pure execution cost).  The fused NetworkPlan must be
+    # bit-identical to the per-layer path - asserted here before timing
+    # - and >=2x on the sconna record.
+    from repro.cnn.datasets import IMAGE_SHAPE
+    from repro.cnn.inference import QuantizedModel
+    from repro.cnn.train import build_proxy
+    from repro.stochastic.error_models import SconnaErrorModel
+
+    calib = rng.random((32, *IMAGE_SHAPE))
+    qm = QuantizedModel.from_trained(build_proxy("mnet_proxy"), calib)
+    x = rng.random((8, *IMAGE_SHAPE))
+    e2e_reps = 10 if smoke else 60
+    for mode in ("int8", "sconna"):
+        def em():
+            return SconnaErrorModel(adc_mape=0.0) if mode == "sconna" else None
+
+        assert np.array_equal(
+            qm.forward(x, mode=mode, error_model=em(), fused=False),
+            qm.forward(x, mode=mode, error_model=em(), fused=True),
+        ), "fused plan diverged from per-layer reference"
+        t_ref = best_time(
+            lambda: qm.forward(x, mode=mode, error_model=em(), fused=False),
+            repeats=e2e_reps, warmup=3,
+        )
+        t_fus = best_time(
+            lambda: qm.forward(x, mode=mode, error_model=em(), fused=True),
+            repeats=e2e_reps, warmup=3,
+        )
+        record(f"mnet_proxy_e2e_batch8_{mode}_per_layer", t_ref,
+               x.shape[0], "img/s")
+        record(
+            f"mnet_proxy_e2e_batch8_{mode}_fused", t_fus, x.shape[0], "img/s",
+            reference_s=t_ref,
+            note="whole-network fused plan"
+                 + (", ideal ADC" if mode == "sconna" else ""),
+        )
+
     payload = {
         "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "machine": platform.machine(),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cores": cpu_cores(),
         "native_kernel": native.native_available(),
         "results": results,
     }
-    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nwrote {OUTPUT}")
+    out_path = json_out or OUTPUT
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fewer repeats (CI regression guard)")
+    parser.add_argument("--json-out", type=Path, default=None,
+                        help="write results here instead of BENCH_kernels.json")
+    args = parser.parse_args()
+    main(smoke=args.smoke, json_out=args.json_out)

@@ -78,14 +78,19 @@ def make_service(registry, ds, model_name, *, mode, policy, n_workers,
 
 def run_scenario(
     registry, ds, model_name, *, mode, policy, n_workers, n_requests,
-    repeats=1, backend="thread", n_shards=2, transport="shm",
+    repeats=1, backend="thread", n_shards=2, transport="shm", images=None,
 ):
     """Open-loop drive: async-submit everything, wait for every future.
 
     Repeated ``repeats`` times on a fresh service; the fastest run is
     reported (the same best-of-N discipline as the kernel benchmark -
     slower runs measure scheduler noise, not the serving path).
+
+    ``images`` overrides the request payloads (default ``ds.images``) -
+    the uint8 scenario passes quantized-at-the-client images here to
+    measure the integer-native request path.
     """
+    imgs = ds.images if images is None else images
     best = None
     for _ in range(max(1, repeats)):
         service = make_service(
@@ -96,14 +101,14 @@ def run_scenario(
         try:
             for i in range(8):  # warm the request path itself
                 service.predict(
-                    model_name, ds.images[i % len(ds.images)], seed=i,
+                    model_name, imgs[i % len(imgs)], seed=i,
                     timeout=300.0,
                 )
             service.reset_metrics()  # keep warm-up out of the percentiles
             t0 = time.perf_counter()
             futures = [
                 service.predict_async(
-                    model_name, ds.images[i % len(ds.images)], seed=i
+                    model_name, imgs[i % len(imgs)], seed=i
                 )
                 for i in range(n_requests)
             ]
@@ -118,6 +123,7 @@ def run_scenario(
     wall, snap = best
     return {
         "mode": mode,
+        "input_dtype": str(imgs.dtype),
         "backend": backend,
         "shards": n_shards if backend == "process" else None,
         "transport": transport if backend == "process" else None,
@@ -274,6 +280,49 @@ def main() -> None:
                     print(_fmt(rec))
                 print(f"  {mode:6s} dynamic-batching speedup : "
                       f"{speedup:.2f}x sustained requests/s")
+                if mode == "int8":
+                    # the integer-native request path: uint8 images
+                    # quantized at the client ride the wire, the ring,
+                    # and the fused plan's LUT entry without ever
+                    # materializing float64 - compare against the
+                    # float64-input records above
+                    import numpy as np
+
+                    u8 = (ds.images * 200).astype(np.uint8)
+                    b1_u8 = run_scenario(
+                        registry, ds, args.model, mode=mode,
+                        policy=BatchingPolicy(
+                            max_batch_size=1, max_wait_ms=0.0,
+                        ),
+                        n_workers=1, n_requests=args.requests,
+                        repeats=repeats, images=u8,
+                    )
+                    b1_u8["scenario"] = "batch1"
+                    dyn_u8 = run_scenario(
+                        registry, ds, args.model, mode=mode,
+                        policy=BatchingPolicy(
+                            max_batch_size=args.max_batch_size,
+                            max_wait_ms=args.max_wait_ms,
+                        ),
+                        n_workers=args.workers, n_requests=args.requests,
+                        repeats=repeats, images=u8,
+                    )
+                    dyn_u8["scenario"] = "dynamic"
+                    dyn_u8["speedup_vs_batch1"] = round(
+                        dyn_u8["requests_per_s"] / b1_u8["requests_per_s"], 2
+                    )
+                    b1_u8["speedup_vs_float_input"] = round(
+                        b1_u8["requests_per_s"] / batch1["requests_per_s"], 2
+                    )
+                    dyn_u8["speedup_vs_float_input"] = round(
+                        dyn_u8["requests_per_s"] / dynamic["requests_per_s"], 2
+                    )
+                    records += [b1_u8, dyn_u8]
+                    for rec in (b1_u8, dyn_u8):
+                        print(_fmt(rec))
+                    print(f"  int8   uint8-input gain       : "
+                          f"{b1_u8['speedup_vs_float_input']:.2f}x batch-1, "
+                          f"{dyn_u8['speedup_vs_float_input']:.2f}x dynamic")
             # the process sweep targets the sconna datapath - its
             # per-image count-domain compute is the multi-core story
             if args.backend in ("process", "both") and mode == "sconna" \
@@ -341,6 +390,8 @@ def main() -> None:
 def _fmt(rec: dict) -> str:
     tag = rec["backend"] if rec["shards"] is None \
         else f"{rec['backend']}x{rec['shards']}/{rec['transport']}"
+    if rec.get("input_dtype", "float64") != "float64":
+        tag = f"{tag}/{rec['input_dtype']}"
     return (f"  {rec['mode']:6s} {rec['scenario']:8s} {tag:14s}: "
             f"{rec['requests_per_s']:8.1f} req/s   "
             f"p50 {rec['latency_p50_ms']:7.1f} ms   "

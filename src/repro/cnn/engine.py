@@ -95,6 +95,11 @@ class SconnaLayerPlan:
     w_float: np.ndarray              #: (L, Q) float64 signed weights
     w_lo: np.ndarray                 #: (2L, Q) low bits of the magnitudes
     group_slices: "list[slice]" = field(default_factory=list)
+    #: (L, Q) uint8 low bits of |w| for the sign-split remainder kernel
+    #: (B <= 8 layouts only; None otherwise)
+    w_mag_lo: "np.ndarray | None" = None
+    #: (L, Q) uint8 steering mask, 0xFF where w > 0 (None when B > 8)
+    w_pos_mask: "np.ndarray | None" = None
 
     @property
     def shift(self) -> int:
@@ -148,6 +153,12 @@ def compile_layer_plan(
     # subsequent & mask yields the exact mod-2**B low bits.
     w_lo = np.ascontiguousarray(w_stacked.astype(np.int64).astype(lo_dtype))
     w_lo &= lo_dtype(mask)
+    w_mag_lo = w_pos_mask = None
+    if lo_dtype == np.uint8:
+        w_mag_lo = np.ascontiguousarray(w_mag.astype(np.uint8) & np.uint8(mask))
+        w_pos_mask = np.ascontiguousarray(
+            np.where(w_flat > 0, 0xFF, 0).astype(np.uint8)
+        )
     slices = [slice(s, min(s + group, q)) for s in range(0, q, group)]
     return SconnaLayerPlan(
         precision_bits=precision_bits,
@@ -158,6 +169,8 @@ def compile_layer_plan(
         w_float=np.ascontiguousarray(w_flat.astype(np.float64)),
         w_lo=w_lo,
         group_slices=slices,
+        w_mag_lo=w_mag_lo,
+        w_pos_mask=w_pos_mask,
     )
 
 
@@ -213,6 +226,7 @@ class SconnaEngine:
     def __init__(self, use_native: bool = True) -> None:
         self.use_native = use_native
         self._local = threading.local()
+        self._native_ready: "bool | None" = None
 
     # An engine is stateless apart from per-thread scratch buffers, so it
     # pickles as configuration only: a copy that crosses a process
@@ -225,6 +239,7 @@ class SconnaEngine:
     def __setstate__(self, state: dict) -> None:
         self.use_native = state["use_native"]
         self._local = threading.local()
+        self._native_ready = None
 
     @property
     def pool(self) -> _BufferPool:
@@ -241,12 +256,21 @@ class SconnaEngine:
         plan: SconnaLayerPlan,
         cols: np.ndarray,
         error_model: SconnaErrorModel | None = None,
+        *,
+        out: "np.ndarray | None" = None,
+        matmul_kind: str = "blas",
+        remainder_kind: str = "auto",
     ) -> np.ndarray:
         """Count-domain SC matmul with per-psum-group ADC error.
 
         ``cols``: ``(B, Q, P)`` unsigned integer activations.  Returns
         float64 ``(B, L, P)`` signed counts, bit-exact with
         :func:`sconna_matmul_reference`.
+
+        ``out`` (optional) is a preallocated float64 ``(B, L, P)`` result
+        buffer; ``matmul_kind``/``remainder_kind`` select autotuned
+        kernel variants (see :meth:`_remainder`) - every variant computes
+        exact integer sums, so the choice can never change the result.
         """
         b, q, p = cols.shape
         if q != plan.n_in:
@@ -255,32 +279,28 @@ class SconnaEngine:
         shift, mask = plan.shift, plan.mask
         apply_error = error_model is not None and not error_model.ideal()
 
-        # one-time per-call activation views: exact float64 for the BLAS
-        # term, low bits (transposed to (B, P, Q) for contiguous
-        # contraction rows) for the remainder term.
-        af = self.pool.get("af", (b, q, p), np.float64)
-        np.copyto(af, cols)
-        lo_dtype = plan.lo_dtype
-        a_lo = self.pool.get("a_lo", (b, p, q), lo_dtype)
-        np.copyto(a_lo, cols.transpose(0, 2, 1), casting="unsafe")
-        if mask != np.iinfo(lo_dtype).max:
-            a_lo &= lo_dtype.type(mask)
-
+        remainder_kind = self._resolve_remainder_kind(plan, remainder_kind)
+        af, a_lo = self._load_activations(plan, cols, remainder_kind)
         rem = self.pool.get("rem", (b, 2 * l, p), np.int32)
         s_buf = self.pool.get("s", (b, 2 * l, p), np.float64)
-        out = np.zeros((b, l, p), dtype=np.float64)
+        if out is None:
+            out = np.zeros((b, l, p), dtype=np.float64)
+        else:
+            out.fill(0.0)
         inv_scale = 1.0 / (1 << shift)
         for sl in plan.group_slices:
             # BLAS term: exact integer sums in float64.
-            s = np.matmul(plan.w_stacked[None, :, sl], af[:, sl, :], out=s_buf)
-            # remainder term: fused native kernel or chunked broadcast.
-            done = False
-            if self.use_native and plan.native_eligible:
-                done = native.remainder_group_sums(
-                    a_lo, plan.w_lo, sl.start, sl.stop, mask, rem
+            if matmul_kind == "einsum":
+                s = np.einsum(
+                    "lq,bqp->blp", plan.w_stacked[:, sl], af[:, sl, :],
+                    out=s_buf,
                 )
-            if not done:
-                _remainder_fallback(a_lo, plan.w_lo, sl, mask, rem)
+            else:
+                s = np.matmul(
+                    plan.w_stacked[None, :, sl], af[:, sl, :], out=s_buf
+                )
+            # remainder term: fused native kernel or chunked broadcast.
+            self._remainder(plan, a_lo, sl, rem, remainder_kind)
             np.subtract(s, rem, out=s)
             s *= inv_scale  # exact: s - rem is a multiple of 2**B
             if apply_error:
@@ -288,6 +308,157 @@ class SconnaEngine:
             out += s[:, :l, :]
             out -= s[:, l:, :]
         return out
+
+    def matmul_ideal(
+        self,
+        plan: SconnaLayerPlan,
+        cols: np.ndarray,
+        *,
+        out: "np.ndarray | None" = None,
+        matmul_kind: str = "blas",
+        remainder_kind: str = "auto",
+    ) -> np.ndarray:
+        """Ideal-datapath SC matmul: half the BLAS and remainder work.
+
+        With no error model the sign-split stacks collapse: the counts
+        are ``(S_pos - R_pos - S_neg + R_neg) / 2**B`` where
+        ``S_pos - S_neg`` is a single *signed* L-row matmul (instead of
+        the stacked 2L rows, half of which multiply structural zeros)
+        and ``R_pos - R_neg`` comes from the one-pass sign-split
+        remainder kernel.  Every term is an exact integer below 2**53 and
+        the result is a multiple of ``2**-B``, so this is bit-identical
+        to ``matmul(plan, cols, error_model=None)`` - locked by
+        ``tests/test_cnn_engine.py``.  An active error model needs the
+        full stacked counts for its noise draw, so noisy callers must use
+        :meth:`matmul`.
+        """
+        b, q, p = cols.shape
+        if q != plan.n_in:
+            raise ValueError(f"cols Q={q} does not match plan Q={plan.n_in}")
+        l = plan.n_out
+
+        remainder_kind = self._resolve_remainder_kind(plan, remainder_kind)
+        af, a_lo = self._load_activations(plan, cols, remainder_kind)
+        rem = self.pool.get("rem", (b, 2 * l, p), np.int32)
+        s_buf = self.pool.get("s_signed", (b, l, p), np.float64)
+        if out is None:
+            out = np.empty((b, l, p), dtype=np.float64)
+        single = len(plan.group_slices) == 1
+        if not single:
+            out.fill(0.0)
+        inv_scale = 1.0 / (1 << plan.shift)
+        for sl in plan.group_slices:
+            if matmul_kind == "einsum":
+                s = np.einsum(
+                    "lq,bqp->blp", plan.w_float[:, sl], af[:, sl, :], out=s_buf
+                )
+            else:
+                s = np.matmul(
+                    plan.w_float[None, :, sl], af[:, sl, :], out=s_buf
+                )
+            self._remainder(plan, a_lo, sl, rem, remainder_kind)
+            np.subtract(s, rem[:, :l, :], out=s)
+            s += rem[:, l:, :]
+            if single:
+                np.multiply(s, inv_scale, out=out)
+            else:
+                s *= inv_scale
+                out += s
+        return out
+
+    def _resolve_remainder_kind(self, plan: SconnaLayerPlan, kind: str) -> str:
+        """Downgrade a variant request the current plan/build can't run.
+
+        ``cols`` and ``split`` need the sign-split plan arrays plus the
+        native library; a pre-tuned choice persisted on one machine must
+        degrade gracefully (to ``auto``: stacked native else numpy) when
+        loaded on another.
+        """
+        if kind not in ("cols", "split"):
+            return kind
+        ready = self._native_ready
+        if ready is None:
+            # memoized: the library load outcome is stable for the
+            # process lifetime, and the per-call env check was hot.  A
+            # later REPRO_NATIVE=0 still takes effect for correctness -
+            # the kernel wrappers re-check and fall back to NumPy.
+            ready = self._native_ready = native.native_available()
+        if not (
+            self.use_native
+            and plan.native_eligible
+            and plan.w_pos_mask is not None
+            and ready
+        ):
+            return "auto"
+        return kind
+
+    def _load_activations(
+        self, plan: SconnaLayerPlan, cols: np.ndarray, kind: str = "auto"
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-call activation views from the pool: exact float64 for the
+        BLAS term, low bits for the remainder term.  Row-contraction
+        variants want the low bits transposed to ``(B, P, Q)``; the
+        ``cols`` variant consumes the native ``(B, Q, P)`` layout and so
+        skips the transposed copy."""
+        b, q, p = cols.shape
+        if cols.dtype == np.float64 and cols.flags.c_contiguous:
+            # the fused graph path gathers columns straight into a
+            # float64 arena buffer: it already *is* the exact BLAS
+            # operand (integer-valued, <= 2**B < 2**53), so skip the copy
+            af = cols
+        else:
+            af = self.pool.get("af", (b, q, p), np.float64)
+            np.copyto(af, cols)
+        lo_dtype = plan.lo_dtype
+        if kind == "cols":
+            a_lo = self.pool.get("a_lo_cols", (b, q, p), lo_dtype)
+            np.copyto(a_lo, cols, casting="unsafe")
+        else:
+            a_lo = self.pool.get("a_lo", (b, p, q), lo_dtype)
+            np.copyto(a_lo, cols.transpose(0, 2, 1), casting="unsafe")
+        if plan.mask != (1 << (8 * lo_dtype.itemsize)) - 1:
+            a_lo &= lo_dtype.type(plan.mask)
+        return af, a_lo
+
+    def _remainder(
+        self,
+        plan: SconnaLayerPlan,
+        a_lo: np.ndarray,
+        sl: slice,
+        rem: np.ndarray,
+        kind: str,
+    ) -> None:
+        """Fill ``rem`` for the group ``sl`` with the requested kernel
+        variant: ``cols`` (column-layout C kernel, vectorised over
+        pixels), ``split`` (one-pass sign-split C kernel), ``native``
+        (stacked C kernel), ``numpy`` (chunked broadcast).  ``auto``
+        preserves the per-layer reference behaviour (stacked native else
+        numpy).  All variants produce identical int32 sums; kind must
+        already be resolved via :meth:`_resolve_remainder_kind` so the
+        activation layout matches.
+        """
+        mask = plan.mask
+        if self.use_native and plan.native_eligible and kind != "numpy":
+            if kind == "cols":
+                if native.remainder_group_sums_cols(
+                    a_lo, plan.w_mag_lo, plan.w_pos_mask,
+                    sl.start, sl.stop, mask, rem,
+                ):
+                    return
+            elif kind == "split":
+                if native.remainder_group_sums_split(
+                    a_lo, plan.w_mag_lo, plan.w_pos_mask,
+                    sl.start, sl.stop, mask, rem,
+                ):
+                    return
+            if kind != "cols" and native.remainder_group_sums(
+                a_lo, plan.w_lo, sl.start, sl.stop, mask, rem
+            ):
+                return
+        # the NumPy fallback wants the (B, P, Q) row layout; give it a
+        # transposed view when the activations were loaded cols-style
+        a_rows = a_lo.transpose(0, 2, 1) if kind == "cols" else a_lo
+        _remainder_fallback(a_rows, plan.w_lo, sl, mask, rem)
 
 
 def _remainder_fallback(
@@ -315,7 +486,11 @@ def _remainder_fallback(
         r = a_lo[:, None, psl, sl] * wl
         if masked:
             r &= lo_dtype.type(mask)
-        out[:, :, psl] = r.sum(axis=-1, dtype=np.uint32)
+        # accumulate in int32 to match the buffer dtype: the sums are
+        # bounded by group * mask < 2**31 (vector_path_supported), so
+        # int32 cannot overflow and the assignment never wraps through
+        # an unsigned intermediate.
+        out[:, :, psl] = r.sum(axis=-1, dtype=np.int32)
 
 
 def sconna_matmul_reference(

@@ -74,6 +74,11 @@ class QuantizedModel:
         self.config = config or SconnaConfig(precision_bits=precision_bits)
         self._engine = SconnaEngine()
         self._plan_lock = threading.Lock()
+        #: persisted per-stage kernel-variant choices (see
+        #: :mod:`repro.cnn.graph_plan`); saved in the NPZ meta and the
+        #: registry manifest so a served model loads pre-tuned
+        self.autotune: "dict[str, dict]" = {}
+        self._network_plan: "object | None" = None
         for item in structure:
             if isinstance(item, QuantLayer):
                 self._plan_for(item)
@@ -87,11 +92,33 @@ class QuantizedModel:
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         del state["_plan_lock"]
+        # the network plan holds locks and cached shape programs; it is
+        # rebuilt (and re-reads the persisted autotune choices) on first
+        # fused forward in the new process
+        state["_network_plan"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._plan_lock = threading.Lock()
+        # models pickled by older revisions predate these fields
+        self.__dict__.setdefault("autotune", {})
+        self.__dict__.setdefault("_network_plan", None)
+
+    @property
+    def network_plan(self) -> "object":
+        """The graph-level compiled plan (built lazily; see
+        :class:`repro.cnn.graph_plan.NetworkPlan`)."""
+        plan = self._network_plan
+        if plan is None:
+            with self._plan_lock:
+                plan = self._network_plan
+                if plan is None:
+                    from repro.cnn.graph_plan import NetworkPlan
+
+                    plan = NetworkPlan(self)
+                    self._network_plan = plan
+        return plan
 
     # -- construction ------------------------------------------------------
     @classmethod
@@ -160,12 +187,35 @@ class QuantizedModel:
         images: np.ndarray,
         mode: Mode = "int8",
         error_model: SconnaErrorModel | None = None,
+        *,
+        fused: "bool | None" = None,
+        trace: "list | None" = None,
     ) -> np.ndarray:
-        """Run a batch through the selected datapath; returns logits."""
+        """Run a batch through the selected datapath; returns logits.
+
+        ``fused`` selects the execution strategy: ``None`` (default)
+        uses the whole-network fused plan when this model/mode/shape
+        supports it and falls back to the per-layer reference path
+        otherwise; ``False`` forces the reference path; ``True`` demands
+        the fused path and raises if it cannot run.  Both paths return
+        bit-identical logits.  ``trace``, when a list, collects the
+        fused path's dtype checkpoints at the inter-layer seams.
+        """
         if mode not in ("float", "int8", "sconna"):
             raise ValueError(f"unknown mode {mode!r}")
         if mode == "sconna" and error_model is None:
             error_model = SconnaErrorModel(seed=0)
+        if fused is not False and mode in ("int8", "sconna"):
+            out = self.network_plan.try_execute(
+                images, mode, error_model, trace=trace
+            )
+            if out is not None:
+                return out
+            if fused is True:
+                raise ValueError(
+                    "fused execution is unsupported for this "
+                    "model/mode/input-shape combination"
+                )
         x = images.astype(np.float64)
         # the trainable layers' forwards cache backward-pass state on
         # shared instances; inference dispatches to the stateless
@@ -345,6 +395,8 @@ class QuantizedModel:
         mode: Mode = "int8",
         error_model: SconnaErrorModel | None = None,
         batch_size: int = 50,
+        *,
+        fused: "bool | None" = None,
     ) -> np.ndarray:
         """Batched forward pass returning all logits."""
         if batch_size < 1:
@@ -356,6 +408,7 @@ class QuantizedModel:
                     images[start : start + batch_size],
                     mode=mode,
                     error_model=error_model,
+                    fused=fused,
                 )
             )
         return np.concatenate(outs, axis=0)

@@ -68,7 +68,9 @@ class InferenceRequest:
     """One client request travelling through the scheduler."""
 
     request_id: int
-    images: np.ndarray               #: (n, C, H, W) float batch slice
+    images: np.ndarray               #: (n, C, H, W) batch slice; dtype is
+                                     #: preserved end to end (uint8/int8
+                                     #: frames stay integer-native)
     error_model: object | None       #: per-request SconnaErrorModel (or None)
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.monotonic)

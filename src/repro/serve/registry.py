@@ -48,6 +48,11 @@ class RegistryEntry:
     #: preferred shard slots under the process backend (None: every
     #: shard) - the serving layer's default placement for this model
     placement: "tuple[int, ...] | None" = None
+    #: kernel-variant choices recorded by the graph planner's autotuner
+    #: (mirrored from the archive so operators can inspect a served
+    #: model's tuning without opening the NPZ; the archive copy is what
+    #: the loaded model actually uses)
+    autotune: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -58,6 +63,7 @@ class RegistryEntry:
             "created_at": self.created_at,
             "metadata": self.metadata,
             "placement": None if self.placement is None else list(self.placement),
+            "autotune": self.autotune,
         }
 
 
@@ -104,6 +110,7 @@ class ModelRegistry:
             created_at=time.time(),
             metadata=dict(metadata or {}),
             placement=placement,
+            autotune=dict(getattr(qmodel, "autotune", {}) or {}),
         )
         manifest = entry.as_dict()
         (self.root / f"{name}.json").write_text(json.dumps(manifest, indent=2))
@@ -137,6 +144,7 @@ class ModelRegistry:
             metadata=manifest.get("metadata", {}),
             placement=None if placement is None
             else tuple(int(s) for s in placement),
+            autotune=manifest.get("autotune", {}) or {},
         )
 
     def load(self, name: str) -> QuantizedModel:

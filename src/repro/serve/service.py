@@ -236,8 +236,10 @@ class SconnaService:
         entry = self._models.get(model)
         if entry is None:
             raise KeyError(f"unknown model {model!r}; registered: {self.models()}")
-        # no dtype coercion here: forward() casts the *coalesced* batch
-        # to float64 once, so the copy cost amortizes across the batch
+        # no dtype coercion here: integer batches ride the fused plan's
+        # LUT entry natively (uint8/int8 never touches float64 between
+        # socket and logits), and float batches are quantized once per
+        # coalesced batch by the model itself
         images = np.asarray(image)
         if images.ndim == 3:
             images = images[None]

@@ -42,9 +42,12 @@ tensor's ``data_len`` against its shape - truncated, oversized, and
 trailing-garbage bodies all raise :class:`WireError` rather than
 yielding a short array.  Decoding is zero-copy: each tensor is a
 C-contiguous :func:`numpy.frombuffer` view of the request body, so the
-batcher stacks it without an intermediate copy (the views are read-only,
-which the inference path - it casts the coalesced batch to float64 -
-never notices).
+batcher stacks it without an intermediate copy.  The views are
+read-only, which the inference path never notices: an integer frame
+(uint8/int8) keeps its dtype end to end - the fused execution plan
+quantizes it through a lookup table straight into integer workspaces,
+so the tensor never round-trips through float64 between socket and
+logits - and a float frame is quantized once per coalesced batch.
 """
 
 from __future__ import annotations

@@ -348,6 +348,125 @@ class TestNativeKernel:
         assert native.get_kernel() is None
 
 
+class TestKernelVariants:
+    """Every autotunable variant computes the same exact integer sums."""
+
+    def _case(self, seed, b=8):
+        rng = np.random.default_rng(seed)
+        batch, l, q, p = 2, 5, 43, 12
+        length = 1 << b
+        cols = rng.integers(0, length + 1, size=(batch, q, p)).astype(np.int64)
+        w = rng.integers(-length, length + 1, size=(l, q)).astype(np.int64)
+        w[rng.random(w.shape) < 0.2] = 0
+        return cols, w, b
+
+    @pytest.mark.parametrize("mk", ["blas", "einsum"])
+    @pytest.mark.parametrize(
+        "rk", ["cols", "split", "native", "auto", "numpy"]
+    )
+    def test_matmul_variants_match_reference(self, engines, mk, rk):
+        cols, w, b = self._case(21)
+        ref = sconna_matmul_reference(cols, w, b, group=16)
+        plan = compile_layer_plan(w, b, 16)
+        for eng in engines:
+            got = eng.matmul(plan, cols, matmul_kind=mk, remainder_kind=rk)
+            assert np.array_equal(ref, got)
+            out = np.empty_like(got)
+            eng.matmul(plan, cols, out=out, matmul_kind=mk, remainder_kind=rk)
+            assert np.array_equal(ref, out)
+
+    @pytest.mark.parametrize("mk", ["blas", "einsum"])
+    @pytest.mark.parametrize(
+        "rk", ["cols", "split", "native", "auto", "numpy"]
+    )
+    def test_matmul_ideal_matches_noisy_path_ideal(self, engines, mk, rk):
+        """The collapsed signed-BLAS ideal path is bit-exact against the
+        stacked reference for every variant pair."""
+        cols, w, b = self._case(22)
+        ref = sconna_matmul_reference(cols, w, b, group=8)
+        plan = compile_layer_plan(w, b, 8)
+        for eng in engines:
+            got = eng.matmul_ideal(
+                plan, cols, matmul_kind=mk, remainder_kind=rk
+            )
+            assert np.array_equal(ref, got)
+
+    def test_float64_cols_operand_matches_int64(self, engines):
+        """The fused path hands the engine C-contiguous float64 columns
+        (used directly as the BLAS operand); results must be identical
+        to the int64-cols reference call."""
+        cols, w, b = self._case(23)
+        plan = compile_layer_plan(w, b, 16)
+        cols_f = np.ascontiguousarray(cols.astype(np.float64))
+        for eng in engines:
+            ref = eng.matmul(plan, cols)
+            for rk in ("cols", "split", "auto", "numpy"):
+                assert np.array_equal(
+                    ref, eng.matmul(plan, cols_f, remainder_kind=rk)
+                )
+                assert np.array_equal(
+                    ref, eng.matmul_ideal(plan, cols_f, remainder_kind=rk)
+                )
+
+    def test_seeded_noise_identical_across_variants(self, engines):
+        cols, w, b = self._case(24)
+        plan = compile_layer_plan(w, b, 16)
+        eng = engines[0]
+        base = eng.matmul(plan, cols, SconnaErrorModel(seed=5))
+        for mk in ("blas", "einsum"):
+            for rk in ("cols", "split", "native", "auto", "numpy"):
+                got = eng.matmul(
+                    plan, cols, SconnaErrorModel(seed=5),
+                    matmul_kind=mk, remainder_kind=rk,
+                )
+                assert np.array_equal(base, got)
+
+
+class TestRemainderFallbackBoundary:
+    """The chunked-broadcast fallback at the int32 top of the
+    vector_path_supported envelope (the historical bug: accumulating
+    with dtype=uint32 into the int32 buffer)."""
+
+    def test_envelope_edges(self):
+        # largest group whose remainder sums fit int32 at B=16
+        assert vector_path_supported(16, 32768)
+        assert not vector_path_supported(16, 32769)
+
+    def test_exact_at_int32_boundary(self):
+        from repro.cnn.engine import _remainder_fallback
+
+        bits, qg = 16, 32768
+        mask = (1 << bits) - 1
+        # a*w mod 2**16 == 65535 for every q: the worst-case sum
+        a_lo = np.full((1, 1, qg), mask, dtype=np.uint16)
+        w_lo = np.ones((2, qg), dtype=np.uint16)
+        out = np.empty((1, 2, 1), dtype=np.int32)
+        _remainder_fallback(a_lo, w_lo, slice(0, qg), mask, out)
+        expect = qg * mask  # 2147450880 < 2**31 - 1: must not wrap
+        assert out.dtype == np.int32
+        assert np.all(out == expect)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_property_matches_int64_ground_truth(self, seed):
+        from repro.cnn.engine import _remainder_fallback
+
+        rng = np.random.default_rng(seed)
+        bits = int(rng.integers(9, 17))
+        mask = (1 << bits) - 1
+        qg = int(rng.integers(1, 200))
+        b, l2, p = 2, 3, 4
+        a_lo = rng.integers(0, mask + 1, size=(b, p, qg)).astype(np.uint16)
+        w_lo = rng.integers(0, mask + 1, size=(l2, qg)).astype(np.uint16)
+        out = np.empty((b, l2, p), dtype=np.int32)
+        _remainder_fallback(a_lo, w_lo, slice(0, qg), mask, out)
+        expect = (
+            (a_lo[:, None, :, :].astype(np.int64) * w_lo[None, :, None, :])
+            & mask
+        ).sum(axis=-1)
+        assert np.array_equal(out.astype(np.int64), expect)
+
+
 class TestEventKernelBatch:
     def test_schedule_batch_orders_like_loop(self):
         from repro.arch.events import EventKernel

@@ -122,6 +122,30 @@ class TestShmArena:
         finally:
             arena.destroy()
 
+    @pytest.mark.parametrize("dtype", [np.uint8, np.int8])
+    def test_integer_arrays_cross_ring_without_upcast(self, dtype):
+        """uint8/int8 batches keep their dtype through the shm ring: the
+        descriptor records the narrow dtype and the reader rebuilds the
+        exact bytes - no float64 materialisation in transport."""
+        arena = ShmArena(1 << 14)
+        try:
+            data = np.arange(2 * 3 * 4 * 4, dtype=dtype).reshape(2, 3, 4, 4)
+            desc = arena.write_array(64, data)
+            assert desc.dtype == np.dtype(dtype).name
+            assert desc.nbytes == data.nbytes  # 1 byte/px: never widened
+            out = arena.read_array(desc)
+            assert out.dtype == np.dtype(dtype)
+            assert np.array_equal(out, data)
+            attachment = attach_arena(arena.name, 1 << 14)
+            try:
+                other = attachment.read_array(desc)
+                assert other.dtype == np.dtype(dtype)
+                assert np.array_equal(other, data)
+            finally:
+                attachment.close()
+        finally:
+            arena.destroy()
+
     def test_write_past_capacity_rejected(self):
         arena = ShmArena(64)
         try:

@@ -58,6 +58,58 @@ class TestFrameRoundTrip:
             wire.encode_frame({}, {"o": np.array([{}], dtype=object)})
 
 
+class TestIntegerNativeFrames:
+    """uint8/int8 image frames travel the wire without any upcast: the
+    decoded view keeps the narrow dtype, batches of such views stack
+    without promotion, and the decoded (read-only) tensor feeds the
+    fused inference path to bit-identical logits - never touching
+    float64 between socket and logits."""
+
+    @pytest.mark.parametrize("dtype", [np.uint8, np.int8])
+    def test_decoded_view_keeps_narrow_dtype(self, dtype):
+        img = np.arange(2 * 3 * 4 * 4, dtype=dtype).reshape(2, 3, 4, 4)
+        _, tensors = wire.decode_frame(
+            wire.encode_frame({"model": "m"}, {"image": img})
+        )
+        out = tensors["image"]
+        assert out.dtype == np.dtype(dtype)
+        assert not out.flags["OWNDATA"]      # zero-copy body view
+        assert not out.flags["WRITEABLE"]
+        assert np.array_equal(out, img)
+        # the batcher's stack must not promote a uniform narrow batch
+        stacked = np.concatenate([out, out], axis=0)
+        assert stacked.dtype == np.dtype(dtype)
+
+    def test_uint8_frame_to_logits_equivalence(self):
+        from repro.cnn.datasets import N_CLASSES, generate_dataset
+        from repro.cnn.inference import QuantizedModel
+        from repro.cnn.micro import Conv2d, Flatten, Linear, ReLU, Sequential
+        from repro.utils.rng import make_rng
+
+        rng = make_rng(0)
+        model = Sequential(
+            Conv2d(3, 4, 3, padding=1, rng=rng), ReLU(),
+            Flatten(), Linear(4 * 24 * 24, N_CLASSES, rng=rng),
+        )
+        ds = generate_dataset(4, seed=1)
+        qm = QuantizedModel.from_trained(model, ds.images[:16])
+        img = (ds.images[:2] * 200).astype(np.uint8)
+        _, tensors = wire.decode_frame(
+            wire.encode_frame({"model": "m"}, {"image": img})
+        )
+        decoded = tensors["image"]
+        assert decoded.dtype == np.uint8
+        trace = []
+        got = qm.forward(decoded, mode="int8", fused=True, trace=trace)
+        assert np.array_equal(got, qm.forward(img, mode="int8", fused=False))
+        # the dtype checkpoints at every seam stay integer until logits
+        assert trace[0] == ("entry", "lut:uint8")
+        assert all(
+            np.dtype(d).kind == "u" for t, d in trace if t == "grid"
+        )
+        assert trace[-1] == ("logits", "float64")
+
+
 class TestFrameValidation:
     def make(self):
         return wire.encode_frame(
