@@ -5,12 +5,15 @@ Compares a fresh smoke run of ``run_bench_serve.py``,
 ``--json-out``) against the committed baseline
 (``BENCH_serve.json`` / ``BENCH_kernels.json``) and fails when a
 guarded figure regresses by more than ``--max-regression``
-(default 30%).  Three sections are guarded, each only when both files
+(default 30%).  Four sections are guarded, each only when both files
 carry it:
 
 * **batch-1 thread records** - the pure request-path cost: one
   request, one forward pass, no coalescing luck - so it moves only
   when the serving or engine code actually got slower;
+* **trace-overhead records** (``--trace-overhead`` output: one batch-1
+  int8 record per tracing variant off / sampled / always) - guards the
+  untraced baseline and the cost of the telemetry plane itself;
 * **``http`` records** (one per wire encoding: json / npy / frame) -
   the HTTP ingest cost: a parser or codec regression shows up here
   before anywhere else;
@@ -62,6 +65,21 @@ def http_records(payload: dict) -> "dict[tuple, dict]":
     """Index HTTP ingest records by (wire,) for comparison."""
     http = payload.get("http") or {}
     return {(rec["wire"],): rec for rec in http.get("records", [])}
+
+
+def trace_records(payload: dict) -> "dict[tuple, dict]":
+    """Index trace-overhead records by (trace variant,).
+
+    ``run_bench_serve.py --trace-overhead`` emits one batch-1 int8
+    record per tracing variant (off / sampled / always); guarding each
+    variant's req/s keeps both the untraced baseline *and* the cost of
+    tracing itself from regressing silently.
+    """
+    return {
+        (rec["trace_variant"],): rec
+        for rec in payload.get("records", [])
+        if rec.get("scenario") == "trace_overhead"
+    }
 
 
 def kernel_records(payload: dict) -> "dict[tuple, dict]":
@@ -164,6 +182,8 @@ def main() -> int:
                 failures.append(f"kernel={key[0]}")
 
     guard("batch1 mode", batch1_records(current), batch1_records(baseline),
+          current.get("cores"), baseline.get("cores"))
+    guard("trace variant", trace_records(current), trace_records(baseline),
           current.get("cores"), baseline.get("cores"))
     guard("http wire", http_records(current), http_records(baseline),
           http_cores(current), http_cores(baseline))

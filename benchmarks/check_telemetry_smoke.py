@@ -1,0 +1,176 @@
+"""CI telemetry smoke: scrape a live traced server and validate.
+
+Stands up a small always-traced model behind the HTTP front-end on the
+requested execution backend/transport, drives a handful of seeded
+requests through :class:`~repro.serve.client.SconnaClient`, then
+validates the observability surface the way an external scraper would:
+
+* every response carries ``X-Sconna-Trace-Id`` and the id resolves at
+  ``/v1/trace/<id>`` to a span tree covering the full request path
+  (queue -> batch -> backend -> engine -> encode; with shard-side
+  spans rejoined for the process backend);
+* the Chrome ``trace_event`` export is well-formed;
+* ``/v1/metrics?format=prometheus`` parses under
+  :func:`repro.serve.telemetry.parse_exposition` (TYPE consistency,
+  label escaping, histogram bucket monotonicity) and its counters
+  agree with the requests just made;
+* the structured access log emitted exactly one JSON line per request.
+
+Exits nonzero on the first violation.  What ``ci.yml`` runs per
+transport leg::
+
+    PYTHONPATH=src python benchmarks/check_telemetry_smoke.py --transport shm
+    PYTHONPATH=src python benchmarks/check_telemetry_smoke.py --transport pipe
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import sys
+import urllib.request
+
+N_REQUESTS = 6
+
+
+def fail(message: str) -> None:
+    print(f"TELEMETRY SMOKE FAILED: {message}")
+    sys.exit(1)
+
+
+def build_service(backend: str, transport: str, log_stream):
+    import numpy as np  # noqa: F401  (transitively required below)
+
+    from repro.cnn.datasets import N_CLASSES
+    from repro.cnn.inference import QuantizedModel
+    from repro.cnn.micro import (
+        Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential,
+    )
+    from repro.serve import BatchingPolicy, SconnaService, StructuredLogger
+    from repro.serve.telemetry import POLICY_ALWAYS
+    from repro.utils.rng import make_rng
+
+    rng = make_rng(0)
+    model = Sequential(
+        Conv2d(3, 6, 3, padding=1, rng=rng), ReLU(), MaxPool2d(4),
+        Flatten(), Linear(6 * 6 * 6, N_CLASSES, rng=rng),
+    )
+    calib = make_rng(1).random((24, 3, 24, 24))
+    qmodel = QuantizedModel.from_trained(model, calib)
+    service = SconnaService(
+        policy=BatchingPolicy(max_batch_size=8, max_wait_ms=2.0),
+        n_workers=2,
+        backend=backend,
+        n_shards=2 if backend == "process" else 2,
+        transport=transport,
+        trace_policy=POLICY_ALWAYS,
+        request_log=StructuredLogger(log_stream),
+    )
+    service.add_model("smoke", qmodel, warm_shape=(3, 24, 24))
+    return service
+
+
+def get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=60) as resp:
+        return json.loads(resp.read())
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", default="process",
+                        choices=("thread", "process"))
+    parser.add_argument("--transport", default="shm",
+                        choices=("pipe", "shm"),
+                        help="process-backend transport under test")
+    args = parser.parse_args()
+
+    from repro.serve import SconnaClient, serve_http
+    from repro.serve.telemetry import parse_exposition
+    from repro.utils.rng import make_rng
+
+    log_stream = io.StringIO()
+    service = build_service(args.backend, args.transport, log_stream)
+    server, _ = serve_http(service)
+    images = make_rng(2).random((N_REQUESTS, 3, 24, 24))
+    try:
+        with SconnaClient(server.url) as client:
+            trace_ids = []
+            for i in range(N_REQUESTS):
+                pred = client.predict(images[i], model="smoke", seed=i)
+                if pred.trace_id is None:
+                    fail(f"request {i} returned no {'X-Sconna-Trace-Id'!r}")
+                trace_ids.append(pred.trace_id)
+
+            # the list endpoint knows every id we were handed
+            listed = {t["trace_id"] for t in client.traces()}
+            missing = [t for t in trace_ids if t not in listed]
+            if missing:
+                fail(f"/v1/trace list is missing {missing}")
+
+            # one full span tree covers the request path end to end
+            doc = client.trace(trace_ids[-1])
+            names = {span["name"] for span in doc["spans"]}
+            expected = {"http.request", "http.parse", "queue.wait",
+                        "batch.form", "http.encode"}
+            expected |= {"backend.dispatch", "shard.execute"} \
+                if args.backend == "process" else {"backend.execute"}
+            if not expected <= names:
+                fail(f"span tree lacks {sorted(expected - names)} "
+                     f"(got {sorted(names)})")
+            if args.backend == "process":
+                by_id = {s["span_id"]: s for s in doc["spans"]}
+                shard_spans = [s for s in doc["spans"]
+                               if s["name"] == "shard.execute"]
+                for span in shard_spans:
+                    parent = by_id.get(span["parent_id"])
+                    if parent is None \
+                            or parent["name"] != "backend.dispatch":
+                        fail("shard.execute span not grafted under "
+                             "backend.dispatch")
+
+            # chrome export loads as trace_event JSON
+            chrome = get_json(
+                f"{server.url}/v1/trace/{trace_ids[-1]}?format=chrome"
+            )
+            events = chrome.get("traceEvents")
+            if not events or any(e.get("ph") != "X" for e in events):
+                fail("chrome export is not a list of complete events")
+
+            # the Prometheus exposition validates and counts our work
+            with urllib.request.urlopen(
+                f"{server.url}/v1/metrics?format=prometheus", timeout=60
+            ) as resp:
+                ctype = resp.headers.get("Content-Type", "")
+                text = resp.read().decode()
+            if not ctype.startswith("text/plain"):
+                fail(f"unexpected exposition content type {ctype!r}")
+            samples = parse_exposition(text)  # raises on format violations
+            scalars = {n: v for n, labels, v in samples if not labels}
+            if scalars.get("sconna_requests_total", 0) < N_REQUESTS:
+                fail(f"sconna_requests_total "
+                     f"{scalars.get('sconna_requests_total')} < {N_REQUESTS}")
+            if scalars.get("sconna_traces_stored", 0) < 1:
+                fail("no traces stored according to the exposition")
+    finally:
+        server.shutdown()
+        service.close()
+
+    # exactly one structured access line per request
+    lines = [json.loads(line) for line in log_stream.getvalue().splitlines()]
+    request_lines = [l for l in lines if l.get("event") == "request"]
+    if len(request_lines) != N_REQUESTS:
+        fail(f"{len(request_lines)} access-log lines for "
+             f"{N_REQUESTS} requests")
+    if any(l.get("trace_id") not in trace_ids for l in request_lines):
+        fail("access-log trace ids do not match the response headers")
+
+    print(f"telemetry smoke ok ({args.backend}/{args.transport}): "
+          f"{N_REQUESTS} traced requests, {len(samples)} exposition "
+          f"samples validated, span trees complete, "
+          f"{len(request_lines)} access-log lines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

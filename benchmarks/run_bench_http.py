@@ -51,7 +51,7 @@ BATCH_SHAPE = (8, 3, 32, 32)
 WIRES = ("json", "npy", "frame")
 
 
-def build_service(admission_policy=None):
+def build_service(admission_policy=None, trace_policy=None):
     """A served int8 model (throughput) + a sconna twin (equivalence)
     with a (3, 32, 32) input lane, behind the HTTP front-end."""
     import numpy as np
@@ -75,6 +75,7 @@ def build_service(admission_policy=None):
         policy=BatchingPolicy(max_batch_size=32, max_wait_ms=1.0),
         n_workers=1,
         admission=admission_policy,
+        trace_policy=trace_policy,
     )
     service.add_model("wirebench", qmodel, mode="int8",
                       warm_shape=BATCH_SHAPE[1:])
@@ -151,6 +152,55 @@ def run_scenario(url, images, wire_name, n_requests, n_clients, label=None):
     }
 
 
+def run_trace_overhead(images, n_requests, n_clients, repeats):
+    """The same frame-wire workload against three servers: tracing off,
+    default-sampled (1/16), always-on - the HTTP-layer view of the
+    telemetry cost (trace start/finish, header, span recording)."""
+    from repro.serve import TracePolicy
+
+    variants = (
+        ("off", TracePolicy(sample_rate=0.0)),
+        ("sampled", TracePolicy()),
+        ("always", TracePolicy(sample_rate=1.0, profile_engine=True)),
+    )
+    records = []
+    base = None
+    for variant, trace_policy in variants:
+        service, server = build_service(trace_policy=trace_policy)
+        try:
+            run_scenario(server.url, images, "frame", 8, n_clients)
+            best = None
+            for _ in range(max(1, repeats)):
+                rec = run_scenario(
+                    server.url, images, "frame", n_requests, n_clients,
+                )
+                if best is None \
+                        or rec["requests_per_s"] > best["requests_per_s"]:
+                    best = rec
+        finally:
+            server.shutdown()
+            service.close()
+        best["trace_variant"] = variant
+        del best["wire"]
+        if variant == "off":
+            base = best["requests_per_s"]
+        else:
+            best["overhead_pct"] = round(
+                (base / best["requests_per_s"] - 1.0) * 100.0, 2
+            )
+        records.append(best)
+        extra = "" if variant == "off" \
+            else f"  overhead {best['overhead_pct']:+.2f}%"
+        print(f"  trace {variant:8s}: {best['requests_per_s']:8.1f} req/s  "
+              f"p50 {best['latency_p50_ms']:7.2f} ms{extra}")
+    sampled = next(r for r in records if r["trace_variant"] == "sampled")
+    if sampled["overhead_pct"] >= 5.0:
+        print(f"WARNING: default-sampled tracing costs "
+              f"{sampled['overhead_pct']:.2f}% over the frame wire - "
+              "above the 5% target")
+    return records
+
+
 def check_equivalence(url, images) -> None:
     """The wire-transparency gate: one seeded sconna request must return
     bit-identical logits through every encoding, and a streamed stack
@@ -225,6 +275,10 @@ def main() -> None:
     parser.add_argument("--check-equivalence", action="store_true",
                         help="assert bit-identical logits across JSON / NPY "
                              "/ frame / streamed responses")
+    parser.add_argument("--trace-overhead", action="store_true",
+                        help="measure the frame-wire workload with tracing "
+                             "off / sampled (1/16) / always-on and record "
+                             "the req/s deltas")
     args = parser.parse_args()
     if args.smoke:
         args.requests = min(args.requests, 80)
@@ -274,6 +328,13 @@ def main() -> None:
         server.shutdown()
         service.close()
 
+    trace_records = None
+    if args.trace_overhead:
+        print("trace overhead (frame wire):")
+        trace_records = run_trace_overhead(
+            images, args.requests, args.clients, args.repeats
+        )
+
     frame_gain = next(
         r for r in records if r["wire"] == "frame"
     )["speedup_vs_json"]
@@ -284,6 +345,8 @@ def main() -> None:
         "cores": cores,
         "records": records,
     }
+    if trace_records is not None:
+        http_section["trace_overhead"] = trace_records
     if args.json_out:
         Path(args.json_out).write_text(
             json.dumps({"cores": cores, "platform": platform.platform(),

@@ -65,12 +65,14 @@ def build_registry(root: Path, model_name: str, seed: int = 0):
 
 
 def make_service(registry, ds, model_name, *, mode, policy, n_workers,
-                 backend="thread", n_shards=2, transport="shm"):
+                 backend="thread", n_shards=2, transport="shm",
+                 trace_policy=None):
     from repro.serve import SconnaService
 
     service = SconnaService(
         policy=policy, n_workers=n_workers, mode=mode,
         backend=backend, n_shards=n_shards, transport=transport,
+        trace_policy=trace_policy,
     )
     service.add_from_registry(registry, model_name, warm_shape=ds.images[0].shape)
     return service
@@ -79,6 +81,7 @@ def make_service(registry, ds, model_name, *, mode, policy, n_workers,
 def run_scenario(
     registry, ds, model_name, *, mode, policy, n_workers, n_requests,
     repeats=1, backend="thread", n_shards=2, transport="shm", images=None,
+    trace_policy=None,
 ):
     """Open-loop drive: async-submit everything, wait for every future.
 
@@ -96,7 +99,7 @@ def run_scenario(
         service = make_service(
             registry, ds, model_name, mode=mode, policy=policy,
             n_workers=n_workers, backend=backend, n_shards=n_shards,
-            transport=transport,
+            transport=transport, trace_policy=trace_policy,
         )
         try:
             for i in range(8):  # warm the request path itself
@@ -139,6 +142,47 @@ def run_scenario(
         "mean_batch_images": round(snap["batch_size"]["mean"], 2),
         "batch_histogram": snap["batch_size"]["histogram"],
     }
+
+
+def run_trace_overhead(registry, ds, model_name, *, n_requests, repeats):
+    """The telemetry-cost gate: the batch-1 int8 workload under tracing
+    off / default-sampled (1/16) / always-on-with-profiling.  The
+    committed target: default sampling costs < 5% sustained req/s."""
+    from repro.serve import BatchingPolicy, TracePolicy
+
+    variants = (
+        ("off", TracePolicy(sample_rate=0.0)),
+        ("sampled", TracePolicy()),  # the serving default: 1/16
+        ("always", TracePolicy(sample_rate=1.0, profile_engine=True)),
+    )
+    policy = BatchingPolicy(max_batch_size=1, max_wait_ms=0.0)
+    records = []
+    base = None
+    for variant, trace_policy in variants:
+        rec = run_scenario(
+            registry, ds, model_name, mode="int8", policy=policy,
+            n_workers=1, n_requests=n_requests, repeats=repeats,
+            trace_policy=trace_policy,
+        )
+        rec["scenario"] = "trace_overhead"
+        rec["trace_variant"] = variant
+        if variant == "off":
+            base = rec["requests_per_s"]
+        else:
+            rec["overhead_pct"] = round(
+                (base / rec["requests_per_s"] - 1.0) * 100.0, 2
+            )
+        records.append(rec)
+        extra = "" if variant == "off" \
+            else f"   overhead {rec['overhead_pct']:+.2f}%"
+        print(f"  int8   trace    {variant:8s}      : "
+              f"{rec['requests_per_s']:8.1f} req/s   "
+              f"p50 {rec['latency_p50_ms']:7.1f} ms{extra}")
+    sampled = next(r for r in records if r["trace_variant"] == "sampled")
+    if sampled["overhead_pct"] >= 5.0:
+        print(f"WARNING: default-sampled tracing costs "
+              f"{sampled['overhead_pct']:.2f}% - above the 5% target")
+    return records
 
 
 def check_equivalence(registry, ds, model_name, *, policy, n_shards,
@@ -221,6 +265,10 @@ def main() -> None:
     parser.add_argument("--check-equivalence", action="store_true",
                         help="assert thread/process bit-identical logits "
                              "for a seeded request stream")
+    parser.add_argument("--trace-overhead", action="store_true",
+                        help="measure the batch-1 int8 workload with tracing "
+                             "off / sampled (1/16) / always-on and record "
+                             "the req/s deltas")
     args = parser.parse_args()
     transports = ("pipe", "shm") if args.transport == "both" \
         else (args.transport,)
@@ -359,6 +407,11 @@ def main() -> None:
                             ] = rec["speedup_vs_thread_dynamic"]
                         records.append(rec)
                         print(_fmt(rec))
+        if args.trace_overhead:
+            records += run_trace_overhead(
+                registry, ds, args.model,
+                n_requests=args.requests, repeats=repeats,
+            )
 
     payload = {
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),

@@ -16,6 +16,7 @@ Run:  PYTHONPATH=src python examples/serve_http_demo.py
       PYTHONPATH=src python examples/serve_http_demo.py --backend process \
           --transport pipe --placement snet=0 --affinity auto
       PYTHONPATH=src python examples/serve_http_demo.py --wire json
+      PYTHONPATH=src python examples/serve_http_demo.py --trace --log-requests
 """
 
 import argparse
@@ -31,9 +32,11 @@ from repro.serve import (
     ModelRegistry,
     SconnaClient,
     SconnaService,
+    StructuredLogger,
     install_shutdown_handlers,
     serve_http,
 )
+from repro.serve.telemetry import POLICY_ALWAYS
 
 
 def main() -> None:
@@ -59,6 +62,14 @@ def main() -> None:
                         choices=("frame", "npy", "json"),
                         help="HTTP request encoding (default: frame - the "
                              "binary wire protocol)")
+    parser.add_argument("--trace", action="store_true",
+                        help="trace every request (with per-layer engine "
+                             "profiling) and print the HTTP request's "
+                             "per-stage latency breakdown table")
+    parser.add_argument("--log-requests", action="store_true",
+                        help="emit one structured JSON line per request "
+                             "on stderr (the access log the server uses "
+                             "instead of ad-hoc prints)")
     args = parser.parse_args()
     placement = None
     if args.placement is not None:
@@ -89,6 +100,8 @@ def main() -> None:
             transport=args.transport,
             placement=placement,
             affinity=None if args.affinity == "none" else args.affinity,
+            trace_policy=POLICY_ALWAYS if args.trace else None,
+            request_log=StructuredLogger() if args.log_requests else None,
         )
         service.add_from_registry(registry, "snet", warm_shape=(3, 24, 24))
         server, _ = serve_http(service)
@@ -134,6 +147,28 @@ def main() -> None:
                       f"({cost['model']}): {cost['latency_s'] * 1e6:.1f} us, "
                       f"{cost['energy_j'] * 1e3:.2f} mJ, "
                       f"bottleneck: {cost['bottleneck']}")
+
+                if args.trace and resp.trace_id is not None:
+                    # the server's span tree for the request we just
+                    # made, reduced to a per-stage latency table
+                    doc = client.trace(resp.trace_id)
+                    total = doc["duration_ms"]
+                    by_stage: "dict[str, float]" = {}
+                    for span in doc["spans"]:
+                        if span["parent_id"] is None:
+                            continue  # the root *is* the total
+                        by_stage[span["name"]] = (
+                            by_stage.get(span["name"], 0.0)
+                            + span["duration_ms"]
+                        )
+                    print(f"  trace {resp.trace_id}: "
+                          f"{total:.2f} ms end to end")
+                    print(f"    {'stage':<18s} {'ms':>9s} {'share':>7s}")
+                    for name, ms in sorted(
+                        by_stage.items(), key=lambda kv: -kv[1]
+                    ):
+                        print(f"    {name:<18s} {ms:9.3f} "
+                              f"{ms / total:7.1%}")
 
                 # a streamed multi-image stack: per-image logits arrive
                 # as chunked frames over the same connection

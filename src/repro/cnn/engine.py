@@ -45,6 +45,7 @@ model) the two paths are exactly equal, which the property tests lock.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -260,6 +261,7 @@ class SconnaEngine:
         out: "np.ndarray | None" = None,
         matmul_kind: str = "blas",
         remainder_kind: str = "auto",
+        profile: "list | None" = None,
     ) -> np.ndarray:
         """Count-domain SC matmul with per-psum-group ADC error.
 
@@ -271,6 +273,10 @@ class SconnaEngine:
         buffer; ``matmul_kind``/``remainder_kind`` select autotuned
         kernel variants (see :meth:`_remainder`) - every variant computes
         exact integer sums, so the choice can never change the result.
+        ``profile`` (optional) collects ``(name, start_s, end_s, tags)``
+        timing tuples for the BLAS and remainder terms; timing reads the
+        clock around unchanged arithmetic, so results stay bit-identical
+        with profiling on or off.
         """
         b, q, p = cols.shape
         if q != plan.n_in:
@@ -290,6 +296,7 @@ class SconnaEngine:
         inv_scale = 1.0 / (1 << shift)
         for sl in plan.group_slices:
             # BLAS term: exact integer sums in float64.
+            t0 = time.monotonic() if profile is not None else 0.0
             if matmul_kind == "einsum":
                 s = np.einsum(
                     "lq,bqp->blp", plan.w_stacked[:, sl], af[:, sl, :],
@@ -299,8 +306,16 @@ class SconnaEngine:
                 s = np.matmul(
                     plan.w_stacked[None, :, sl], af[:, sl, :], out=s_buf
                 )
+            if profile is not None:
+                t1 = time.monotonic()
+                profile.append(("engine.matmul", t0, t1,
+                                {"kind": matmul_kind}))
+                t0 = t1
             # remainder term: fused native kernel or chunked broadcast.
             self._remainder(plan, a_lo, sl, rem, remainder_kind)
+            if profile is not None:
+                profile.append(("engine.remainder", t0, time.monotonic(),
+                                {"kind": remainder_kind}))
             np.subtract(s, rem, out=s)
             s *= inv_scale  # exact: s - rem is a multiple of 2**B
             if apply_error:
@@ -317,6 +332,7 @@ class SconnaEngine:
         out: "np.ndarray | None" = None,
         matmul_kind: str = "blas",
         remainder_kind: str = "auto",
+        profile: "list | None" = None,
     ) -> np.ndarray:
         """Ideal-datapath SC matmul: half the BLAS and remainder work.
 
@@ -348,6 +364,7 @@ class SconnaEngine:
             out.fill(0.0)
         inv_scale = 1.0 / (1 << plan.shift)
         for sl in plan.group_slices:
+            t0 = time.monotonic() if profile is not None else 0.0
             if matmul_kind == "einsum":
                 s = np.einsum(
                     "lq,bqp->blp", plan.w_float[:, sl], af[:, sl, :], out=s_buf
@@ -356,7 +373,15 @@ class SconnaEngine:
                 s = np.matmul(
                     plan.w_float[None, :, sl], af[:, sl, :], out=s_buf
                 )
+            if profile is not None:
+                t1 = time.monotonic()
+                profile.append(("engine.matmul", t0, t1,
+                                {"kind": matmul_kind}))
+                t0 = t1
             self._remainder(plan, a_lo, sl, rem, remainder_kind)
+            if profile is not None:
+                profile.append(("engine.remainder", t0, time.monotonic(),
+                                {"kind": remainder_kind}))
             np.subtract(s, rem[:, :l, :], out=s)
             s += rem[:, l:, :]
             if single:

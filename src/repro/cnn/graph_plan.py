@@ -526,10 +526,17 @@ class _ShapeProgram:
         x: np.ndarray,
         error_model: "object | None",
         trace: "list | None" = None,
+        profile: "list | None" = None,
     ) -> np.ndarray:
+        # ``profile`` (optional) collects ``(name, start_s, end_s, tags)``
+        # timing tuples per stage - quantize / pool / im2col / matmul /
+        # requantize / tail - for the telemetry plane.  Clock reads wrap
+        # unchanged arithmetic, so logits are bit-identical either way,
+        # and a None profile adds one predicate per stage, nothing more.
         pool = self.model._engine.pool
         eng = self.model._engine
         views, grids = self._resolved()
+        clock = time.monotonic
 
         def wgrid(ref):
             # writer view: pre-padded grids re-zero their halo (the
@@ -540,6 +547,7 @@ class _ShapeProgram:
             return grids[ref.idx]
 
         grid = wgrid(self.entry_ref)
+        t0 = clock() if profile is not None else 0.0
         lut = self._lut_for(x.dtype)
         if lut is not None:
             idx_dtype = np.uint8 if x.dtype.itemsize == 1 else np.uint16
@@ -556,6 +564,9 @@ class _ShapeProgram:
             np.copyto(grid, ws, casting="unsafe")
             if trace is not None:
                 trace.append(("entry", "float64-ws"))
+        if profile is not None:
+            profile.append(("quantize", t0, clock(),
+                            {"entry": "lut" if lut is not None else "float"}))
 
         apply_err = (
             self.mode == "sconna"
@@ -563,15 +574,22 @@ class _ShapeProgram:
             and not error_model.ideal()
         )
         final: "np.ndarray | None" = None
-        for stage in self.stages:
-            for step in stage.pre_steps:
-                _, src, dst, k, s = step
-                _max_pool_int(views[src.idx], wgrid(dst), k, s)
+        for si, stage in enumerate(self.stages):
+            if stage.pre_steps:
+                t0 = clock() if profile is not None else 0.0
+                for step in stage.pre_steps:
+                    _, src, dst, k, s = step
+                    _max_pool_int(views[src.idx], wgrid(dst), k, s)
+                if profile is not None:
+                    profile.append(("pool", t0, clock(), {"stage": si}))
             src = views[stage.in_ref.idx].reshape(stage.in_spatial)
             counts = views[stage.out_ref.idx]
             if stage.kind == "conv":
                 cols = views[stage.cols_ref.idx]
+                t0 = clock() if profile is not None else 0.0
                 im2col(src, stage.kernel, stage.stride, stage.padding, out=cols)
+                if profile is not None:
+                    profile.append(("im2col", t0, clock(), {"stage": si}))
             elif stage.cols_ref is not None:  # int8 linear
                 cols = views[stage.cols_ref.idx]
                 np.copyto(cols, src)
@@ -583,20 +601,27 @@ class _ShapeProgram:
                         stage.plan, cols, error_model, out=counts,
                         matmul_kind=stage.matmul_kind,
                         remainder_kind=stage.remainder_kind,
+                        profile=profile,
                     )
                 else:
                     eng.matmul_ideal(
                         stage.plan, cols, out=counts,
                         matmul_kind=stage.matmul_kind,
                         remainder_kind=stage.remainder_kind,
+                        profile=profile,
                     )
-            elif stage.kind == "conv":
-                np.matmul(stage.w_f[None], cols, out=counts)
             else:
-                np.matmul(cols, stage.w_f.T, out=counts[:, :, 0])
+                t0 = clock() if profile is not None else 0.0
+                if stage.kind == "conv":
+                    np.matmul(stage.w_f[None], cols, out=counts)
+                else:
+                    np.matmul(cols, stage.w_f.T, out=counts[:, :, 0])
+                if profile is not None:
+                    profile.append(("matmul", t0, clock(), {"stage": si}))
 
             # dequantize -> bias -> (requantize | finalize), in place:
             # the same float64 op sequence as the per-layer reference
+            t0 = clock() if profile is not None else 0.0
             t = counts
             t *= stage.scale_eff
             if stage.bias is not None:
@@ -612,13 +637,19 @@ class _ShapeProgram:
                     trace.append(("grid", nxt.dtype.name))
             else:
                 final = t.reshape(self.final_shape).copy()
-        for op in self.net.tail_ops:
-            if op[0] == "pool":
-                final = max_pool2d(final, op[1], op[2])
-            elif op[0] == "relu":
-                final = np.maximum(final, 0.0)
-            elif op[0] == "flatten":
-                final = final.reshape(final.shape[0], -1)
+            if profile is not None:
+                profile.append(("requantize", t0, clock(), {"stage": si}))
+        if self.net.tail_ops:
+            t0 = clock() if profile is not None else 0.0
+            for op in self.net.tail_ops:
+                if op[0] == "pool":
+                    final = max_pool2d(final, op[1], op[2])
+                elif op[0] == "relu":
+                    final = np.maximum(final, 0.0)
+                elif op[0] == "flatten":
+                    final = final.reshape(final.shape[0], -1)
+            if profile is not None:
+                profile.append(("tail", t0, clock(), {}))
         if trace is not None:
             trace.append(("logits", final.dtype.name))
         return final
@@ -744,6 +775,7 @@ class NetworkPlan:
         mode: str,
         error_model: "object | None" = None,
         trace: "list | None" = None,
+        profile: "list | None" = None,
     ) -> "np.ndarray | None":
         """Run fused, or return None so the caller takes the reference
         path."""
@@ -753,7 +785,7 @@ class NetworkPlan:
         prog = self.program_for(mode, x.shape)
         if prog is None:
             return None
-        return prog.run(x, error_model, trace)
+        return prog.run(x, error_model, trace, profile)
 
 
 _MISSING = object()

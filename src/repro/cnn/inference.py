@@ -19,6 +19,7 @@ Table V is the Top-1/Top-5 gap between ``int8`` and ``sconna``.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -190,6 +191,7 @@ class QuantizedModel:
         *,
         fused: "bool | None" = None,
         trace: "list | None" = None,
+        profile: "list | None" = None,
     ) -> np.ndarray:
         """Run a batch through the selected datapath; returns logits.
 
@@ -200,6 +202,10 @@ class QuantizedModel:
         the fused path and raises if it cannot run.  Both paths return
         bit-identical logits.  ``trace``, when a list, collects the
         fused path's dtype checkpoints at the inter-layer seams.
+        ``profile``, when a list, collects ``(name, start_s, end_s,
+        tags)`` per-stage timing tuples (quantize / im2col / matmul /
+        requantize on the fused path, coarse per-layer timings on the
+        reference path) without perturbing the arithmetic.
         """
         if mode not in ("float", "int8", "sconna"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -207,7 +213,7 @@ class QuantizedModel:
             error_model = SconnaErrorModel(seed=0)
         if fused is not False and mode in ("int8", "sconna"):
             out = self.network_plan.try_execute(
-                images, mode, error_model, trace=trace
+                images, mode, error_model, trace=trace, profile=profile
             )
             if out is not None:
                 return out
@@ -221,7 +227,8 @@ class QuantizedModel:
         # shared instances; inference dispatches to the stateless
         # functional kernels instead, so concurrent forward passes into
         # one model (the serving worker pool) never share mutable state
-        for item in self.structure:
+        for i, item in enumerate(self.structure):
+            t0 = time.monotonic() if profile is not None else 0.0
             if isinstance(item, QuantLayer):
                 x = self._run_quant_layer(item, x, mode, error_model)
             elif isinstance(item, MaxPool2d):
@@ -232,6 +239,10 @@ class QuantizedModel:
                 x = x.reshape(x.shape[0], -1)
             else:
                 x = item.forward(x)
+            if profile is not None:
+                profile.append(("layer", t0, time.monotonic(),
+                                {"index": i,
+                                 "op": type(item).__name__}))
         return x
 
     def _run_quant_layer(

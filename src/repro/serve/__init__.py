@@ -39,7 +39,11 @@ cost):
   batch-shape accounting, mergeable across shard processes,
 * :mod:`repro.serve.costs`     - per-request simulated accelerator cost
   annotations backed by :class:`repro.arch.simulator.SimulationCache`
-  (always computed in the serving parent, never in shards).
+  (always computed in the serving parent, never in shards),
+* :mod:`repro.serve.telemetry` - the observability plane: sampled
+  end-to-end request traces (``/v1/trace``, Chrome trace_event export),
+  optional per-layer engine profiling, Prometheus text exposition for
+  ``/v1/metrics``, and one-JSON-line-per-request structured logging.
 """
 
 from repro.serve.admission import (
@@ -83,6 +87,16 @@ from repro.serve.service import (
     SconnaService,
     ShutdownHandlers,
     install_shutdown_handlers,
+)
+from repro.serve.telemetry import (
+    Span,
+    StructuredLogger,
+    Trace,
+    TracePolicy,
+    Tracer,
+    TraceStore,
+    parse_exposition,
+    render_exposition,
 )
 from repro.serve.workers import WorkerPool
 
@@ -128,5 +142,13 @@ __all__ = [
     "SconnaService",
     "ShutdownHandlers",
     "install_shutdown_handlers",
+    "Span",
+    "StructuredLogger",
+    "Trace",
+    "TracePolicy",
+    "Tracer",
+    "TraceStore",
+    "parse_exposition",
+    "render_exposition",
     "WorkerPool",
 ]

@@ -23,6 +23,7 @@ new arrival and its deadline.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 
 
@@ -74,10 +75,16 @@ class AdmissionController:
         self._queued_bytes = 0
         self._shed = 0
 
-    def admit(self, nbytes: int) -> None:
+    def admit(self, nbytes: int, trace=None) -> None:
         """Account one request of ``nbytes`` payload; raises
-        :class:`AdmissionError` (and records the shed) when over budget."""
+        :class:`AdmissionError` (and records the shed) when over budget.
+
+        ``trace`` is an optional telemetry Trace; when present, the
+        decision (admit or shed, and why) is recorded as an
+        ``admission`` span.
+        """
         policy = self.policy
+        t0 = time.monotonic() if trace is not None else 0.0
         with self._lock:
             if policy is not None:
                 reason = None
@@ -94,12 +101,21 @@ class AdmissionController:
                     self._shed += 1
                     if self._metrics is not None:
                         self._metrics.record_shed()
+                    if trace is not None:
+                        trace.add_span(
+                            "admission", t0, time.monotonic(),
+                            tags={"admitted": False, "reason": reason,
+                                  "nbytes": int(nbytes)},
+                        )
                     raise AdmissionError(
                         f"request shed: {reason}",
                         retry_after_s=policy.retry_after_s,
                     )
             self._inflight += 1
             self._queued_bytes += nbytes
+        if trace is not None:
+            trace.add_span("admission", t0, time.monotonic(),
+                           tags={"admitted": True, "nbytes": int(nbytes)})
 
     def release(self, nbytes: int) -> None:
         """Undo one :meth:`admit` (the request completed or failed)."""

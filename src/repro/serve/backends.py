@@ -258,19 +258,52 @@ class ThreadBackend(ExecutionBackend):
         if self._closed:
             raise RuntimeError("backend is closed")
         qmodel, mode = self._models[name]
+        traces = [r.trace for r in batch if r.trace is not None]
 
         def task() -> None:
             exec_start = time.monotonic()
+            # profile stays None unless some traced request asked for
+            # engine timings, so untraced batches call forward() with
+            # the exact historical argument list
+            profile = None
+            if traces and any(t.wants_profile for t in traces):
+                profile = []
             try:
                 stacked = stack_batch(batch)
-                logits = qmodel.forward(
-                    stacked, mode=mode, error_model=batch_error_model(mode, batch)
-                )
+                if profile is not None:
+                    logits = qmodel.forward(
+                        stacked, mode=mode,
+                        error_model=batch_error_model(mode, batch),
+                        profile=profile,
+                    )
+                else:
+                    logits = qmodel.forward(
+                        stacked, mode=mode,
+                        error_model=batch_error_model(mode, batch),
+                    )
                 self.metrics.record_batch(len(batch), int(stacked.shape[0]))
             except BaseException as exc:
                 self.metrics.record_error(len(batch))
+                if traces:
+                    end = time.monotonic()
+                    for tr in traces:
+                        tr.add_span(
+                            "backend.execute", exec_start, end,
+                            tags={"backend": self.kind,
+                                  "error": type(exc).__name__},
+                        )
                 on_done(exc)
                 return
+            if traces:
+                end = time.monotonic()
+                for tr in traces:
+                    parent = tr.add_span(
+                        "backend.execute", exec_start, end,
+                        tags={"backend": self.kind,
+                              "images": int(stacked.shape[0])},
+                    )
+                    if profile:
+                        tr.add_spans(profile, parent_id=parent)
             on_done(
                 BatchResult(
                     logits=logits,
@@ -320,6 +353,11 @@ class _Inflight:
     on_done: object
     dispatched_at: float
     slots: "tuple[int, ...]" = ()   #: shard slots this model is placed on
+    #: telemetry Traces of the batch's sampled requests (retained across
+    #: a crash-redispatch, like the payload) and the picklable span
+    #: context the shard receives on the pipe alongside the RNG state
+    traces: "list[object]" = field(default_factory=list)
+    tctx: "dict | None" = None
 
 
 @dataclass
@@ -405,7 +443,20 @@ def _shard_main(conn, shard_id: int, shm_spec=None, cpus=None) -> None:
         rx = attach_arena(rx_name, ring_bytes)
         rx_alloc = RingAllocator(ring_bytes)
 
-    def run_batch(bid, name, images, emodels, sizes) -> tuple:
+    def run_batch(bid, name, images, emodels, sizes, tctx=None) -> tuple:
+        # ``tctx`` is the parent's span context (piggybacked on the
+        # batch message like the RNG state): when present, execution is
+        # timed with time.monotonic() - system-wide on Linux, so these
+        # readings are directly comparable to the parent's clock - and
+        # the spans ride back with the logits for the parent to graft
+        # into the request traces
+        spans = None
+        profile = None
+        if tctx is not None:
+            spans = []
+            if tctx.get("profile"):
+                profile = []
+        t0 = time.monotonic() if spans is not None else 0.0
         try:
             entry = models.get(name)
             if entry is None:
@@ -418,17 +469,32 @@ def _shard_main(conn, shard_id: int, shm_spec=None, cpus=None) -> None:
                 if mode == "sconna"
                 else None
             )
-            logits = qm.forward(images, mode=mode, error_model=error_model)
+            if profile is not None:
+                logits = qm.forward(
+                    images, mode=mode, error_model=error_model,
+                    profile=profile,
+                )
+            else:
+                logits = qm.forward(images, mode=mode, error_model=error_model)
             metrics.record_batch(len(sizes), int(images.shape[0]))
         except BaseException as exc:
             metrics.record_error(len(sizes))
             return ("err", bid, exc)
+        if spans is not None:
+            spans.append(("shard.execute", t0, time.monotonic(),
+                          {"shard": shard_id,
+                           "images": int(images.shape[0])}))
+            if profile:
+                spans.extend(
+                    (n, s, e, dict(tags, shard=shard_id))
+                    for n, s, e, tags in profile
+                )
         if rx_alloc is not None:
             logits = np.ascontiguousarray(logits)
             offset = rx_alloc.alloc(logits.nbytes)
             if offset is not None:
-                return ("okshm", bid, rx.write_array(offset, logits))
-        return ("ok", bid, logits)
+                return ("okshm", bid, rx.write_array(offset, logits), spans)
+        return ("ok", bid, logits, spans)
 
     metrics = ServeMetrics()
     models: "dict[str, tuple[object, str]]" = {}
@@ -462,10 +528,12 @@ def _shard_main(conn, shard_id: int, shm_spec=None, cpus=None) -> None:
                 reply = ("loaded", token, name, f"{type(exc).__name__}: {exc}")
             _shard_reply(conn, reply)
         elif op == "batch":
-            _, bid, name, images, emodels, sizes = msg
-            _shard_reply(conn, run_batch(bid, name, images, emodels, sizes))
+            _, bid, name, images, emodels, sizes, tctx = msg
+            _shard_reply(
+                conn, run_batch(bid, name, images, emodels, sizes, tctx)
+            )
         elif op == "shmbatch":
-            _, bid, name, desc, emodels, sizes = msg
+            _, bid, name, desc, emodels, sizes, tctx = msg
             try:
                 # zero-copy: the parent keeps this tx region allocated
                 # until our reply arrives, and the reply is only sent
@@ -475,7 +543,9 @@ def _shard_main(conn, shard_id: int, shm_spec=None, cpus=None) -> None:
                 metrics.record_error(len(sizes))
                 _shard_reply(conn, ("err", bid, exc))
                 continue
-            _shard_reply(conn, run_batch(bid, name, images, emodels, sizes))
+            _shard_reply(
+                conn, run_batch(bid, name, images, emodels, sizes, tctx)
+            )
             del images  # release the mmap export so close() can unmap
         elif op == "freerx":
             try:
@@ -750,6 +820,7 @@ class ProcessBackend(ExecutionBackend):
             elif op in ("ok", "okshm", "err"):
                 bid = msg[1]
                 logits = None
+                shard_spans = msg[3] if len(msg) > 3 else None
                 if op == "okshm":
                     # copy the logits out *before* releasing anything;
                     # the freerx goes back even when the read fails -
@@ -777,6 +848,26 @@ class ProcessBackend(ExecutionBackend):
                     self._drained.notify_all()
                 if item is None:
                     continue  # already redispatched elsewhere
+                if item.traces:
+                    # rejoin the shard-side spans: one backend.dispatch
+                    # span per traced request (dispatch -> reply on the
+                    # parent clock) with the shard's own spans grafted
+                    # under it - the ServeMetrics.merge parent/worker
+                    # aggregation idiom applied to spans
+                    returned_at = time.monotonic()
+                    transport = "shm" if tx_offset is not None else "pipe"
+                    for tr in item.traces:
+                        parent = tr.add_span(
+                            "backend.dispatch", item.dispatched_at,
+                            returned_at,
+                            tags={"backend": "process",
+                                  "shard": shard.slot,
+                                  "transport": transport,
+                                  **({"error": type(msg[2]).__name__}
+                                     if op == "err" else {})},
+                        )
+                        if shard_spans:
+                            tr.add_spans(shard_spans, parent_id=parent)
                 if op == "err":
                     item.on_done(msg[2])
                 else:
@@ -909,6 +1000,12 @@ class ProcessBackend(ExecutionBackend):
             if entry is None:
                 raise KeyError(f"backend has no model {name!r}")
             slots = entry[3]
+        traces = [r.trace for r in batch if r.trace is not None]
+        tctx = None
+        if traces:
+            # union of the requests' remote span contexts: the shard
+            # profiles once per batch if any rider asked for it
+            tctx = {"profile": any(t.wants_profile for t in traces)}
         self._dispatch(
             _Inflight(
                 name=name,
@@ -918,6 +1015,8 @@ class ProcessBackend(ExecutionBackend):
                 on_done=on_done,
                 dispatched_at=time.monotonic(),
                 slots=slots,
+                traces=traces,
+                tctx=tctx,
             )
         )
 
@@ -960,7 +1059,8 @@ class ProcessBackend(ExecutionBackend):
             try:
                 desc = shard.tx.write_array(offset, item.images)
                 shard.send(
-                    ("shmbatch", bid, item.name, desc, item.models, item.sizes)
+                    ("shmbatch", bid, item.name, desc, item.models,
+                     item.sizes, item.tctx)
                 )
             except (OSError, ValueError, BufferError, TypeError):
                 # arena/pipe died under us (a closed SharedMemory's buf
@@ -970,7 +1070,8 @@ class ProcessBackend(ExecutionBackend):
                 pass
             return
         try:
-            shard.send(("batch", bid, item.name, item.images, item.models, item.sizes))
+            shard.send(("batch", bid, item.name, item.images, item.models,
+                        item.sizes, item.tctx))
         except (OSError, ValueError):
             pass  # pipe broke: the collector's EOF path rescues the entry
 
@@ -1045,6 +1146,9 @@ class ProcessBackend(ExecutionBackend):
                     ),
                     "ring_bytes_in_use": (
                         s.tx_alloc.in_use if s.tx_alloc is not None else None
+                    ),
+                    "ring_stats": (
+                        s.tx_alloc.stats() if s.tx_alloc is not None else None
                     ),
                     "cpus": None if s.cpus is None else list(s.cpus),
                 }

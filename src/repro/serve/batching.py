@@ -33,6 +33,7 @@ scheduler thread - in-flight requests complete rather than error.
 
 from __future__ import annotations
 
+import itertools
 import queue
 import threading
 import time
@@ -76,6 +77,9 @@ class InferenceRequest:
     enqueued_at: float = field(default_factory=time.monotonic)
     top_k: int = 1
     with_cost: bool = False
+    trace: object | None = None      #: sampled telemetry Trace (or None);
+                                     #: duck-typed so this module stays
+                                     #: import-independent of telemetry
 
     @property
     def n_images(self) -> int:
@@ -99,6 +103,7 @@ class MicroBatcher:
         self.policy = policy or BatchingPolicy()
         self._dispatch = dispatch
         self._queue: "queue.Queue[object]" = queue.Queue()
+        self._batch_ids = itertools.count(1)
         self._carry: InferenceRequest | None = None
         self._closed = False
         self._submit_lock = threading.Lock()
@@ -146,6 +151,22 @@ class MicroBatcher:
         raise (e.g. the backend lost its last shard, or was closed by a
         racing shutdown) - those requests must still get an answer.
         """
+        batch_id = next(self._batch_ids)
+        traced = [req for req in batch if req.trace is not None]
+        if traced:
+            now = time.monotonic()
+            opened_at = min(req.enqueued_at for req in batch)
+            n_images = sum(req.n_images for req in batch)
+            for req in traced:
+                req.trace.add_span("queue.wait", req.enqueued_at, now)
+                req.trace.add_span(
+                    "batch.form", opened_at, now,
+                    tags={"batch_requests": len(batch),
+                          "batch_images": n_images},
+                )
+                req.trace.set_tags(batch_id=batch_id,
+                                   batch_requests=len(batch),
+                                   batch_images=n_images)
         try:
             self._dispatch(batch)
         except BaseException as exc:

@@ -16,6 +16,11 @@ the client to JSON for the rest of its life - binary by default, JSON
 fallback, no caller involvement.  Logits are bit-identical across all
 three wires (locked by tests and the CI equivalence step).
 
+When the server traced a request, its trace id arrives in the
+``X-Sconna-Trace-Id`` response header and is surfaced as
+``ClientPrediction.trace_id`` (and ``client.last_trace_id``); fetch the
+full span tree with :meth:`SconnaClient.trace`.
+
 Admission-control rejections (``429``) raise :class:`AdmissionRejected`
 carrying the server's ``Retry-After`` hint; pass ``retry_429 > 0`` to
 have the client sleep that hint and retry transparently.  A keep-alive
@@ -37,6 +42,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import logging
 import socket
 import time
 import urllib.parse
@@ -52,6 +58,11 @@ from repro.serve.wire import (
     WireError,
 )
 
+#: the server's per-request trace id rides this response header
+TRACE_ID_HEADER = "X-Sconna-Trace-Id"
+
+logger = logging.getLogger("repro.serve.client")
+
 
 class ClientError(RuntimeError):
     """An HTTP-level failure; carries the response status and body."""
@@ -63,11 +74,20 @@ class ClientError(RuntimeError):
 
 
 class AdmissionRejected(ClientError):
-    """The server shed this request (429); retry after ``retry_after_s``."""
+    """The server shed this request (429); retry after ``retry_after_s``.
 
-    def __init__(self, message: str, retry_after_s: float) -> None:
+    ``trace_id`` carries the server's trace id for the shed request
+    (when the server traced it) so a 429 can be correlated with the
+    server's ``/v1/trace`` view of the same decision.
+    """
+
+    def __init__(
+        self, message: str, retry_after_s: float,
+        trace_id: "str | None" = None,
+    ) -> None:
         super().__init__(429, message)
         self.retry_after_s = retry_after_s
+        self.trace_id = trace_id
 
 
 @dataclass(frozen=True)
@@ -83,13 +103,16 @@ class ClientPrediction:
     cost: "dict | None" = None
     index: "int | None" = None     #: position within a streamed response
     total: "int | None" = None     #: streamed-response frame count
+    trace_id: "str | None" = None  #: server-side trace id (if traced)
 
     @property
     def top_class(self) -> int:
         return self.top_k[0][0][0]
 
 
-def _result_from(meta: dict, logits: np.ndarray) -> ClientPrediction:
+def _result_from(
+    meta: dict, logits: np.ndarray, trace_id: "str | None" = None
+) -> ClientPrediction:
     return ClientPrediction(
         request_id=int(meta.get("request_id", 0)),
         model=str(meta.get("model", "")),
@@ -103,6 +126,7 @@ def _result_from(meta: dict, logits: np.ndarray) -> ClientPrediction:
         cost=meta.get("cost"),
         index=meta.get("index"),
         total=meta.get("total"),
+        trace_id=trace_id,
     )
 
 
@@ -127,6 +151,7 @@ class SconnaClient:
         self.timeout = timeout
         self.retry_429 = retry_429
         self.opened = 0          #: TCP connections made (1 == keep-alive held)
+        self.last_trace_id: "str | None" = None  #: from the latest response
         self._conn: "http.client.HTTPConnection | None" = None
         self._json_fallback = False
 
@@ -192,7 +217,9 @@ class SconnaClient:
             message = body[:200].decode(errors="replace")
         if resp.status == 429:
             raise AdmissionRejected(
-                message, retry_after_s=float(resp.headers.get("Retry-After", 0.05))
+                message,
+                retry_after_s=float(resp.headers.get("Retry-After", 0.05)),
+                trace_id=resp.headers.get(TRACE_ID_HEADER),
             )
         raise ClientError(resp.status, message)
 
@@ -212,6 +239,15 @@ class SconnaClient:
 
     def metrics(self) -> dict:
         return self._get_json("/v1/metrics")
+
+    def traces(self, limit: "int | None" = None) -> "list[dict]":
+        """Summaries of the server's stored traces, newest first."""
+        path = "/v1/trace" + (f"?limit={int(limit)}" if limit else "")
+        return self._get_json(path)["traces"]
+
+    def trace(self, trace_id: str = "latest") -> dict:
+        """One stored trace in full (``'latest'`` for the newest)."""
+        return self._get_json(f"/v1/trace/{trace_id}")
 
     # -- predict ---------------------------------------------------------
     def predict(
@@ -237,6 +273,10 @@ class SconnaClient:
                 if retries <= 0:
                     raise
                 retries -= 1
+                logger.info(
+                    "429 shed (trace=%s): retrying in %.3fs (%d left)",
+                    exc.trace_id, exc.retry_after_s, retries,
+                )
                 time.sleep(exc.retry_after_s)
 
     def _effective_wire(self, wire_format: "str | None") -> str:
@@ -252,6 +292,8 @@ class SconnaClient:
         path, body, headers = self._encode_request(image, fields, chosen)
         resp = self._request("POST", path, body=body, headers=headers)
         payload = resp.read()
+        trace_id = resp.headers.get(TRACE_ID_HEADER)
+        self.last_trace_id = trace_id
         if resp.status == 415 and chosen != "json" and wire_format is None:
             # an endpoint predating the binary wire: downgrade for good
             self._json_fallback = True
@@ -263,7 +305,7 @@ class SconnaClient:
             meta, tensors = wire.decode_frame(payload)
             if "error" in meta:
                 raise ClientError(resp.status, meta["error"])
-            return _result_from(meta, tensors["logits"])
+            return _result_from(meta, tensors["logits"], trace_id)
         if ctype == CONTENT_TYPE_NPY:
             logits = wire.decode_npy(payload)
             meta = {
@@ -274,9 +316,11 @@ class SconnaClient:
                 ),
                 "latency_ms": resp.headers.get("X-Sconna-Latency-Ms", 0.0),
             }
-            return _result_from(meta, logits)
+            return _result_from(meta, logits, trace_id)
         doc = json.loads(payload)
-        return _result_from(doc, np.asarray(doc["logits"], dtype=np.float64))
+        return _result_from(
+            doc, np.asarray(doc["logits"], dtype=np.float64), trace_id
+        )
 
     def predict_stream(
         self,

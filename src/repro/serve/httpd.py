@@ -59,6 +59,18 @@ answered with ``429 Too Many Requests`` plus a ``Retry-After`` header
 (decimal seconds); shed counts appear in ``/v1/metrics`` under
 ``shed`` / ``admission``.
 
+**Telemetry.**  Every predict request may carry a sampled trace (the
+service's :class:`~repro.serve.telemetry.Tracer` decides): the handler
+opens the trace, records ``http.parse`` / ``http.encode`` spans around
+the wire codecs, threads it through the service so queue / backend /
+shard / engine spans land in the same tree, and answers with an
+``X-Sconna-Trace-Id`` header (on every status, 429s included) so
+clients can join their failures to server traces.  Completed traces
+are queryable at ``/v1/trace``; ``/v1/metrics?format=prometheus``
+renders the text exposition; a ``request_log``
+(:class:`~repro.serve.telemetry.StructuredLogger`) on the service
+emits one JSON line per request.
+
 Routes::
 
     GET  /healthz        -> {"status": "ok"}
@@ -66,7 +78,12 @@ Routes::
     GET  /v1/metrics     -> aggregated ServeMetrics snapshot (request-side
                             + every backend worker / shard, plus backend
                             topology, admission stats and simulation-cache
-                            stats)
+                            stats); ?format=prometheus for the text
+                            exposition
+    GET  /v1/trace       -> newest-first stored trace summaries (?limit=N)
+    GET  /v1/trace/<id>  -> one span tree as JSON ('latest' resolves the
+                            most recent; ?format=chrome exports Chrome
+                            trace_event JSON for about://tracing)
     POST /v1/predict     -> run one request
 
 Also a standalone server CLI with execution-backend selection::
@@ -85,6 +102,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -92,12 +110,16 @@ import numpy as np
 
 from repro.serve import wire
 from repro.serve.admission import AdmissionError
+from repro.serve.telemetry import PROMETHEUS_CONTENT_TYPE, render_exposition
 from repro.serve.wire import (
     CONTENT_TYPE_FRAME,
     CONTENT_TYPE_JSON,
     CONTENT_TYPE_NPY,
     WireError,
 )
+
+#: response header carrying the request's trace id (all statuses)
+TRACE_ID_HEADER = "X-Sconna-Trace-Id"
 
 #: request body cap (a (n,3,224,224) float image batch fits comfortably)
 MAX_BODY_BYTES = 256 * 1024 * 1024
@@ -194,6 +216,13 @@ class _ServeHandler(BaseHTTPRequestHandler):
     #: on a keep-alive connection that tax lands on *every* response
     disable_nagle_algorithm = True
 
+    #: the in-flight request's telemetry trace (set per predict request,
+    #: cleared after; _send_body reads it so *every* response to a
+    #: traced request - 429s and errors included - carries the id)
+    _trace = None
+    #: status of the last response written (for the access log)
+    _last_status = 0
+
     # -- plumbing --------------------------------------------------------
     def _send_body(
         self,
@@ -203,9 +232,12 @@ class _ServeHandler(BaseHTTPRequestHandler):
         close: bool = False,
         extra_headers: "list[tuple[str, str]] | None" = None,
     ) -> None:
+        self._last_status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._trace is not None:
+            self.send_header(TRACE_ID_HEADER, self._trace.trace_id)
         for name, value in extra_headers or ():
             self.send_header(name, value)
         if close:
@@ -257,32 +289,115 @@ class _ServeHandler(BaseHTTPRequestHandler):
 
     # -- routes ----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+        self._trace = None
         service = self.server.service
-        path = self.path.partition("?")[0]
+        path, _, query = self.path.partition("?")
+        params = {
+            key: values[-1]
+            for key, values in urllib.parse.parse_qs(query).items()
+        }
         if path == "/healthz":
             self._send_json({"status": "ok"})
         elif path == "/v1/models":
             self._send_json({"models": service.models()})
         elif path == "/v1/metrics":
-            self._send_json(service.metrics_snapshot())
+            snapshot = service.metrics_snapshot()
+            if params.get("format") == "prometheus":
+                self._send_body(
+                    render_exposition(snapshot).encode(),
+                    PROMETHEUS_CONTENT_TYPE,
+                )
+            else:
+                self._send_json(snapshot)
+        elif path == "/v1/trace" or path.startswith("/v1/trace/"):
+            self._get_trace(service, path, params)
         else:
             self._send_error(404, f"unknown path {self.path!r}")
+
+    def _get_trace(self, service, path: str, params: dict) -> None:
+        """``/v1/trace`` list + ``/v1/trace/<id>`` detail + chrome export."""
+        tracer = getattr(service, "tracer", None)
+        if tracer is None:
+            self._send_error(404, "this service has no tracer")
+            return
+        trace_id = (
+            path[len("/v1/trace/"):] if path.startswith("/v1/trace/") else ""
+        )
+        if not trace_id:
+            try:
+                limit = int(params.get("limit", 50))
+            except ValueError:
+                self._send_error(400, f"bad limit {params['limit']!r}")
+                return
+            self._send_json({
+                "traces": tracer.store.summaries(limit=limit),
+                "stats": tracer.stats(),
+            })
+            return
+        trace = (
+            tracer.store.latest() if trace_id == "latest"
+            else tracer.store.get(trace_id)
+        )
+        if trace is None:
+            self._send_error(404, f"no stored trace {trace_id!r}")
+            return
+        if params.get("format") == "chrome":
+            # the Chrome trace_event JSON object form: load directly in
+            # about://tracing or ui.perfetto.dev
+            self._send_json({
+                "traceEvents": trace.chrome_events(),
+                "displayTimeUnit": "ms",
+            })
+        else:
+            self._send_json(trace.as_dict())
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib handler API)
         path, _, query = self.path.partition("?")
         if path != "/v1/predict":
+            self._trace = None
             # the body was never read; this connection cannot be reused
             self._send_error(404, f"unknown path {self.path!r}", close=True)
             return
         service = self.server.service
+        tracer = getattr(service, "tracer", None)
+        trace = tracer.start("http.request") if tracer is not None else None
+        self._trace = trace
+        self._last_status = 0
+        started = time.monotonic()
+        model = resp_type = None
+        try:
+            model, resp_type = self._predict_route(service, query, trace)
+        finally:
+            status = self._last_status
+            if tracer is not None:
+                tracer.finish(trace, status=status, wire=resp_type)
+            log = getattr(self.server, "request_log", None)
+            if log is None:
+                log = getattr(service, "request_log", None)
+            if log is not None:
+                log.log_request(
+                    trace=trace,
+                    model=model,
+                    lane=model,
+                    wire=resp_type,
+                    status=status,
+                    latency_ms=(time.monotonic() - started) * 1e3,
+                )
+            self._trace = None
+
+    def _predict_route(
+        self, service, query: str, trace
+    ) -> "tuple[str | None, str | None]":
+        """The POST /v1/predict body; returns ``(model, response type)``
+        for the access log (``None`` where the request died first)."""
         try:
             length = int(self.headers.get("Content-Length", ""))
         except ValueError:
             self._send_error(411, "Content-Length is required", close=True)
-            return
+            return None, None
         if length <= 0:
             self._send_error(400, "missing request body", close=length < 0)
-            return
+            return None, None
         if length > MAX_BODY_BYTES:
             self._send_error(
                 413,
@@ -290,10 +405,11 @@ class _ServeHandler(BaseHTTPRequestHandler):
                 f"{MAX_BODY_BYTES}-byte cap",
                 close=True,
             )
-            return
+            return None, None
+        t0 = time.monotonic() if trace is not None else 0.0
         body = self._read_exact(length)
         if body is None:
-            return  # client hung up mid-body; nothing to answer
+            return None, None  # client hung up mid-body; nothing to answer
         ctype = (self.headers.get("Content-Type") or CONTENT_TYPE_JSON)
         ctype = ctype.partition(";")[0].strip().lower()
         try:
@@ -305,11 +421,14 @@ class _ServeHandler(BaseHTTPRequestHandler):
                 f"{CONTENT_TYPE_JSON}, {CONTENT_TYPE_NPY}, "
                 f"{CONTENT_TYPE_FRAME})",
             )
-            return
+            return None, ctype
         except (WireError, ValueError, TypeError, KeyError,
                 json.JSONDecodeError) as exc:
             self._send_error(400, f"bad request body: {exc}")
-            return
+            return None, ctype
+        if trace is not None:
+            trace.add_span("http.parse", t0, time.monotonic(),
+                           tags={"wire": ctype, "nbytes": length})
         model = fields["model"]
         if model is None:
             names = service.models()
@@ -317,17 +436,19 @@ class _ServeHandler(BaseHTTPRequestHandler):
                 self._send_error(
                     400, f"'model' is required (registered: {names})"
                 )
-                return
+                return None, ctype
             model = names[0]
         resp_type = negotiate_response_type(self.headers.get("Accept"), ctype)
+        if trace is not None:
+            trace.set_tags(model=model, wire=ctype, accept=resp_type)
         if fields["stream"]:
             if resp_type != CONTENT_TYPE_FRAME:
                 self._send_error(
                     400, "streaming requires Accept: " + CONTENT_TYPE_FRAME
                 )
-                return
-            self._stream_predict(service, model, images, fields)
-            return
+                return model, resp_type
+            self._stream_predict(service, model, images, fields, trace)
+            return model, resp_type
         try:
             prediction = service.predict(
                 model,
@@ -337,10 +458,12 @@ class _ServeHandler(BaseHTTPRequestHandler):
                 top_k=fields["top_k"],
                 with_cost=fields["cost"],
                 timeout=self.server.request_timeout_s,
+                trace=trace,
             )
         except Exception as exc:
             self._send_exception(exc)
-            return
+            return model, resp_type
+        t0 = time.monotonic() if trace is not None else 0.0
         meta = _prediction_meta(prediction)
         if resp_type == CONTENT_TYPE_FRAME:
             self._send_body(
@@ -361,6 +484,10 @@ class _ServeHandler(BaseHTTPRequestHandler):
         else:
             meta["logits"] = prediction.logits.tolist()
             self._send_json(meta)
+        if trace is not None:
+            trace.add_span("http.encode", t0, time.monotonic(),
+                           tags={"wire": resp_type})
+        return model, resp_type
 
     # -- request parsing -------------------------------------------------
     def _read_exact(self, length: int) -> "bytes | None":
@@ -406,7 +533,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
 
     # -- streaming -------------------------------------------------------
     def _stream_predict(
-        self, service, model: str, images, fields: dict
+        self, service, model: str, images, fields: dict, trace=None
     ) -> None:
         """Chunked per-image frame stream for an ``(n, C, H, W)`` stack.
 
@@ -436,7 +563,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
             try:
                 prediction = service.predict(
                     model, images, seed=fields["seed"],
-                    timeout=timeout, **kwargs,
+                    timeout=timeout, trace=trace, **kwargs,
                 )
             except Exception as exc:
                 self._send_exception(exc)
@@ -506,7 +633,10 @@ class _ServeHandler(BaseHTTPRequestHandler):
 
     def _write_stream(self, frames) -> None:
         """Send a committed 200 as chunked frames (one chunk per frame)."""
+        self._last_status = 200
         self.send_response(200)
+        if self._trace is not None:
+            self.send_header(TRACE_ID_HEADER, self._trace.trace_id)
         self.send_header("Content-Type", CONTENT_TYPE_FRAME)
         self.send_header("Transfer-Encoding", "chunked")
         self.end_headers()
@@ -615,6 +745,21 @@ def main(argv: "list[str] | None" = None) -> None:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8000)
     parser.add_argument("--verbose", action="store_true")
+    parser.add_argument("--trace-sample-rate", type=float, default=1.0 / 16,
+                        help="fraction of requests that keep a full trace "
+                             "(default: 1/16; 0 disables tracing)")
+    parser.add_argument("--trace-slow-ms", type=float, default=None,
+                        help="always keep traces slower than this many ms, "
+                             "regardless of the sample rate")
+    parser.add_argument("--trace-profile", action="store_true",
+                        help="record per-layer engine timings on sampled "
+                             "traces (quantize/im2col/matmul/remainder/...)")
+    parser.add_argument("--trace-capacity", type=int, default=256,
+                        help="completed traces kept for /v1/trace "
+                             "(default: 256)")
+    parser.add_argument("--log-requests", action="store_true",
+                        help="emit one JSON line per request on stderr "
+                             "(trace id, model, wire, status, latency)")
     args = parser.parse_args(argv)
 
     registry = ModelRegistry(args.registry)
@@ -643,6 +788,14 @@ def main(argv: "list[str] | None" = None) -> None:
                 else int(args.max_queued_mb * (1 << 20))
             ),
         )
+    from repro.serve.telemetry import StructuredLogger, TracePolicy
+
+    trace_policy = TracePolicy(
+        sample_rate=args.trace_sample_rate,
+        always_sample_slow_ms=args.trace_slow_ms,
+        profile_engine=args.trace_profile,
+    )
+    request_log = StructuredLogger() if args.log_requests else None
     service = SconnaService(
         policy=BatchingPolicy(
             max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms
@@ -655,6 +808,8 @@ def main(argv: "list[str] | None" = None) -> None:
         placement=placement,
         admission=admission,
         affinity=None if args.affinity == "none" else args.affinity,
+        trace_policy=trace_policy,
+        request_log=request_log,
     )
     for name in names:
         service.add_from_registry(registry, name)
@@ -672,20 +827,29 @@ def main(argv: "list[str] | None" = None) -> None:
                     f"affinity={backend_info.get('affinity')}")
     else:
         topology = f"workers={args.workers}"
-    print(f"serving {names} at {server.url}  "
-          f"(backend={backend_info['kind']}, {topology})")
-    print("POST /v1/predict (JSON | x-npy | x-sconna-frame) | "
-          "GET /v1/models /v1/metrics /healthz  "
-          "(SIGINT/SIGTERM drains and exits)")
+    if request_log is not None:
+        request_log.log("serve.start", url=server.url, models=names,
+                        backend=backend_info["kind"], topology=topology,
+                        trace_sample_rate=args.trace_sample_rate)
+    else:
+        print(f"serving {names} at {server.url}  "
+              f"(backend={backend_info['kind']}, {topology})")
+        print("POST /v1/predict (JSON | x-npy | x-sconna-frame) | "
+              "GET /v1/models /v1/metrics /v1/trace /healthz  "
+              "(SIGINT/SIGTERM drains and exits)")
     try:
         handlers.wait()
     except KeyboardInterrupt:
         pass  # SIGINT lands as KeyboardInterrupt too; teardown already ran
-    # the service is drained: print the final aggregated topology so an
+    # the service is drained: report the final aggregated topology so an
     # operator sees where every model ran and how batches travelled
     snap = service.metrics_snapshot()
-    print("topology at exit: "
-          + json.dumps(snap["backend"], sort_keys=True), flush=True)
+    if request_log is not None:
+        request_log.log("serve.stop", backend=snap["backend"],
+                        uptime_s=snap.get("uptime_s"))
+    else:
+        print("topology at exit: "
+              + json.dumps(snap["backend"], sort_keys=True), flush=True)
     if handlers.triggered is not None:
         # die by the signal that stopped us (handlers restored the
         # default action during teardown) - callers see the usual code;

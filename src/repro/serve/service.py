@@ -52,6 +52,7 @@ from repro.serve.backends import (
 from repro.serve.batching import BatchingPolicy, InferenceRequest, MicroBatcher
 from repro.serve.costs import CostAccountant, RequestCost, descriptor_from_quantized
 from repro.serve.metrics import ServeMetrics
+from repro.serve.telemetry import TracePolicy, Tracer
 from repro.stochastic.error_models import SconnaErrorModel
 
 
@@ -100,6 +101,9 @@ class SconnaService:
         placement: "object | None" = None,
         admission: "AdmissionPolicy | None" = None,
         affinity: "str | None" = None,
+        tracer: "Tracer | None" = None,
+        trace_policy: "TracePolicy | None" = None,
+        request_log: "object | None" = None,
     ) -> None:
         if mode not in ("float", "int8", "sconna"):
             raise ValueError(f"unknown default mode {mode!r}")
@@ -108,6 +112,12 @@ class SconnaService:
         self.metrics = metrics or ServeMetrics()
         self.costs = cost_accountant or CostAccountant()
         self.admission = AdmissionController(admission, metrics=self.metrics)
+        #: the telemetry front door: ``tracer`` wins when given, else a
+        #: fresh one from ``trace_policy`` (default policy: sampled).
+        #: ``request_log`` is an optional StructuredLogger the HTTP
+        #: layer (and in-process callers) emit per-request lines through.
+        self.tracer = tracer if tracer is not None else Tracer(trace_policy)
+        self.request_log = request_log
         self._backend = make_backend(
             backend, n_workers=n_workers, n_shards=n_shards,
             transport=transport, placement=placement, affinity=affinity,
@@ -115,6 +125,9 @@ class SconnaService:
         self._models: "dict[str, _ModelEntry]" = {}
         self._ids = itertools.count(1)
         self._closed = False
+        self._started_at = time.monotonic()
+        self._inflight_lock = threading.Lock()
+        self._inflight_by_model: "dict[str, int]" = {}
 
     @property
     def backend(self) -> ExecutionBackend:
@@ -225,11 +238,19 @@ class SconnaService:
         ideal: bool = False,
         top_k: int = 1,
         with_cost: bool = False,
+        trace: "object | None" = None,
     ) -> Future:
         """Enqueue one request; returns a future of :class:`Prediction`.
 
         ``image`` is one ``(C, H, W)`` image or an ``(n, C, H, W)``
         stack (served as one indivisible request).
+
+        ``trace`` attaches an externally-owned telemetry Trace (the
+        HTTP layer passes the one it started so decode/encode spans and
+        service-side spans land in one tree).  When ``None``, the
+        service consults its own :attr:`tracer` and - if the request is
+        sampled - owns the trace end to end, committing it when the
+        future resolves.
         """
         if self._closed:
             raise RuntimeError("service is closed")
@@ -259,11 +280,22 @@ class SconnaService:
             )
         if top_k < 1:
             raise ValueError("top_k must be >= 1")
+        owns_trace = False
+        if trace is None:
+            trace = self.tracer.start("request", model=model)
+            owns_trace = trace is not None
+        elif trace.root.tags.get("model") is None:
+            trace.set_tags(model=model)
         # the admission gate sits after validation (malformed requests
         # are client errors, not load) and before any queue is touched:
         # a shed request never allocates a lane slot or payload copy
         nbytes = int(images.nbytes)
-        self.admission.admit(nbytes)
+        try:
+            self.admission.admit(nbytes, trace=trace)
+        except BaseException as exc:
+            if owns_trace:
+                self.tracer.finish(trace, status=type(exc).__name__)
+            raise
         try:
             error_model = None
             if entry.mode == "sconna":
@@ -278,16 +310,38 @@ class SconnaService:
                 error_model=error_model,
                 top_k=top_k,
                 with_cost=with_cost,
+                trace=trace,
             )
             # queue depth is a gauge - sampling every 16th request keeps
             # the submit path off the metrics lock at high request rates
             if request.request_id % 16 == 0:
                 self.metrics.record_enqueue(entry.batcher.queue_depth())
             future = entry.batcher.submit(request)
-        except BaseException:
+        except BaseException as exc:
             self.admission.release(nbytes)
+            if owns_trace:
+                self.tracer.finish(trace, status=type(exc).__name__)
             raise
-        future.add_done_callback(lambda _f: self.admission.release(nbytes))
+        with self._inflight_lock:
+            self._inflight_by_model[model] = (
+                self._inflight_by_model.get(model, 0) + 1
+            )
+
+        def _resolved(f, model=model, nbytes=nbytes,
+                      trace=trace, owns_trace=owns_trace) -> None:
+            self.admission.release(nbytes)
+            with self._inflight_lock:
+                self._inflight_by_model[model] -= 1
+            if owns_trace:
+                exc = f.exception() if not f.cancelled() else None
+                self.tracer.finish(
+                    trace,
+                    status="ok" if exc is None and not f.cancelled()
+                    else type(exc).__name__ if exc is not None
+                    else "cancelled",
+                )
+
+        future.add_done_callback(_resolved)
         return future
 
     def predict(
@@ -299,10 +353,12 @@ class SconnaService:
         top_k: int = 1,
         with_cost: bool = False,
         timeout: float | None = 30.0,
+        trace: "object | None" = None,
     ) -> Prediction:
         """Blocking :meth:`predict_async`."""
         return self.predict_async(
-            model, image, seed=seed, ideal=ideal, top_k=top_k, with_cost=with_cost
+            model, image, seed=seed, ideal=ideal, top_k=top_k,
+            with_cost=with_cost, trace=trace,
         ).result(timeout)
 
     # -- batch completion (backend callback threads) ----------------------
@@ -407,6 +463,19 @@ class SconnaService:
         snap["backend"] = self._backend.info()
         snap["costs"] = self.costs.stats()
         snap["admission"] = self.admission.stats()
+        snap["uptime_s"] = round(time.monotonic() - self._started_at, 3)
+        snap["queue_depth_current"] = sum(
+            entry.batcher.queue_depth()
+            for entry in self._models.values()
+            if entry.batcher is not None
+        )
+        with self._inflight_lock:
+            snap["inflight_by_model"] = {
+                name: count
+                for name, count in sorted(self._inflight_by_model.items())
+                if count
+            }
+        snap["telemetry"] = self.tracer.stats()
         return snap
 
     def close(self, timeout: float | None = 10.0) -> None:

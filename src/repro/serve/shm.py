@@ -89,10 +89,17 @@ class RingAllocator:
         self.capacity = int(capacity)
         self._regions: "dict[int, int]" = {}  # offset -> size
         self._cursor = 0
+        #: lifetime occupancy telemetry: peak concurrent bytes and
+        #: alloc/backpressure counts (read by stats() for the metrics
+        #: plane; never consulted by the allocation logic itself)
+        self.high_water = 0
+        self.allocs = 0
+        self.alloc_failures = 0
 
     def alloc(self, nbytes: int) -> "int | None":
         nbytes = max(1, int(nbytes))
         if nbytes > self.capacity:
+            self.alloc_failures += 1
             return None
         gaps = self._gaps()
         # next-fit: first gap at/after the cursor, else wrap to the start
@@ -103,12 +110,17 @@ class RingAllocator:
         else:
             wrapped = [g for g in gaps if g[1] - g[0] >= nbytes]
             if not wrapped:
+                self.alloc_failures += 1
                 return None
             offset = wrapped[0][0]
         self._regions[offset] = nbytes
         self._cursor = offset + nbytes
         if self._cursor >= self.capacity:
             self._cursor = 0
+        self.allocs += 1
+        used = self.in_use
+        if used > self.high_water:
+            self.high_water = used
         return offset
 
     def free(self, offset: int) -> None:
@@ -134,6 +146,17 @@ class RingAllocator:
     @property
     def regions(self) -> int:
         return len(self._regions)
+
+    def stats(self) -> dict:
+        """JSON-ready occupancy snapshot for the telemetry plane."""
+        return {
+            "capacity": self.capacity,
+            "in_use": self.in_use,
+            "regions": len(self._regions),
+            "high_water": self.high_water,
+            "allocs": self.allocs,
+            "alloc_failures": self.alloc_failures,
+        }
 
 
 class ShmArena:

@@ -1,0 +1,99 @@
+"""Structured request logging: one JSON line per served request.
+
+:class:`StructuredLogger` replaces the ad-hoc ``print`` calls in the
+HTTP server and the demo with a machine-parseable access log.  Each
+request emits exactly one line - a flat JSON object with a stable core
+schema::
+
+    {"ts": <unix seconds>, "event": "request", "trace_id": ..,
+     "model": .., "lane": .., "batch_id": .., "wire": ..,
+     "status": <http status or "ok"/"error">, "latency_ms": ..,
+     "breakdown": {<span name>: <total ms>, ...}}
+
+``trace_id`` and ``breakdown`` come from the request's
+:class:`~repro.serve.telemetry.trace.Trace` when it was sampled (and
+are ``None`` otherwise), so a log line joins to its ``/v1/trace``
+entry by id.  Lines go to any writable text stream (default
+``sys.stderr``) under a lock, one ``write`` per line, so lines from
+concurrent handler threads never interleave.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+
+class StructuredLogger:
+    """Thread-safe one-line-JSON event logger.
+
+    ``stream`` is any object with ``write(str)``; ``flush()`` is called
+    when available so lines survive a crash.  A ``StructuredLogger``
+    is cheap enough to leave enabled: one dict, one ``json.dumps``,
+    one write per request.
+    """
+
+    def __init__(self, stream=None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+        self.emitted = 0
+
+    def log(self, event: str, **fields) -> dict:
+        """Emit one event line; returns the record (tests read it)."""
+        record = {"ts": round(time.time(), 3), "event": event}
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+            flush = getattr(self._stream, "flush", None)
+            if flush is not None:
+                flush()
+            self.emitted += 1
+        return record
+
+    def log_request(
+        self,
+        *,
+        trace=None,
+        model=None,
+        lane=None,
+        wire=None,
+        status=None,
+        latency_ms=None,
+        **extra,
+    ) -> dict:
+        """The per-request access line (core schema above).
+
+        When ``trace`` is a committed
+        :class:`~repro.serve.telemetry.trace.Trace`, its id, batch id
+        tag, and per-span latency breakdown are folded in; the
+        breakdown keys are span names, values total milliseconds.
+        """
+        trace_id = None
+        batch_id = None
+        breakdown = None
+        if trace is not None:
+            trace_id = trace.trace_id
+            batch_id = trace.root.tags.get("batch_id")
+            if latency_ms is None:
+                latency_ms = trace.duration_ms
+            breakdown = {
+                name: round(ms, 3)
+                for name, ms in sorted(trace.breakdown().items())
+            }
+        if latency_ms is not None:
+            latency_ms = round(float(latency_ms), 3)
+        return self.log(
+            "request",
+            trace_id=trace_id,
+            model=model,
+            lane=lane,
+            batch_id=batch_id,
+            wire=wire,
+            status=status,
+            latency_ms=latency_ms,
+            breakdown=breakdown,
+            **extra,
+        )
