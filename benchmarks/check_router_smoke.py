@@ -1,0 +1,207 @@
+"""CI router smoke: kill a replica under load behind the live router.
+
+The replica-tier acceptance gate, as a standalone check:
+
+* spawns two real ``python -m repro.serve`` processes from a freshly
+  trained registry and fronts them with ``python -m``-equivalent
+  in-process :class:`~repro.serve.router.Router` + HTTP front-end;
+* verifies consistent routing (``/v1/router`` names the model's
+  preferred lanes) and the fleet-merged ``/v1/metrics`` surface;
+* drives seeded open-loop load through :class:`SconnaClient`, then
+  SIGTERMs the replica the model's requests actually prefer -
+  every accepted request must still complete, bit-identical to a
+  direct single-replica reference, with zero client-visible failures;
+* waits for the health prober to eject the dead replica and confirms
+  the survivor carries the traffic.
+
+Exits nonzero on the first violation.  What ``ci.yml`` runs::
+
+    PYTHONPATH=src python benchmarks/check_router_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import socket
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+N_THREADS = 3
+N_PER_THREAD = 5
+
+
+def fail(message: str) -> None:
+    print(f"ROUTER SMOKE FAILED: {message}")
+    sys.exit(1)
+
+
+def free_base_port(n: int = 2) -> int:
+    """A base port with ``n`` consecutive free ports above it."""
+    for _ in range(64):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            base = probe.getsockname()[1]
+        try:
+            holds = []
+            for i in range(n):
+                held = socket.socket()
+                held.bind(("127.0.0.1", base + i))
+                holds.append(held)
+        except OSError:
+            continue
+        finally:
+            for held in holds:
+                held.close()
+        return base
+    raise RuntimeError("no free consecutive port range found")
+
+
+def build_registry(root: Path) -> "tuple[str, object]":
+    from repro.cnn.datasets import N_CLASSES, generate_dataset
+    from repro.cnn.inference import QuantizedModel
+    from repro.cnn.micro import (
+        Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential,
+    )
+    from repro.serve.registry import ModelRegistry
+    from repro.utils.rng import make_rng
+
+    rng = make_rng(0)
+    model = Sequential(
+        Conv2d(3, 6, 3, padding=1, rng=rng), ReLU(), MaxPool2d(4),
+        Flatten(), Linear(6 * 6 * 6, N_CLASSES, rng=rng),
+    )
+    ds = generate_dataset(6, seed=3)
+    qmodel = QuantizedModel.from_trained(model, ds.images[:6])
+    registry = ModelRegistry(root / "models")
+    registry.save("smoke", qmodel)
+    return str(root / "models"), ds
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n-replicas", type=int, default=2)
+    args = parser.parse_args()
+
+    import numpy as np
+
+    from repro.serve import SconnaClient
+    from repro.serve.router import (
+        Router, RouterPolicy, serve_router, spawn_replicas,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="router_smoke_") as tmp:
+        registry, ds = build_registry(Path(tmp))
+        processes, urls = spawn_replicas(
+            registry, args.n_replicas, free_base_port(args.n_replicas),
+            extra_args=["--workers", "1", "--max-wait-ms", "1"],
+            wait_s=120.0,
+        )
+        router = Router(
+            urls,
+            policy=RouterPolicy(
+                health_interval_s=0.1, eject_after=2, readmit_after=2,
+                max_retries=3, retry_after_s=0.05,
+            ),
+        )
+        front, _ = serve_router(router)
+        failures: "list[Exception]" = []
+        results: "list[np.ndarray]" = []
+        lock = threading.Lock()
+
+        def worker(n: int) -> None:
+            try:
+                with SconnaClient(front.url, retry_429=50) as client:
+                    for _ in range(n):
+                        got = client.predict(
+                            ds.images[0], model="smoke", seed=11
+                        )
+                        with lock:
+                            results.append(got.logits)
+            except Exception as exc:  # noqa: BLE001 - recorded below
+                with lock:
+                    failures.append(exc)
+
+        try:
+            with SconnaClient(urls[0]) as client:
+                reference = client.predict(
+                    ds.images[0], model="smoke", seed=11
+                ).logits
+
+            # consistent routing is visible before any traffic
+            topology = router.topology()
+            lanes = topology["model_lanes"].get("smoke")
+            if not lanes:
+                fail(f"/v1/router topology has no lanes for 'smoke': "
+                     f"{topology['model_lanes']}")
+
+            # fleet metrics read like one server
+            snapshot = router.metrics_snapshot()
+            fleet = snapshot.get("fleet") or {}
+            if fleet.get("healthy") != args.n_replicas:
+                fail(f"expected {args.n_replicas} healthy replicas, "
+                     f"fleet says {fleet.get('healthy')}")
+
+            # SIGTERM the preferred replica mid-load: the redispatch
+            # path, not just the probe path, must carry the requests
+            preferred = router.ranked("smoke")[0].url
+            victim = processes[urls.index(preferred)]
+            threads = [
+                threading.Thread(target=worker, args=(N_PER_THREAD,))
+                for _ in range(N_THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.3)
+            victim.send_signal(signal.SIGTERM)
+            for thread in threads:
+                thread.join(timeout=180.0)
+            if any(thread.is_alive() for thread in threads):
+                fail("load threads did not finish")
+            if failures:
+                fail(f"{len(failures)} client-visible failure(s); "
+                     f"first: {failures[0]!r}")
+            if len(results) != N_THREADS * N_PER_THREAD:
+                fail(f"{len(results)} results for "
+                     f"{N_THREADS * N_PER_THREAD} requests")
+            mismatched = sum(
+                not np.array_equal(logits, reference) for logits in results
+            )
+            if mismatched:
+                fail(f"{mismatched} responses were not bit-identical "
+                     f"to the direct single-replica reference")
+
+            # once the victim exits its graceful drain, the prober
+            # ejects it - health-check ejection observed end to end
+            victim.wait(timeout=60.0)
+            dead = next(r for r in router.replicas if r.url == preferred)
+            deadline = time.monotonic() + 30.0
+            while dead.available and time.monotonic() < deadline:
+                time.sleep(0.05)
+            if dead.available:
+                fail(f"dead replica {preferred} was never ejected")
+
+            snapshot = router.metrics_snapshot()
+            redispatches = snapshot["router"]["redispatches"]
+        finally:
+            front.shutdown()
+            router.close()
+            for proc in processes:
+                proc.terminate()
+            for proc in processes:
+                try:
+                    proc.wait(timeout=30.0)
+                except Exception:
+                    proc.kill()
+
+    print(f"router smoke ok: {N_THREADS * N_PER_THREAD} seeded requests "
+          f"bit-identical through SIGTERM of the preferred replica "
+          f"({redispatches} redispatched), ejection observed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

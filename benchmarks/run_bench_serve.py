@@ -11,7 +11,13 @@ execution backend) around a zoo proxy model and drives it open-loop
   policy sharded over N worker processes, swept over ``--shards`` *and*
   ``--transport`` (pipe-pickle vs shared-memory rings) on the ``sconna``
   datapath (whose per-image compute dominates its batch cost, making it
-  the datapath that needs multi-core scaling).
+  the datapath that needs multi-core scaling);
+* ``router`` - the replica tier: ``--replicas`` real ``python -m
+  repro.serve`` processes behind :class:`~repro.serve.router.Router`,
+  driven over HTTP through the routed front-end, swept over replicas x
+  shards (``--router-only`` reruns just this sweep and merges its
+  records into ``BENCH_serve.json`` without touching the single-server
+  baselines).
 
 Writes ``BENCH_serve.json`` at the repo root::
 
@@ -228,6 +234,170 @@ def check_equivalence(registry, ds, model_name, *, policy, n_shards,
           f"(transports: {', '.join(transports)})")
 
 
+def _free_base_port(n: int) -> int:
+    """A base port with ``n`` consecutive free ports above it."""
+    import socket
+
+    for _ in range(64):
+        socks = []
+        try:
+            probe = socket.socket()
+            probe.bind(("127.0.0.1", 0))
+            base = probe.getsockname()[1]
+            socks.append(probe)
+            if base + n >= 65535:
+                continue
+            for i in range(1, n):
+                sock = socket.socket()
+                sock.bind(("127.0.0.1", base + i))
+                socks.append(sock)
+            return base
+        except OSError:
+            continue
+        finally:
+            for sock in socks:
+                sock.close()
+    raise RuntimeError("could not find a free consecutive port range")
+
+
+def run_router_scenario(
+    registry_root, ds, model_name, *, n_replicas, n_shards, n_requests,
+    workers, max_batch_size, max_wait_ms,
+):
+    """One replicas x shards point: real replica processes behind the
+    routed HTTP front-end, driven open-loop by concurrent keep-alive
+    clients.  Latency percentiles are measured client-side (wire cost
+    included), so the record is comparable to ``run_bench_http.py``
+    numbers, not the in-process scenarios above."""
+    import threading
+
+    from repro.serve import Router, RouterPolicy, SconnaClient, serve_router
+    from repro.serve.metrics import percentile
+    from repro.serve.router import spawn_replicas
+
+    extra = [
+        "--workers", str(workers),
+        "--max-batch-size", str(max_batch_size),
+        "--max-wait-ms", str(max_wait_ms),
+    ]
+    if n_shards:
+        extra += ["--backend", "process", "--shards", str(n_shards)]
+    processes, urls = spawn_replicas(
+        str(registry_root), n_replicas, _free_base_port(n_replicas),
+        extra_args=extra, wait_s=120.0,
+    )
+    router = Router(
+        urls, policy=RouterPolicy(health_interval_s=0.5, max_retries=3)
+    )
+    front, _ = serve_router(router)
+    n_clients = min(4, 2 * n_replicas)
+    latencies: "list[float]" = []
+    errors: "list[Exception]" = []
+    lock = threading.Lock()
+
+    def drive(first: int, count: int) -> None:
+        try:
+            with SconnaClient(front.url, retry_429=100) as client:
+                for i in range(first, first + count):
+                    t0 = time.perf_counter()
+                    client.predict(
+                        ds.images[i % len(ds.images)],
+                        model=model_name, seed=i,
+                    )
+                    elapsed = time.perf_counter() - t0
+                    with lock:
+                        latencies.append(elapsed)
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            with lock:
+                errors.append(exc)
+
+    try:
+        with SconnaClient(front.url) as client:
+            for i in range(8):  # warm every replica's request path
+                client.predict(
+                    ds.images[i % len(ds.images)], model=model_name, seed=i
+                )
+        per_client = n_requests // n_clients
+        counts = [per_client] * n_clients
+        counts[-1] += n_requests - per_client * n_clients
+        threads = [
+            threading.Thread(
+                target=drive, args=(sum(counts[:i]), counts[i])
+            )
+            for i in range(n_clients)
+        ]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - t0
+        if errors:
+            raise RuntimeError(
+                f"router scenario failed: {errors[0]}"
+            ) from errors[0]
+        fleet = router.metrics_snapshot()
+    finally:
+        front.shutdown()
+        router.close()
+        for proc in processes:
+            proc.terminate()
+        for proc in processes:
+            try:
+                proc.wait(timeout=30.0)
+            except Exception:
+                proc.kill()
+    return {
+        "mode": "sconna",
+        "input_dtype": str(ds.images.dtype),
+        "backend": "router",
+        "replicas": n_replicas,
+        "shards": n_shards or None,
+        "transport": "http",
+        "scenario": "router",
+        "requests": n_requests,
+        "workers": workers,
+        "clients": n_clients,
+        "max_batch_size": max_batch_size,
+        "max_wait_ms": max_wait_ms,
+        "wall_time_s": round(wall, 4),
+        "requests_per_s": round(n_requests / wall, 1),
+        "latency_p50_ms": round(1e3 * percentile(latencies, 50.0), 3),
+        "latency_p95_ms": round(1e3 * percentile(latencies, 95.0), 3),
+        "latency_p99_ms": round(1e3 * percentile(latencies, 99.0), 3),
+        "redispatches": fleet["router"]["redispatches"],
+        "fleet_healthy": fleet["fleet"]["healthy"],
+    }
+
+
+def run_router_sweep(registry_root, ds, model_name, *, replicas, shards,
+                     n_requests, workers, max_batch_size, max_wait_ms):
+    """The replicas x shards grid; tags each record's speedup over the
+    1-replica point at the same shard count."""
+    records = []
+    base_by_shards = {}
+    for n_replicas in replicas:
+        for n_shards in shards:
+            rec = run_router_scenario(
+                registry_root, ds, model_name,
+                n_replicas=n_replicas, n_shards=n_shards,
+                n_requests=n_requests, workers=workers,
+                max_batch_size=max_batch_size, max_wait_ms=max_wait_ms,
+            )
+            base = base_by_shards.setdefault(n_shards, rec)
+            if rec is not base:
+                rec["speedup_vs_one_replica"] = round(
+                    rec["requests_per_s"] / base["requests_per_s"], 2
+                )
+            records.append(rec)
+            tag = f"router x{n_replicas}r/{n_shards or 't'}s"
+            print(f"  sconna router   {tag:14s}: "
+                  f"{rec['requests_per_s']:8.1f} req/s   "
+                  f"p50 {rec['latency_p50_ms']:7.1f} ms   "
+                  f"p99 {rec['latency_p99_ms']:7.1f} ms")
+    return records
+
+
 def parse_shards(spec: str) -> "list[int]":
     counts = [int(tok) for tok in spec.split(",") if tok.strip()]
     if not counts or any(c < 1 for c in counts):
@@ -255,6 +425,18 @@ def main() -> None:
                         choices=("pipe", "shm", "both"),
                         help="process-backend transports to measure / gate "
                              "(default: both)")
+    parser.add_argument("--replicas", type=parse_shards, default=None,
+                        help="comma-separated replica counts for the router "
+                             "sweep (replicas x shards grid of real server "
+                             "processes behind the routed front-end; "
+                             "default: no sweep)")
+    parser.add_argument("--router-requests", type=int, default=240,
+                        help="routed requests per replicas x shards point "
+                             "(default: 240)")
+    parser.add_argument("--router-only", action="store_true",
+                        help="run only the router sweep and merge its "
+                             "records into BENCH_serve.json, leaving the "
+                             "committed single-server baselines untouched")
     parser.add_argument("--smoke", action="store_true",
                         help="seconds-scale CI run; does not rewrite "
                              "BENCH_serve.json")
@@ -283,6 +465,46 @@ def main() -> None:
         # bench-regression guard compares it against the committed
         # baseline, so a noisy 80-request estimate would flake
         args.requests = 200
+
+    if args.router_only:
+        replicas = args.replicas or [1, 2]
+        with tempfile.TemporaryDirectory() as tmp:
+            _, ds = build_registry(Path(tmp), args.model)
+            print(f"router sweep over {replicas} replica(s) x "
+                  f"{args.shards} shard(s) ({args.router_requests} routed "
+                  f"requests/point, {cores} cores)")
+            router_records = run_router_sweep(
+                Path(tmp), ds, args.model,
+                replicas=replicas, shards=args.shards,
+                n_requests=args.router_requests, workers=args.workers,
+                max_batch_size=min(args.max_batch_size, 32),
+                max_wait_ms=args.max_wait_ms,
+            )
+        if args.json_out:
+            Path(args.json_out).write_text(
+                json.dumps({"records": router_records}, indent=2) + "\n"
+            )
+            print(f"wrote {args.json_out}")
+        if args.smoke:
+            print("smoke run: BENCH_serve.json not rewritten")
+            return
+        # merge: replace prior router records, keep everything else -
+        # the committed single-server baselines stay regression-guarded
+        payload = json.loads(OUTPUT.read_text()) if OUTPUT.exists() else {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cores": cores, "model": args.model, "records": [],
+        }
+        payload["records"] = [
+            rec for rec in payload.get("records", [])
+            if rec.get("backend") != "router"
+        ] + router_records
+        payload["router_generated_at"] = datetime.now(
+            timezone.utc
+        ).isoformat(timespec="seconds")
+        OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"merged {len(router_records)} router record(s) into {OUTPUT}")
+        return
 
     records = []
     speedups = {}
@@ -411,6 +633,14 @@ def main() -> None:
             records += run_trace_overhead(
                 registry, ds, args.model,
                 n_requests=args.requests, repeats=repeats,
+            )
+        if args.replicas and not args.smoke:
+            records += run_router_sweep(
+                Path(tmp), ds, args.model,
+                replicas=args.replicas, shards=args.shards,
+                n_requests=args.router_requests, workers=args.workers,
+                max_batch_size=min(args.max_batch_size, 32),
+                max_wait_ms=args.max_wait_ms,
             )
 
     payload = {

@@ -43,7 +43,13 @@ cost):
 * :mod:`repro.serve.telemetry` - the observability plane: sampled
   end-to-end request traces (``/v1/trace``, Chrome trace_event export),
   optional per-layer engine profiling, Prometheus text exposition for
-  ``/v1/metrics``, and one-JSON-line-per-request structured logging.
+  ``/v1/metrics``, and one-JSON-line-per-request structured logging,
+* :mod:`repro.serve.router`    - the replica tier: an HTTP front-end
+  load-balancing across N server replicas with per-model consistent
+  routing (rendezvous hashing), health-probe ejection/re-admission,
+  transparent redispatch of requests caught on a dying replica,
+  graceful drain, and fleet-merged ``/v1/metrics`` (also a CLI:
+  ``python -m repro.serve.router``).
 """
 
 from repro.serve.admission import (
@@ -65,6 +71,7 @@ from repro.serve.client import (
     ClientError,
     ClientPrediction,
     SconnaClient,
+    ServiceUnavailable,
 )
 from repro.serve.costs import CostAccountant, RequestCost, descriptor_from_quantized
 from repro.serve.httpd import ServeHTTPServer, serve_http
@@ -81,6 +88,15 @@ from repro.serve.wire import (
 )
 from repro.serve.metrics import ServeMetrics, percentile
 from repro.serve.registry import ModelRegistry, RegistryEntry
+from repro.serve.router import (
+    Replica,
+    ReplicaError,
+    Router,
+    RouterHTTPServer,
+    RouterPolicy,
+    serve_router,
+    spawn_replicas,
+)
 from repro.serve.shm import RingAllocator, ShmArena, ShmDescriptor
 from repro.serve.service import (
     Prediction,
@@ -108,6 +124,7 @@ __all__ = [
     "ClientError",
     "ClientPrediction",
     "SconnaClient",
+    "ServiceUnavailable",
     "CONTENT_TYPE_FRAME",
     "CONTENT_TYPE_JSON",
     "CONTENT_TYPE_NPY",
@@ -138,6 +155,13 @@ __all__ = [
     "percentile",
     "ModelRegistry",
     "RegistryEntry",
+    "Replica",
+    "ReplicaError",
+    "Router",
+    "RouterHTTPServer",
+    "RouterPolicy",
+    "serve_router",
+    "spawn_replicas",
     "Prediction",
     "SconnaService",
     "ShutdownHandlers",

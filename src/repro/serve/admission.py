@@ -44,6 +44,7 @@ class AdmissionPolicy:
             raise ValueError("retry_after_s must be >= 0")
 
     def as_dict(self) -> dict:
+        """JSON-serializable policy knobs (reported under ``/v1/metrics``)."""
         return {
             "max_inflight": self.max_inflight,
             "max_queued_bytes": self.max_queued_bytes,

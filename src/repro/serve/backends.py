@@ -164,6 +164,7 @@ class ShardPlacement:
         return cls(assignments)
 
     def as_dict(self) -> "dict[str, list[int]]":
+        """JSON-serializable ``model -> shard slots`` map."""
         return {name: list(slots) for name, slots in self.assignments.items()}
 
 

@@ -61,6 +61,10 @@ from repro.serve.wire import (
 #: the server's per-request trace id rides this response header
 TRACE_ID_HEADER = "X-Sconna-Trace-Id"
 
+#: which replica answered (set by replicas started with ``--replica-id``
+#: and stamped by the router when relaying)
+REPLICA_HEADER = "X-Sconna-Replica"
+
 logger = logging.getLogger("repro.serve.client")
 
 
@@ -90,6 +94,20 @@ class AdmissionRejected(ClientError):
         self.trace_id = trace_id
 
 
+class ServiceUnavailable(ClientError):
+    """No backend could take this request right now (503).
+
+    A router returns this when every replica is ejected or draining;
+    ``retry_after_s`` carries its hint for when capacity may return.
+    Like a 429, the request was never executed, so retrying is safe -
+    ``retry_429 > 0`` covers both.
+    """
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(503, message)
+        self.retry_after_s = retry_after_s
+
+
 @dataclass(frozen=True)
 class ClientPrediction:
     """One prediction as seen by the client (mirrors ``Prediction``)."""
@@ -104,6 +122,7 @@ class ClientPrediction:
     index: "int | None" = None     #: position within a streamed response
     total: "int | None" = None     #: streamed-response frame count
     trace_id: "str | None" = None  #: server-side trace id (if traced)
+    replica: "str | None" = None   #: replica id that answered (if known)
 
     @property
     def top_class(self) -> int:
@@ -111,7 +130,8 @@ class ClientPrediction:
 
 
 def _result_from(
-    meta: dict, logits: np.ndarray, trace_id: "str | None" = None
+    meta: dict, logits: np.ndarray, trace_id: "str | None" = None,
+    replica: "str | None" = None,
 ) -> ClientPrediction:
     return ClientPrediction(
         request_id=int(meta.get("request_id", 0)),
@@ -127,6 +147,7 @@ def _result_from(
         index=meta.get("index"),
         total=meta.get("total"),
         trace_id=trace_id,
+        replica=replica,
     )
 
 
@@ -152,6 +173,7 @@ class SconnaClient:
         self.retry_429 = retry_429
         self.opened = 0          #: TCP connections made (1 == keep-alive held)
         self.last_trace_id: "str | None" = None  #: from the latest response
+        self.last_replica: "str | None" = None   #: from the latest response
         self._conn: "http.client.HTTPConnection | None" = None
         self._json_fallback = False
 
@@ -172,6 +194,7 @@ class SconnaClient:
         return self._conn
 
     def close(self) -> None:
+        """Drop the pooled keep-alive connection (idempotent)."""
         if self._conn is not None:
             self._conn.close()
             self._conn = None
@@ -221,6 +244,10 @@ class SconnaClient:
                 retry_after_s=float(resp.headers.get("Retry-After", 0.05)),
                 trace_id=resp.headers.get(TRACE_ID_HEADER),
             )
+        if resp.status == 503 and resp.headers.get("Retry-After"):
+            raise ServiceUnavailable(
+                message, retry_after_s=float(resp.headers["Retry-After"])
+            )
         raise ClientError(resp.status, message)
 
     # -- GET endpoints ---------------------------------------------------
@@ -232,12 +259,15 @@ class SconnaClient:
         return json.loads(body)
 
     def health(self) -> dict:
+        """The server's ``/healthz`` document."""
         return self._get_json("/healthz")
 
     def models(self) -> "list[str]":
+        """Model names the server currently serves."""
         return self._get_json("/v1/models")["models"]
 
     def metrics(self) -> dict:
+        """The server's ``/v1/metrics`` JSON snapshot."""
         return self._get_json("/v1/metrics")
 
     def traces(self, limit: "int | None" = None) -> "list[dict]":
@@ -269,13 +299,13 @@ class SconnaClient:
         while True:
             try:
                 return self._predict_once(image, fields, wire_format)
-            except AdmissionRejected as exc:
+            except (AdmissionRejected, ServiceUnavailable) as exc:
                 if retries <= 0:
                     raise
                 retries -= 1
                 logger.info(
-                    "429 shed (trace=%s): retrying in %.3fs (%d left)",
-                    exc.trace_id, exc.retry_after_s, retries,
+                    "%d backoff: retrying in %.3fs (%d left)",
+                    exc.status, exc.retry_after_s, retries,
                 )
                 time.sleep(exc.retry_after_s)
 
@@ -293,7 +323,9 @@ class SconnaClient:
         resp = self._request("POST", path, body=body, headers=headers)
         payload = resp.read()
         trace_id = resp.headers.get(TRACE_ID_HEADER)
+        replica = resp.headers.get(REPLICA_HEADER)
         self.last_trace_id = trace_id
+        self.last_replica = replica
         if resp.status == 415 and chosen != "json" and wire_format is None:
             # an endpoint predating the binary wire: downgrade for good
             self._json_fallback = True
@@ -305,7 +337,7 @@ class SconnaClient:
             meta, tensors = wire.decode_frame(payload)
             if "error" in meta:
                 raise ClientError(resp.status, meta["error"])
-            return _result_from(meta, tensors["logits"], trace_id)
+            return _result_from(meta, tensors["logits"], trace_id, replica)
         if ctype == CONTENT_TYPE_NPY:
             logits = wire.decode_npy(payload)
             meta = {
@@ -316,10 +348,10 @@ class SconnaClient:
                 ),
                 "latency_ms": resp.headers.get("X-Sconna-Latency-Ms", 0.0),
             }
-            return _result_from(meta, logits, trace_id)
+            return _result_from(meta, logits, trace_id, replica)
         doc = json.loads(payload)
         return _result_from(
-            doc, np.asarray(doc["logits"], dtype=np.float64), trace_id
+            doc, np.asarray(doc["logits"], dtype=np.float64), trace_id, replica
         )
 
     def predict_stream(

@@ -39,6 +39,7 @@ class RequestCost:
     bottleneck: str           #: stage bottlenecking the most layers
 
     def as_dict(self) -> dict:
+        """JSON-serializable cost annotation (the response's ``cost`` field)."""
         return {
             "accelerator": self.accelerator,
             "model": self.model,

@@ -121,6 +121,15 @@ from repro.serve.wire import (
 #: response header carrying the request's trace id (all statuses)
 TRACE_ID_HEADER = "X-Sconna-Trace-Id"
 
+#: request header carrying an upstream (router) trace id; when present
+#: and the request is sampled, the server's trace adopts it so the
+#: router hop and the replica's span tree share one id end to end
+PARENT_TRACE_HEADER = "X-Sconna-Parent-Trace"
+
+#: response header naming this server within a replica fleet (set when
+#: the server was started with a ``replica_id``)
+REPLICA_HEADER = "X-Sconna-Replica"
+
 #: request body cap (a (n,3,224,224) float image batch fits comfortably)
 MAX_BODY_BYTES = 256 * 1024 * 1024
 
@@ -238,6 +247,9 @@ class _ServeHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if self._trace is not None:
             self.send_header(TRACE_ID_HEADER, self._trace.trace_id)
+        replica_id = getattr(self.server, "replica_id", None)
+        if replica_id:
+            self.send_header(REPLICA_HEADER, replica_id)
         for name, value in extra_headers or ():
             self.send_header(name, value)
         if close:
@@ -297,18 +309,31 @@ class _ServeHandler(BaseHTTPRequestHandler):
             for key, values in urllib.parse.parse_qs(query).items()
         }
         if path == "/healthz":
-            self._send_json({"status": "ok"})
+            health = {"status": "ok"}
+            replica_id = getattr(self.server, "replica_id", None)
+            if replica_id:
+                health["replica"] = replica_id
+            self._send_json(health)
         elif path == "/v1/models":
             self._send_json({"models": service.models()})
         elif path == "/v1/metrics":
-            snapshot = service.metrics_snapshot()
             if params.get("format") == "prometheus":
                 self._send_body(
-                    render_exposition(snapshot).encode(),
+                    render_exposition(service.metrics_snapshot()).encode(),
                     PROMETHEUS_CONTENT_TYPE,
                 )
+            elif params.get("format") == "state":
+                # the raw mergeable counter export a router fleet-
+                # aggregates (same shape shards ship to their parent)
+                state = getattr(service, "metrics_state", None)
+                if state is None:
+                    self._send_error(
+                        400, "this endpoint has no raw metrics state"
+                    )
+                else:
+                    self._send_json(state())
             else:
-                self._send_json(snapshot)
+                self._send_json(service.metrics_snapshot())
         elif path == "/v1/trace" or path.startswith("/v1/trace/"):
             self._get_trace(service, path, params)
         else:
@@ -360,7 +385,14 @@ class _ServeHandler(BaseHTTPRequestHandler):
             return
         service = self.server.service
         tracer = getattr(service, "tracer", None)
-        trace = tracer.start("http.request") if tracer is not None else None
+        trace = None
+        if tracer is not None:
+            # adopt an upstream router's trace id when one rides along,
+            # so router hop and replica span tree share one id
+            trace = tracer.start(
+                "http.request",
+                trace_id=self.headers.get(PARENT_TRACE_HEADER),
+            )
         self._trace = trace
         self._last_status = 0
         started = time.monotonic()
@@ -637,6 +669,9 @@ class _ServeHandler(BaseHTTPRequestHandler):
         self.send_response(200)
         if self._trace is not None:
             self.send_header(TRACE_ID_HEADER, self._trace.trace_id)
+        replica_id = getattr(self.server, "replica_id", None)
+        if replica_id:
+            self.send_header(REPLICA_HEADER, replica_id)
         self.send_header("Content-Type", CONTENT_TYPE_FRAME)
         self.send_header("Transfer-Encoding", "chunked")
         self.end_headers()
@@ -663,11 +698,17 @@ class ServeHTTPServer(ThreadingHTTPServer):
         port: int = 0,
         request_timeout_s: float = 60.0,
         verbose: bool = False,
+        replica_id: "str | None" = None,
+        handler_class: "type | None" = None,
     ) -> None:
         self.service = service
         self.request_timeout_s = request_timeout_s
         self.verbose = verbose
-        super().__init__((host, port), _ServeHandler)
+        #: fleet identity: when set, every response carries it in
+        #: X-Sconna-Replica and /healthz reports it (a router learns
+        #: replica names this way)
+        self.replica_id = replica_id
+        super().__init__((host, port), handler_class or _ServeHandler)
 
     @property
     def url(self) -> str:
@@ -680,12 +721,14 @@ def serve_http(
     host: str = "127.0.0.1",
     port: int = 0,
     verbose: bool = False,
+    replica_id: "str | None" = None,
 ) -> "tuple[ServeHTTPServer, threading.Thread]":
     """Start a background HTTP server; returns (server, thread).
 
     Call ``server.shutdown()`` then ``service.close()`` to stop.
     """
-    server = ServeHTTPServer(service, host=host, port=port, verbose=verbose)
+    server = ServeHTTPServer(service, host=host, port=port, verbose=verbose,
+                             replica_id=replica_id)
     thread = threading.Thread(
         target=server.serve_forever, name="sconna-httpd", daemon=True
     )
@@ -744,6 +787,10 @@ def main(argv: "list[str] | None" = None) -> None:
                              "before shedding with 429 (default: unbounded)")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8000)
+    parser.add_argument("--replica-id", default=None,
+                        help="fleet identity: sent on every response as "
+                             "X-Sconna-Replica and reported by /healthz "
+                             "(a fronting repro.serve.router learns it)")
     parser.add_argument("--verbose", action="store_true")
     parser.add_argument("--trace-sample-rate", type=float, default=1.0 / 16,
                         help="fraction of requests that keep a full trace "
@@ -814,7 +861,8 @@ def main(argv: "list[str] | None" = None) -> None:
     for name in names:
         service.add_from_registry(registry, name)
     server, _ = serve_http(
-        service, host=args.host, port=args.port, verbose=args.verbose
+        service, host=args.host, port=args.port, verbose=args.verbose,
+        replica_id=args.replica_id,
     )
     # chain=False: the signal must hand control *back* after the drain
     # so the topology report below still runs; the signal is re-raised

@@ -66,6 +66,7 @@ class ServeMetrics:
 
     # -- recording -------------------------------------------------------
     def record_enqueue(self, queue_depth: int) -> None:
+        """Sample the queue depth observed as a request is enqueued."""
         with self._lock:
             self._queue_depths.append(int(queue_depth))
 
@@ -78,6 +79,7 @@ class ServeMetrics:
             self._batch_hist[n_images] = self._batch_hist.get(n_images, 0) + 1
 
     def record_request(self, latency_s: float, wait_s: float, n_images: int = 1) -> None:
+        """Record one completed request (latency, queue wait, image count)."""
         self.record_requests([(latency_s, wait_s, n_images)])
 
     def record_requests(
@@ -99,6 +101,7 @@ class ServeMetrics:
             self._last_done = now
 
     def record_error(self, n_requests: int = 1) -> None:
+        """Count requests that resolved with an execution error."""
         with self._lock:
             self._n_errors += n_requests
 
@@ -185,6 +188,20 @@ class ServeMetrics:
         for part in parts:
             agg.merge(part)
         return agg
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ServeMetrics":
+        """Rebuild a live instance from one exported :meth:`state` dict.
+
+        The export is JSON-safe, so this also accepts a state that
+        round-tripped through ``/v1/metrics?format=state`` (where JSON
+        stringifies the batch-histogram keys - :meth:`merge` restores
+        them).  This is how a fleet router re-hydrates each replica's
+        counters before folding them together.
+        """
+        instance = cls(max_samples=int(state.get("max_samples", 100_000)))
+        instance.merge(state)
+        return instance
 
     # -- reading ---------------------------------------------------------
     def snapshot(self) -> dict:

@@ -55,6 +55,7 @@ class RegistryEntry:
     autotune: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
+        """JSON-serializable entry summary (what ``/v1/models`` lists)."""
         return {
             "name": self.name,
             "file": self.path.name,
@@ -117,6 +118,7 @@ class ModelRegistry:
         return entry
 
     def delete(self, name: str) -> None:
+        """Remove a registered model's weights and manifest from disk."""
         _check_name(name)
         found = False
         for suffix in (".npz", ".json"):
@@ -129,6 +131,7 @@ class ModelRegistry:
 
     # -- reading ---------------------------------------------------------
     def entry(self, name: str) -> RegistryEntry:
+        """The manifest-backed entry for ``name`` (``KeyError`` if unknown)."""
         _check_name(name)
         manifest_path = self.root / f"{name}.json"
         if not manifest_path.exists():
@@ -166,6 +169,7 @@ class ModelRegistry:
         return path
 
     def names(self) -> "list[str]":
+        """Registered model names, sorted."""
         return sorted(p.stem for p in self.root.glob("*.json"))
 
     def __contains__(self, name: str) -> bool:

@@ -227,6 +227,7 @@ class SconnaService:
         )
 
     def models(self) -> "list[str]":
+        """Names of the models added to this service, sorted."""
         return sorted(self._models)
 
     # -- request path ----------------------------------------------------
@@ -453,6 +454,21 @@ class SconnaService:
         (benchmarks use this to keep warm-up traffic out of results)."""
         self.metrics.reset()
         self._backend.reset_metrics()
+
+    def metrics_state(self) -> dict:
+        """The raw mergeable counter export behind
+        ``/v1/metrics?format=state``: this service's request-side and
+        every backend worker's execution-side counters pre-merged into
+        one :meth:`~repro.serve.metrics.ServeMetrics.state` dict, plus
+        the identity a fleet router needs (models, backend topology).
+        Feed the ``metrics`` field back through
+        :meth:`ServeMetrics.merge` to aggregate across replicas."""
+        agg = ServeMetrics.merged([self.metrics, *self._backend.metrics_states()])
+        return {
+            "metrics": agg.state(),
+            "models": self.models(),
+            "backend": self._backend.info(),
+        }
 
     def metrics_snapshot(self) -> dict:
         """One aggregated view: request-side metrics (this object) merged

@@ -97,6 +97,7 @@ class RingAllocator:
         self.alloc_failures = 0
 
     def alloc(self, nbytes: int) -> "int | None":
+        """Reserve ``nbytes``: the ring offset, or ``None`` when full/fragmented."""
         nbytes = max(1, int(nbytes))
         if nbytes > self.capacity:
             self.alloc_failures += 1
@@ -124,6 +125,7 @@ class RingAllocator:
         return offset
 
     def free(self, offset: int) -> None:
+        """Release the region at ``offset`` (``KeyError`` if not allocated)."""
         if self._regions.pop(offset, None) is None:
             raise KeyError(f"no allocated region at offset {offset}")
 

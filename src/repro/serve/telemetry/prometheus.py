@@ -204,6 +204,54 @@ def render_exposition(snapshot: dict) -> str:
         w.sample(f"{_PREFIX}_admitted_bytes",
                  int(admission.get("queued_bytes", 0)))
 
+    fleet = snapshot.get("fleet") or {}
+    if fleet:
+        replicas = fleet.get("replicas") or []
+
+        def _replica_label(entry: dict) -> str:
+            return entry.get("replica_id") or entry.get("url") or "?"
+
+        w.header(f"{_PREFIX}_replica_up", "gauge",
+                 "1 when the replica answers its health probe.")
+        for entry in replicas:
+            w.sample(f"{_PREFIX}_replica_up", entry.get("healthy", False),
+                     {"replica": _replica_label(entry)})
+        w.header(f"{_PREFIX}_replica_draining", "gauge",
+                 "1 while the replica is administratively draining.")
+        for entry in replicas:
+            w.sample(f"{_PREFIX}_replica_draining",
+                     entry.get("draining", False),
+                     {"replica": _replica_label(entry)})
+        w.header(f"{_PREFIX}_replica_inflight", "gauge",
+                 "Requests the router has in flight to the replica.")
+        for entry in replicas:
+            w.sample(f"{_PREFIX}_replica_inflight",
+                     int(entry.get("inflight", 0)),
+                     {"replica": _replica_label(entry)})
+        w.header(f"{_PREFIX}_replica_routed_total", "counter",
+                 "Requests the router forwarded to the replica.")
+        for entry in replicas:
+            w.sample(f"{_PREFIX}_replica_routed_total",
+                     int(entry.get("routed", 0)),
+                     {"replica": _replica_label(entry)})
+
+    router = snapshot.get("router") or {}
+    if router:
+        for key, name, help_text in (
+            ("routed_total", "routed",
+             "Requests the router forwarded to a replica."),
+            ("redispatches", "redispatches",
+             "Forwards retried on another replica after a dead one."),
+            ("unroutable", "unroutable",
+             "Requests rejected because no replica was available."),
+            ("proxy_errors", "proxy_errors",
+             "Forwards that failed on every candidate or died mid-relay."),
+        ):
+            if router.get(key) is not None:
+                w.header(f"{_PREFIX}_router_{name}_total", "counter",
+                         help_text)
+                w.sample(f"{_PREFIX}_router_{name}_total", int(router[key]))
+
     telemetry = snapshot.get("telemetry") or {}
     store = telemetry.get("store") or {}
     if store:

@@ -58,6 +58,7 @@ class Span:
         return (self.end_s - self.start_s) * 1e3
 
     def as_dict(self) -> dict:
+        """JSON-serializable span (one entry of a trace document)."""
         return {
             "span_id": self.span_id,
             "name": self.name,
@@ -97,6 +98,7 @@ class TracePolicy:
             raise ValueError("always_sample_slow_ms must be >= 0 (or None)")
 
     def as_dict(self) -> dict:
+        """JSON-serializable policy knobs (reported by tracer stats)."""
         return {
             "sample_rate": self.sample_rate,
             "always_sample_slow_ms": self.always_sample_slow_ms,
@@ -224,6 +226,7 @@ class Trace:
         return self.root.duration_ms
 
     def spans(self) -> "list[Span]":
+        """The recorded spans, in append order (a copy; safe to iterate)."""
         with self._lock:
             return list(self._spans)
 
@@ -250,6 +253,7 @@ class Trace:
         }
 
     def as_dict(self) -> dict:
+        """The full ``/v1/trace/<id>`` document: tags plus every span."""
         return {
             "trace_id": self.trace_id,
             "sampled": self.sampled,
@@ -299,6 +303,7 @@ class TraceStore:
         self.evicted = 0
 
     def add(self, trace: Trace) -> None:
+        """Store a finished trace, evicting the oldest past capacity."""
         with self._lock:
             self._traces[trace.trace_id] = trace
             self._traces.move_to_end(trace.trace_id)
@@ -307,10 +312,12 @@ class TraceStore:
                 self.evicted += 1
 
     def get(self, trace_id: str) -> "Trace | None":
+        """The stored trace with this id, or ``None``."""
         with self._lock:
             return self._traces.get(trace_id)
 
     def latest(self) -> "Trace | None":
+        """The most recently stored trace, or ``None``."""
         with self._lock:
             if not self._traces:
                 return None
@@ -327,6 +334,7 @@ class TraceStore:
             return len(self._traces)
 
     def stats(self) -> dict:
+        """Capacity/stored/evicted counters for the ring."""
         with self._lock:
             return {
                 "capacity": self.capacity,
@@ -357,8 +365,17 @@ class Tracer:
         self.started = 0
         self.committed = 0
 
-    def start(self, name: str = "request", **tags) -> "Trace | None":
-        """Begin a trace for one request, or ``None`` when unsampled."""
+    def start(
+        self, name: str = "request", trace_id: "str | None" = None, **tags
+    ) -> "Trace | None":
+        """Begin a trace for one request, or ``None`` when unsampled.
+
+        ``trace_id`` propagates an upstream id (a fleet router sends
+        its own in ``X-Sconna-Parent-Trace``): the local trace adopts
+        it, so the router's hop spans and this process's span tree are
+        queryable under one id on both sides - distributed tracing
+        with nothing but an HTTP header.
+        """
         policy = self.policy
         if policy.sample_rate >= 1.0:
             sampled = True
@@ -372,7 +389,7 @@ class Tracer:
         with self._lock:
             self.started += 1
         return Trace(
-            name=name, sampled=sampled,
+            name=name, trace_id=trace_id, sampled=sampled,
             wants_profile=policy.profile_engine, tags=tags,
         )
 
@@ -395,6 +412,7 @@ class Tracer:
         return keep
 
     def stats(self) -> dict:
+        """Sampling counters plus store stats (``/v1/metrics`` telemetry)."""
         with self._lock:
             started, committed = self.started, self.committed
         return {

@@ -50,6 +50,7 @@ class WorkerPool:
 
     # -- client side -----------------------------------------------------
     def submit(self, task) -> None:
+        """Enqueue a zero-argument task (``RuntimeError`` once closed)."""
         if self._closed:
             raise RuntimeError("worker pool is closed")
         self._tasks.put(task)

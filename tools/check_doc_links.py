@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in the docs resolves.
+
+Stdlib only - this runs in CI ahead of the test suite, so it must not
+drag in a markdown parser.  It covers the failure modes docs actually
+regress with:
+
+* ``[text](path)`` / ``![alt](path)`` pointing at a file that moved or
+  was never committed;
+* ``[text](path#anchor)`` / ``[text](#anchor)`` pointing at a heading
+  that was renamed (anchors are matched against GitHub-style slugs of
+  the target file's headings, including ``-1``/``-2`` duplicate
+  suffixes);
+* absolute paths, which render on GitHub but break in local checkouts.
+
+External ``http(s)://`` and ``mailto:`` links are skipped - CI must not
+depend on the network.  Link syntax inside fenced code blocks and
+inline code spans is ignored.
+
+Usage::
+
+    python tools/check_doc_links.py [FILE_OR_DIR ...]
+
+With no arguments, checks ``README.md`` and ``docs/*.md`` relative to
+the repository root (the parent of this script's directory).  Exits
+non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# inline links/images: [text](target "optional title")
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+_CODE_SPAN_RE = re.compile(r"`[^`]*`")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _strip_code(lines: "list[str]") -> "list[str]":
+    """Blank out fenced code blocks and inline code spans."""
+    out = []
+    in_fence = False
+    for line in lines:
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else _CODE_SPAN_RE.sub("", line))
+    return out
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = _CODE_SPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    # drop markdown emphasis markers and link syntax, keep the text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.replace("*", "").replace("_", "_")
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> "set[str]":
+    """All heading anchors a markdown file exposes."""
+    slugs: "dict[str, int]" = {}
+    anchors: "set[str]" = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = _slugify(match.group(2))
+        n = slugs.get(slug, 0)
+        slugs[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_file(path: Path, root: Path) -> "list[str]":
+    """Return a list of broken-link descriptions for one markdown file."""
+    problems = []
+    lines = _strip_code(path.read_text(encoding="utf-8").splitlines())
+    for lineno, line in enumerate(lines, start=1):
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL_PREFIXES):
+                continue
+            try:
+                shown = path.relative_to(root)
+            except ValueError:
+                shown = path
+            where = f"{shown}:{lineno}"
+            if target.startswith("/"):
+                problems.append(
+                    f"{where}: absolute link {target!r} breaks local checkouts"
+                )
+                continue
+            ref, _, anchor = target.partition("#")
+            dest = path if not ref else (path.parent / ref).resolve()
+            if not dest.exists():
+                problems.append(f"{where}: {target!r} -> missing file {ref!r}")
+                continue
+            if anchor:
+                if dest.is_dir() or dest.suffix.lower() not in (".md", ".markdown"):
+                    continue  # anchors into non-markdown are out of scope
+                if anchor.lower() not in _anchors(dest):
+                    problems.append(
+                        f"{where}: {target!r} -> no heading for anchor "
+                        f"#{anchor} in {dest.name}"
+                    )
+    return problems
+
+
+def main(argv: "list[str]") -> int:
+    root = Path(__file__).resolve().parent.parent
+    if argv:
+        targets = [Path(a).resolve() for a in argv]
+    else:
+        targets = [root / "README.md", root / "docs"]
+
+    files: "list[Path]" = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(sorted(target.glob("*.md")))
+        elif target.exists():
+            files.append(target)
+        else:
+            print(f"check_doc_links: no such file: {target}", file=sys.stderr)
+            return 2
+
+    problems = []
+    for path in files:
+        problems.extend(check_file(path, root))
+
+    if problems:
+        print(f"{len(problems)} broken link(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"checked {len(files)} file(s): all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
