@@ -1,0 +1,296 @@
+"""CI watchtower smoke: kill a replica under watch, assert self-healing.
+
+The watchtower acceptance gate, as a standalone check:
+
+* spawns two real ``python -m repro.serve`` processes from a freshly
+  trained registry, fronts them with an in-process router, and boots a
+  :class:`~repro.serve.telemetry.watch.Watchtower` scraping the router
+  and both replicas at a fast interval with ``auto_drain`` on;
+* drives seeded open-loop load, SIGKILLs one replica mid-load, and
+  asserts:
+
+  - the ``replica_down`` alert fires within two evaluation intervals
+    of the router's fleet section first reporting the death,
+  - auto-drain POSTs ``/v1/router/drain`` and the corpse shows up
+    draining in the router topology,
+  - every request the load sent completes bit-identically - zero
+    client-visible failures while the fleet self-heals,
+  - ``/v1/watch/series`` serves non-empty p99 and energy-rate series
+    over HTTP.
+
+Exits nonzero on the first violation.  What ``ci.yml`` runs::
+
+    PYTHONPATH=src python benchmarks/check_watch_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import signal
+import socket
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+N_THREADS = 3
+N_PER_THREAD = 6
+INTERVAL_S = 0.15
+
+
+def fail(message: str) -> None:
+    print(f"WATCH SMOKE FAILED: {message}")
+    sys.exit(1)
+
+
+def free_base_port(n: int = 2) -> int:
+    """A base port with ``n`` consecutive free ports above it."""
+    for _ in range(64):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            base = probe.getsockname()[1]
+        try:
+            holds = []
+            for i in range(n):
+                held = socket.socket()
+                held.bind(("127.0.0.1", base + i))
+                holds.append(held)
+        except OSError:
+            continue
+        finally:
+            for held in holds:
+                held.close()
+        return base
+    raise RuntimeError("no free consecutive port range found")
+
+
+def build_registry(root: Path) -> "tuple[str, object]":
+    from repro.cnn.datasets import N_CLASSES, generate_dataset
+    from repro.cnn.inference import QuantizedModel
+    from repro.cnn.micro import (
+        Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential,
+    )
+    from repro.serve.registry import ModelRegistry
+    from repro.utils.rng import make_rng
+
+    rng = make_rng(0)
+    model = Sequential(
+        Conv2d(3, 6, 3, padding=1, rng=rng), ReLU(), MaxPool2d(4),
+        Flatten(), Linear(6 * 6 * 6, N_CLASSES, rng=rng),
+    )
+    ds = generate_dataset(6, seed=3)
+    qmodel = QuantizedModel.from_trained(model, ds.images[:6])
+    registry = ModelRegistry(root / "models")
+    registry.save("smoke", qmodel)
+    return str(root / "models"), ds
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n-replicas", type=int, default=2)
+    args = parser.parse_args()
+
+    import numpy as np
+
+    from repro.serve import SconnaClient
+    from repro.serve.router import (
+        Router, RouterPolicy, serve_router, spawn_replicas,
+    )
+    from repro.serve.telemetry import StructuredLogger
+    from repro.serve.telemetry.watch import (
+        ScrapeTarget, Watchtower, make_rule, serve_watch,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="watch_smoke_") as tmp:
+        registry, ds = build_registry(Path(tmp))
+        processes, urls = spawn_replicas(
+            registry, args.n_replicas, free_base_port(args.n_replicas),
+            extra_args=["--workers", "1", "--max-wait-ms", "1"],
+            wait_s=120.0,
+        )
+        router = Router(
+            urls,
+            policy=RouterPolicy(
+                health_interval_s=0.1, eject_after=2, readmit_after=2,
+                max_retries=3, retry_after_s=0.05,
+            ),
+        )
+        front, _ = serve_router(router)
+
+        targets = [
+            ScrapeTarget(name=f"replica-{i}", url=url)
+            for i, url in enumerate(urls)
+        ]
+        targets.append(
+            ScrapeTarget(name="router", url=front.url, role="router")
+        )
+        log_stream = io.StringIO()
+        tower = Watchtower(
+            targets,
+            rules=[make_rule({
+                "name": "replica-down", "kind": "replica_down",
+                "severity": "page", "action": "drain",
+            })],
+            interval_s=INTERVAL_S,
+            router_url=front.url,
+            auto_drain=True,
+            logger=StructuredLogger(stream=log_stream),
+        )
+        watch_server = serve_watch(tower)
+        tower.start()
+
+        failures: "list[Exception]" = []
+        results: "list[np.ndarray]" = []
+        lock = threading.Lock()
+
+        def worker(n: int) -> None:
+            try:
+                with SconnaClient(front.url, retry_429=50) as client:
+                    for _ in range(n):
+                        got = client.predict(
+                            ds.images[0], model="smoke", seed=11
+                        )
+                        with lock:
+                            results.append(got.logits)
+            except Exception as exc:  # noqa: BLE001 - recorded below
+                with lock:
+                    failures.append(exc)
+
+        try:
+            with SconnaClient(urls[0]) as client:
+                reference = client.predict(
+                    ds.images[0], model="smoke", seed=11
+                ).logits
+
+            # SIGKILL the preferred replica mid-load: no graceful
+            # drain, the fleet learns from probes and redispatch alone
+            preferred = router.ranked("smoke")[0].url
+            victim = processes[urls.index(preferred)]
+            threads = [
+                threading.Thread(target=worker, args=(N_PER_THREAD,))
+                for _ in range(N_THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.4)
+            victim.send_signal(signal.SIGKILL)
+            for thread in threads:
+                thread.join(timeout=180.0)
+            if any(thread.is_alive() for thread in threads):
+                fail("load threads did not finish")
+            if failures:
+                fail(f"{len(failures)} client-visible failure(s); "
+                     f"first: {failures[0]!r}")
+            if len(results) != N_THREADS * N_PER_THREAD:
+                fail(f"{len(results)} results for "
+                     f"{N_THREADS * N_PER_THREAD} requests")
+            mismatched = sum(
+                not np.array_equal(logits, reference) for logits in results
+            )
+            if mismatched:
+                fail(f"{mismatched} responses were not bit-identical "
+                     f"to the direct single-replica reference")
+
+            # the replica_down alert fires for the corpse
+            deadline = time.monotonic() + 30.0
+            alert = None
+            while time.monotonic() < deadline:
+                firing = [
+                    a for a in tower.engine.firing()
+                    if a.rule == "replica-down"
+                ]
+                if firing:
+                    alert = firing[0]
+                    break
+                time.sleep(0.05)
+            if alert is None:
+                fail("replica_down never fired after SIGKILL")
+
+            # ... within two evaluation intervals of the router's
+            # fleet section first reporting the death
+            up_points = tower.store.points(
+                "sconna_replica_up",
+                {"replica": alert.labels["replica"], "instance": "router"},
+            )
+            first_zero_t = next(
+                (t for t, v in up_points if v == 0.0), None
+            )
+            if first_zero_t is None:
+                fail("no down-sample in the replica_up series")
+            lag = alert.started_t - first_zero_t
+            if lag > 2 * INTERVAL_S + 0.05:
+                fail(f"alert fired {lag:.3f}s after the first scraped "
+                     f"down-sample (> 2 intervals of {INTERVAL_S}s)")
+
+            # auto-drain marked the corpse draining through the router
+            victim_replica = next(
+                r for r in router.replicas if r.url == preferred
+            )
+            deadline = time.monotonic() + 10.0
+            while (
+                not victim_replica.draining
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+            if not victim_replica.draining:
+                fail(f"auto-drain never marked {preferred} draining")
+            acted = [
+                rec for rec in tower.alerts_doc()["remediations"]
+                if rec.get("acted")
+            ]
+            if not acted:
+                fail("no remediation record shows the drain acted")
+
+            # alert + remediation went through the structured log
+            events = {
+                json.loads(line)["event"]
+                for line in log_stream.getvalue().splitlines()
+            }
+            if not {"alert", "remediation"} <= events:
+                fail(f"structured log lacks alert/remediation: {events}")
+
+            # /v1/watch/series serves non-empty p99 + energy-rate series
+            with SconnaClient(watch_server.url) as wc:
+                p99 = wc.watch_series(
+                    "sconna_request_latency_seconds",
+                    labels={"quantile": "0.99", "instance": "router"},
+                )
+                if not (p99["series"] and p99["series"][0]["points"]):
+                    fail("/v1/watch/series returned no p99 points")
+                energy = wc.watch_series(
+                    "sconna_accel_energy_joules_total",
+                    labels={"instance": "router"}, derive="rate",
+                )
+                if not (energy["series"] and energy["series"][0]["points"]):
+                    fail("/v1/watch/series returned no energy-rate points")
+                alerts_doc = wc.alerts()
+                if not alerts_doc["active"]:
+                    fail("/v1/watch/alerts shows no active alert")
+
+            scrape_stats = tower.collector.stats()
+        finally:
+            tower.close()
+            watch_server.shutdown()
+            front.shutdown()
+            router.close()
+            for proc in processes:
+                proc.terminate()
+            for proc in processes:
+                try:
+                    proc.wait(timeout=30.0)
+                except Exception:
+                    proc.kill()
+
+    print(f"watch smoke ok: {N_THREADS * N_PER_THREAD} seeded requests "
+          f"bit-identical through SIGKILL of the preferred replica; "
+          f"replica_down fired {lag:.3f}s after first down-sample "
+          f"(bound {2 * INTERVAL_S:.2f}s), auto-drain acted, "
+          f"{scrape_stats['scrapes']} scrape ticks")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -279,6 +279,34 @@ class SconnaClient:
         """One stored trace in full (``'latest'`` for the newest)."""
         return self._get_json(f"/v1/trace/{trace_id}")
 
+    # -- watchtower endpoints (when pointed at a watchtower) -------------
+    def alerts(self) -> dict:
+        """A watchtower's ``/v1/watch/alerts`` document: active and
+        recently resolved alerts plus the remediation history."""
+        return self._get_json("/v1/watch/alerts")
+
+    def watch_series(
+        self,
+        name: "str | None" = None,
+        labels: "dict | None" = None,
+        derive: "str | None" = None,
+    ) -> dict:
+        """A watchtower's ``/v1/watch/series`` document.
+
+        Without ``name``: the series directory.  With ``name``: every
+        matching series' ``(t, value)`` points, optionally filtered by
+        ``labels`` and derived (``derive="rate"`` for reset-aware
+        counter rates).
+        """
+        params: "dict[str, str]" = {}
+        if name:
+            params["name"] = name
+        if derive:
+            params["derive"] = derive
+        params.update(labels or {})
+        query = urllib.parse.urlencode(params)
+        return self._get_json("/v1/watch/series" + (f"?{query}" if query else ""))
+
     # -- predict ---------------------------------------------------------
     def predict(
         self,

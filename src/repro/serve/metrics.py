@@ -63,6 +63,11 @@ class ServeMetrics:
         self._n_shed = 0
         self._first_done: float | None = None
         self._last_done: float | None = None
+        #: per-model simulated accelerator spend: model -> {energy_j,
+        #: latency_s, images}.  Monotonic counters, so the Prometheus
+        #: exposition can export them as ``_total`` families and a
+        #: scraper can derive energy-per-inference rates.
+        self._accel_costs: "dict[str, dict]" = {}
 
     # -- recording -------------------------------------------------------
     def record_enqueue(self, queue_depth: int) -> None:
@@ -111,6 +116,20 @@ class ServeMetrics:
         with self._lock:
             self._n_shed += n_requests
 
+    def record_cost(
+        self, model: str, energy_j: float, latency_s: float, n_images: int
+    ) -> None:
+        """Accumulate one batch's simulated accelerator spend for
+        ``model`` (energy in joules, device latency in seconds, and the
+        image count the spend covers)."""
+        with self._lock:
+            acc = self._accel_costs.setdefault(
+                model, {"energy_j": 0.0, "latency_s": 0.0, "images": 0}
+            )
+            acc["energy_j"] += float(energy_j)
+            acc["latency_s"] += float(latency_s)
+            acc["images"] += int(n_images)
+
     def reset(self) -> None:
         """Discard everything recorded so far (e.g. warm-up traffic)."""
         with self._lock:
@@ -122,6 +141,7 @@ class ServeMetrics:
             self._n_batches = self._n_batched_requests = 0
             self._n_errors = self._n_shed = 0
             self._first_done = self._last_done = None
+            self._accel_costs.clear()
 
     # -- aggregation across shards ---------------------------------------
     def state(self) -> dict:
@@ -145,6 +165,7 @@ class ServeMetrics:
                 "n_shed": self._n_shed,
                 "first_done": self._first_done,
                 "last_done": self._last_done,
+                "accel_costs": {m: dict(v) for m, v in self._accel_costs.items()},
             }
 
     def merge(self, other: "ServeMetrics | dict") -> "ServeMetrics":
@@ -172,6 +193,14 @@ class ServeMetrics:
             self._n_errors += state["n_errors"]
             # .get: shard states predating admission control lack the key
             self._n_shed += state.get("n_shed", 0)
+            # .get: states predating cost accounting lack the key
+            for model, theirs in state.get("accel_costs", {}).items():
+                acc = self._accel_costs.setdefault(
+                    model, {"energy_j": 0.0, "latency_s": 0.0, "images": 0}
+                )
+                acc["energy_j"] += float(theirs.get("energy_j", 0.0))
+                acc["latency_s"] += float(theirs.get("latency_s", 0.0))
+                acc["images"] += int(theirs.get("images", 0))
             for theirs, pick in (
                 (state["first_done"], min), (state["last_done"], max)
             ):
@@ -215,6 +244,7 @@ class ServeMetrics:
             n_batches, n_errors = self._n_batches, self._n_errors
             n_batched_requests, n_shed = self._n_batched_requests, self._n_shed
             first, last = self._first_done, self._last_done
+            accel = {m: dict(v) for m, v in self._accel_costs.items()}
 
         def ms_stats(samples: "list[float]") -> dict:
             if not samples:
@@ -252,5 +282,19 @@ class ServeMetrics:
             "queue_depth": {
                 "mean": sum(depths) / len(depths) if depths else None,
                 "max": max(depths) if depths else None,
+            },
+            "accel_costs": {
+                model: {
+                    "energy_j": acc["energy_j"],
+                    "latency_s": acc["latency_s"],
+                    "images": acc["images"],
+                    "energy_j_per_image": (
+                        acc["energy_j"] / acc["images"] if acc["images"] else None
+                    ),
+                    "latency_s_per_image": (
+                        acc["latency_s"] / acc["images"] if acc["images"] else None
+                    ),
+                }
+                for model, acc in sorted(accel.items())
             },
         }

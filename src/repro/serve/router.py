@@ -411,6 +411,7 @@ class Router:
         body: "bytes | None",
         headers: "dict[str, str]",
         trace=None,
+        info: "dict | None" = None,
     ) -> "tuple[Replica, http.client.HTTPConnection, http.client.HTTPResponse]":
         """Route one request; redispatch across replicas on failure.
 
@@ -419,8 +420,14 @@ class Router:
         the body and settles the connection via
         :meth:`settle_forward`.  Raises :class:`ReplicaError` when no
         available replica accepted the request (mapped to 503/502 by
-        the HTTP front-end).
+        the HTTP front-end).  ``info``, when given, is filled in place
+        with routing facts for the access log: the ``replica`` chosen,
+        how many ``redispatches`` it took to land, and the upstream
+        ``status`` - filled even on the failure paths, so the log
+        tells the truth about requests that never found a home.
         """
+        if info is not None:
+            info.setdefault("redispatches", 0)
         candidates = self.candidates(model)[: self.policy.max_retries]
         if not candidates:
             with self._lock:
@@ -455,6 +462,10 @@ class Router:
                 replica.routed += 1
             with self._lock:
                 self.routed_total += 1
+            if info is not None:
+                info["replica"] = replica.replica_id or replica.url
+                info["redispatches"] = attempt
+                info["status"] = resp.status
             if trace is not None:
                 trace.add_span(
                     "router.forward", t0, time.monotonic(),
@@ -467,6 +478,8 @@ class Router:
             return replica, conn, resp
         with self._lock:
             self.proxy_errors += 1
+        if info is not None:
+            info["redispatches"] = len(candidates)
         raise ReplicaError(
             f"every candidate replica failed for model {model!r}: "
             f"{last_error}"
@@ -703,15 +716,23 @@ class _RouterHandler(_ServeHandler):
         self._last_status = 0
         started = time.monotonic()
         model = None
+        route: dict = {}
         try:
-            model = self._proxy_predict(router, query, trace)
+            model = self._proxy_predict(router, query, trace, route)
         finally:
             status = self._last_status
             router.tracer.finish(trace, status=status)
             if router.request_log is not None:
+                upstream_ms = route.get("upstream_ms")
                 router.request_log.log_request(
                     trace=trace, model=model, wire="proxy", status=status,
                     latency_ms=(time.monotonic() - started) * 1e3,
+                    replica=route.get("replica"),
+                    redispatches=route.get("redispatches", 0),
+                    upstream_ms=(
+                        round(upstream_ms, 3) if upstream_ms is not None
+                        else None
+                    ),
                 )
             self._trace = None
 
@@ -741,7 +762,7 @@ class _RouterHandler(_ServeHandler):
 
     # -- the proxy path --------------------------------------------------
     def _proxy_predict(
-        self, router: Router, query: str, trace
+        self, router: Router, query: str, trace, route: "dict | None" = None
     ) -> "str | None":
         try:
             length = int(self.headers.get("Content-Length", ""))
@@ -769,9 +790,11 @@ class _RouterHandler(_ServeHandler):
             # through the router hop to the replica's shard spans
             headers[PARENT_TRACE_HEADER] = trace.trace_id
         t0 = time.monotonic() if trace is not None else 0.0
+        upstream_t0 = time.monotonic()
         try:
             replica, conn, resp = router.forward(
                 model, "POST", self.path, body, headers, trace=trace,
+                info=route,
             )
         except ReplicaError as exc:
             available = any(r.available for r in router.replicas)
@@ -790,6 +813,9 @@ class _RouterHandler(_ServeHandler):
         try:
             ok = self._relay(replica, resp)
         finally:
+            # upstream latency: forward (status line) through relayed body
+            if route is not None:
+                route["upstream_ms"] = (time.monotonic() - upstream_t0) * 1e3
             router.settle_forward(replica, conn, ok)
         return model
 

@@ -83,6 +83,8 @@ class _ModelEntry:
     descriptor: object | None = None      #: ModelDescriptor for costs
     input_shape: "tuple[int, int, int] | None" = None   #: lane (C, H, W)
     lock: threading.Lock = field(default_factory=threading.Lock)
+    unit_cost: "tuple[float, float] | None" = None  #: per-image (energy_j, latency_s)
+    cost_disabled: bool = False           #: unit-cost derivation failed; stop trying
 
 
 class SconnaService:
@@ -425,6 +427,13 @@ class SconnaService:
             self.metrics.record_requests(samples)
             if failed:
                 self.metrics.record_error(failed)
+            unit = self._unit_cost(entry, batch[0])
+            if unit is not None:
+                energy_j, latency_s = unit
+                n = int(result.n_images)
+                self.metrics.record_cost(
+                    entry.name, energy_j * n, latency_s * n, n
+                )
         except BaseException as exc:  # completion-side failure (e.g. costs)
             self.metrics.record_error(len(batch))
             self._fail_batch(batch, exc)
@@ -437,6 +446,26 @@ class SconnaService:
                     req.future.set_exception(exc)
                 except futures.InvalidStateError:
                     pass  # lost the race with a cancel
+
+    def _unit_cost(
+        self, entry: _ModelEntry, req: InferenceRequest
+    ) -> "tuple[float, float] | None":
+        """Cached per-image simulated (energy_j, latency_s) for a lane.
+
+        Every completed batch accumulates this into
+        :meth:`ServeMetrics.record_cost`, so the metrics endpoint exports
+        monotonic per-model energy/latency counters.  Zoo-linked models
+        are prewarmed at registration; otherwise the first batch pays one
+        cached simulation.  A derivation failure disables cost accounting
+        for the lane instead of failing requests.
+        """
+        if entry.unit_cost is None and not entry.cost_disabled:
+            try:
+                res = self.costs.perf(self._descriptor_for(entry, req))
+                entry.unit_cost = (float(res.energy_j), float(res.latency_s))
+            except BaseException:
+                entry.cost_disabled = True
+        return entry.unit_cost
 
     def _descriptor_for(self, entry: _ModelEntry, req: InferenceRequest):
         if entry.descriptor is None:

@@ -10,7 +10,13 @@ structured logging.
   ``/v1/metrics?format=prometheus``, plus the small validating parser
   CI scrapes with;
 * :mod:`~repro.serve.telemetry.logging` - one JSON line per request,
-  joinable to traces by id.
+  joinable to traces by id;
+* :mod:`~repro.serve.telemetry.watch` - the fleet watchtower
+  (``python -m repro.serve.telemetry.watch``): scrapes every replica's
+  exposition into a bounded time-series store, evaluates SLO burn-rate
+  rules into firing/resolved alerts, and can self-heal by draining
+  breaching replicas through the router.  Imported lazily - pulling in
+  the telemetry plane never pays for the watchtower.
 """
 
 from .logging import StructuredLogger

@@ -125,6 +125,26 @@ def render_exposition(snapshot: dict) -> str:
              "Requests rejected by admission control.")
     w.sample(f"{_PREFIX}_shed_total", int(snapshot.get("shed", 0)))
 
+    accel = snapshot.get("accel_costs") or {}
+    if accel:
+        w.header(f"{_PREFIX}_accel_energy_joules_total", "counter",
+                 "Simulated accelerator energy spent serving the model.")
+        for model in sorted(accel):
+            w.sample(f"{_PREFIX}_accel_energy_joules_total",
+                     float(accel[model].get("energy_j", 0.0)),
+                     {"model": model})
+        w.header(f"{_PREFIX}_accel_latency_seconds_total", "counter",
+                 "Simulated accelerator device time spent serving the model.")
+        for model in sorted(accel):
+            w.sample(f"{_PREFIX}_accel_latency_seconds_total",
+                     float(accel[model].get("latency_s", 0.0)),
+                     {"model": model})
+        w.header(f"{_PREFIX}_accel_images_total", "counter",
+                 "Images covered by the simulated accelerator cost counters.")
+        for model in sorted(accel):
+            w.sample(f"{_PREFIX}_accel_images_total",
+                     int(accel[model].get("images", 0)), {"model": model})
+
     if snapshot.get("uptime_s") is not None:
         w.header(f"{_PREFIX}_uptime_seconds", "gauge",
                  "Seconds since the service started.")
@@ -309,14 +329,17 @@ def parse_exposition(text: str) -> "list[tuple[str, dict, float]]":
     """Parse and validate one text exposition; returns the samples.
 
     Checks line syntax, that every sample's family was ``# TYPE``d,
-    that sample values parse as floats, and that every histogram's
-    cumulative buckets are non-decreasing and end with ``le="+Inf"``.
-    Raises :class:`ValueError` on the first violation - this is the
-    small validating parser the CI smoke leg runs against a live
+    that sample values parse as floats, that no two samples share one
+    ``(name, labels)`` identity, that counter samples are never ``NaN``,
+    and that every histogram's cumulative buckets are non-decreasing
+    and end with ``le="+Inf"``.  Raises :class:`ValueError` on the
+    first violation - this is the small validating parser the CI smoke
+    leg and the watchtower collector run against a live
     ``/v1/metrics?format=prometheus`` scrape.
     """
     samples: "list[tuple[str, dict, float]]" = []
     types: "dict[str, str]" = {}
+    seen: "set[tuple[str, tuple]]" = set()
     for line in text.splitlines():
         line = line.strip()
         if not line:
@@ -354,6 +377,14 @@ def parse_exposition(text: str) -> "list[tuple[str, dict, float]]":
                 break
         if family not in types:
             raise ValueError(f"sample {name!r} has no # TYPE declaration")
+        identity = (name, tuple(sorted(labels.items())))
+        if identity in seen:
+            raise ValueError(
+                f"duplicate sample {name!r} with labels {labels!r}"
+            )
+        seen.add(identity)
+        if types[family] == "counter" and math.isnan(value):
+            raise ValueError(f"counter sample {name!r} has NaN value")
         samples.append((name, labels, value))
 
     # histogram checks: cumulative buckets non-decreasing, +Inf terminal

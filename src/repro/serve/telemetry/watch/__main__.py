@@ -1,0 +1,125 @@
+"""CLI: run the fleet watchtower.
+
+Examples::
+
+    # watch a router-fronted fleet (replicas auto-discovered from the
+    # router's topology), alerting only:
+    python -m repro.serve.telemetry.watch --router http://127.0.0.1:8000
+
+    # explicit targets, custom rules, opt-in self-healing drains:
+    python -m repro.serve.telemetry.watch \\
+        --router http://127.0.0.1:8000 \\
+        --scrape http://127.0.0.1:8001 --scrape http://127.0.0.1:8002 \\
+        --rules slo.toml --interval 1.0 --auto-drain --port 9090
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal as signal_module
+import threading
+
+from repro.serve.telemetry import StructuredLogger
+
+from .collector import ScrapeTarget
+from .httpd import serve_watch
+from .rules import default_rules, load_rules
+from .watchtower import Watchtower, discover_replicas
+
+
+def main(argv: "list[str] | None" = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.telemetry.watch",
+        description="Fleet watchtower: scrape every replica's Prometheus "
+                    "exposition, keep bounded time series, evaluate SLO "
+                    "burn-rate rules, and (opt-in) drain breaching "
+                    "replicas through the router.",
+    )
+    parser.add_argument("--router", default=None, metavar="URL",
+                        help="router base URL: scraped for the fleet "
+                             "section, used to discover replicas, and "
+                             "the drain endpoint for --auto-drain")
+    parser.add_argument("--scrape", action="append", default=None,
+                        metavar="URL",
+                        help="replica base URL to scrape (repeatable); "
+                             "defaults to the router's topology")
+    parser.add_argument("--rules", default=None, metavar="FILE",
+                        help="TOML or JSON rule file (default: the "
+                             "built-in rule set)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between scrape/evaluate ticks "
+                             "(default: 1.0)")
+    parser.add_argument("--auto-drain", action="store_true",
+                        help="act on firing drain-action alerts by "
+                             "POSTing /v1/router/drain (default: "
+                             "observe and alert only)")
+    parser.add_argument("--drain-cooldown", type=float, default=60.0,
+                        help="seconds between drain attempts per "
+                             "replica (default: 60)")
+    parser.add_argument("--capacity", type=int, default=1024,
+                        help="points kept per series (default: 1024)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9090,
+                        help="watchtower HTTP port (default: 9090)")
+    args = parser.parse_args(argv)
+
+    if not args.router and not args.scrape:
+        parser.error("give --router and/or --scrape URLs to watch")
+
+    targets: "list[ScrapeTarget]" = []
+    if args.scrape:
+        for url in args.scrape:
+            targets.append(ScrapeTarget(name=url, url=url, role="replica"))
+    elif args.router:
+        discovered = discover_replicas(args.router)
+        targets.extend(discovered)
+        print(f"discovered {len(discovered)} replica(s) from the router")
+    if args.router:
+        targets.append(
+            ScrapeTarget(name="router", url=args.router, role="router")
+        )
+
+    rules = load_rules(args.rules) if args.rules else default_rules()
+    from repro.serve.telemetry.watch.store import TimeSeriesStore
+
+    tower = Watchtower(
+        targets,
+        rules=rules,
+        interval_s=args.interval,
+        router_url=args.router,
+        auto_drain=args.auto_drain,
+        drain_cooldown_s=args.drain_cooldown,
+        logger=StructuredLogger(),
+        store=TimeSeriesStore(capacity_per_series=args.capacity),
+    )
+    server = serve_watch(tower, host=args.host, port=args.port)
+    tower.start()
+
+    stop = threading.Event()
+
+    def _stop(signum, frame):
+        stop.set()
+
+    for signum in (signal_module.SIGINT, signal_module.SIGTERM):
+        signal_module.signal(signum, _stop)
+
+    drain_note = "on" if args.auto_drain else "off"
+    print(f"watchtower at {server.url}  "
+          f"({len(targets)} target(s), {len(rules)} rule(s), "
+          f"interval={args.interval:g}s, auto-drain={drain_note})")
+    print(f"  dashboard: {server.url}/v1/watch/dashboard")
+    for target in targets:
+        print(f"  scraping [{target.role}] {target.name}: {target.url}")
+    try:
+        stop.wait()
+    finally:
+        tower.close()
+        server.shutdown()
+        stats = tower.stats()
+        print(f"watchtower stopped after {stats['ticks']} tick(s); "
+              f"{stats['engine']['resolved_total']} alert(s) resolved, "
+              f"{stats['engine']['firing']} still firing")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,221 @@
+"""Zero-dependency HTML dashboard for ``/v1/watch/dashboard``.
+
+One self-contained page - inline CSS, inline-SVG sparklines, a meta
+refresh at the scrape interval - so a browser pointed at the
+watchtower needs nothing else installed.  Four tables:
+
+* active alerts (state, severity, magnitude, hold time);
+* fleet: per scraped instance, req/s, p99, shed rate, queue depth,
+  with p99 and throughput sparklines;
+* replica health as the router reports it (up/draining/inflight);
+* energy: per (instance, model), simulated J/image and average power,
+  with an energy-rate sparkline.
+
+Everything is computed from the watchtower's time-series store at
+render time; rendering never blocks the scrape loop (the store is
+lock-protected per query).
+"""
+
+from __future__ import annotations
+
+import html
+import time
+
+_WINDOW_S = 60.0          #: rate/aggregate window for the tables
+_SPARK_POINTS = 60        #: most recent points per sparkline
+
+_CSS = """
+body { font-family: ui-monospace, monospace; margin: 1.5rem;
+       background: #111418; color: #d8dee9; }
+h1 { font-size: 1.2rem; } h2 { font-size: 1rem; margin-top: 1.6rem; }
+table { border-collapse: collapse; margin-top: .4rem; }
+th, td { padding: .25rem .7rem; border-bottom: 1px solid #2a2f36;
+         text-align: left; font-size: .85rem; }
+th { color: #8fa1b3; font-weight: normal; }
+.num { text-align: right; font-variant-numeric: tabular-nums; }
+.ok { color: #a3be8c; } .bad { color: #bf616a; } .warn { color: #ebcb8b; }
+.dim { color: #5c6773; } svg { vertical-align: middle; }
+"""
+
+
+def _spark(points: "list[tuple[float, float]]",
+           width: int = 120, height: int = 28) -> str:
+    """One inline-SVG sparkline polyline (min-max normalised)."""
+    pts = points[-_SPARK_POINTS:]
+    if len(pts) < 2:
+        return '<span class="dim">-</span>'
+    values = [v for _, v in pts]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    t0, t1 = pts[0][0], pts[-1][0]
+    tspan = (t1 - t0) or 1.0
+    coords = " ".join(
+        f"{(t - t0) / tspan * (width - 2) + 1:.1f},"
+        f"{height - 2 - (v - lo) / span * (height - 4):.1f}"
+        for t, v in pts
+    )
+    return (
+        f'<svg width="{width}" height="{height}">'
+        f'<polyline points="{coords}" fill="none" '
+        f'stroke="#88c0d0" stroke-width="1.2"/></svg>'
+    )
+
+
+def _fmt(value: "float | None", digits: int = 2) -> str:
+    if value is None:
+        return '<span class="dim">-</span>'
+    return f"{value:.{digits}f}"
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value))
+
+
+def render_dashboard(tower) -> str:
+    """The full dashboard page for one :class:`Watchtower`."""
+    store = tower.store
+    now = time.monotonic()
+    rows: "list[str]" = []
+    rows.append("<!doctype html><html><head>")
+    rows.append('<meta charset="utf-8">')
+    rows.append(
+        f'<meta http-equiv="refresh" content="{max(1, int(tower.interval_s))}">'
+    )
+    rows.append("<title>sconna watchtower</title>")
+    rows.append(f"<style>{_CSS}</style></head><body>")
+    stats = tower.stats()
+    rows.append("<h1>sconna fleet watchtower</h1>")
+    rows.append(
+        f'<p class="dim">tick {stats["ticks"]} · interval '
+        f'{tower.interval_s:g}s · {stats["collector"]["targets"]} targets · '
+        f'{stats["store"]["series"]} series · auto-drain '
+        f'{"on" if tower.auto_drain else "off"}</p>'
+    )
+
+    # -- alerts ----------------------------------------------------------
+    active = tower.engine.active()
+    rows.append("<h2>alerts</h2>")
+    if not active:
+        rows.append('<p class="ok">no active alerts</p>')
+    else:
+        rows.append("<table><tr><th>rule</th><th>state</th><th>severity</th>"
+                    "<th>labels</th><th class=num>value</th>"
+                    "<th>detail</th></tr>")
+        for alert in active:
+            css = "bad" if alert.state == "firing" else "warn"
+            labels = ", ".join(
+                f"{k}={v}" for k, v in sorted(alert.labels.items())
+            )
+            rows.append(
+                f'<tr><td>{_esc(alert.rule)}</td>'
+                f'<td class="{css}">{_esc(alert.state)}</td>'
+                f"<td>{_esc(alert.severity)}</td><td>{_esc(labels)}</td>"
+                f'<td class=num>{alert.value:.3g}</td>'
+                f"<td>{_esc(alert.detail)}</td></tr>"
+            )
+        rows.append("</table>")
+
+    # -- fleet -----------------------------------------------------------
+    instances = sorted({
+        labels.get("instance", "?")
+        for labels, _ in store.match("sconna_requests_total")
+    })
+    rows.append("<h2>fleet</h2>")
+    rows.append("<table><tr><th>instance</th><th class=num>req/s</th>"
+                "<th>req/s trend</th><th class=num>p99 ms</th>"
+                "<th>p99 trend</th><th class=num>shed/s</th>"
+                "<th class=num>queue</th></tr>")
+    for instance in instances:
+        sel = {"instance": instance}
+        req_rate = store.rate("sconna_requests_total", sel, _WINDOW_S, now)
+        req_trend = store.rate_series(
+            store.points("sconna_requests_total", sel)
+        )
+        p99_sel = {"quantile": "0.99", **sel}
+        p99_pts = store.points("sconna_request_latency_seconds", p99_sel)
+        p99 = store.latest("sconna_request_latency_seconds", p99_sel)
+        shed_rate = store.rate("sconna_shed_total", sel, _WINDOW_S, now)
+        queue = store.latest("sconna_queue_depth", sel)
+        rows.append(
+            f"<tr><td>{_esc(instance)}</td>"
+            f"<td class=num>{_fmt(req_rate, 1)}</td>"
+            f"<td>{_spark(req_trend)}</td>"
+            f"<td class=num>"
+            f"{_fmt(p99 * 1e3 if p99 is not None else None, 1)}</td>"
+            f"<td>{_spark([(t, v * 1e3) for t, v in p99_pts])}</td>"
+            f"<td class=num>{_fmt(shed_rate, 2)}</td>"
+            f"<td class=num>{_fmt(queue, 0)}</td></tr>"
+        )
+    rows.append("</table>")
+
+    # -- replica health --------------------------------------------------
+    replica_rows = store.match("sconna_replica_up")
+    if replica_rows:
+        rows.append("<h2>replicas (router view)</h2>")
+        rows.append("<table><tr><th>replica</th><th>up</th>"
+                    "<th>draining</th><th class=num>inflight</th>"
+                    "<th class=num>routed/s</th></tr>")
+        seen = set()
+        for labels, pts in replica_rows:
+            replica = labels.get("replica", "?")
+            if replica in seen:
+                continue
+            seen.add(replica)
+            sel = {"replica": replica, "instance": labels.get("instance", "?")}
+            up = pts[-1][1] if pts else None
+            draining = store.latest("sconna_replica_draining", sel)
+            inflight = store.latest("sconna_replica_inflight", sel)
+            routed = store.rate(
+                "sconna_replica_routed_total", sel, _WINDOW_S, now
+            )
+            up_cell = (
+                '<span class="ok">up</span>' if up
+                else '<span class="bad">down</span>'
+            )
+            drain_cell = (
+                '<span class="warn">draining</span>' if draining
+                else '<span class="dim">-</span>'
+            )
+            rows.append(
+                f"<tr><td>{_esc(replica)}</td><td>{up_cell}</td>"
+                f"<td>{drain_cell}</td>"
+                f"<td class=num>{_fmt(inflight, 0)}</td>"
+                f"<td class=num>{_fmt(routed, 1)}</td></tr>"
+            )
+        rows.append("</table>")
+
+    # -- energy ----------------------------------------------------------
+    energy_rows = store.match("sconna_accel_energy_joules_total")
+    if energy_rows:
+        rows.append("<h2>energy (simulated accelerator)</h2>")
+        rows.append("<table><tr><th>instance</th><th>model</th>"
+                    "<th class=num>J/image</th><th class=num>avg W</th>"
+                    "<th>power trend</th></tr>")
+        for labels, pts in sorted(
+            energy_rows, key=lambda pair: sorted(pair[0].items())
+        ):
+            sel = {
+                "instance": labels.get("instance", "?"),
+                "model": labels.get("model", "?"),
+            }
+            energy = store.increase(
+                "sconna_accel_energy_joules_total", sel, _WINDOW_S, now
+            )
+            images = store.increase(
+                "sconna_accel_images_total", sel, _WINDOW_S, now
+            )
+            power = store.rate(
+                "sconna_accel_energy_joules_total", sel, _WINDOW_S, now
+            )
+            per_image = energy / images if images > 0 else None
+            rows.append(
+                f'<tr><td>{_esc(sel["instance"])}</td>'
+                f'<td>{_esc(sel["model"])}</td>'
+                f"<td class=num>{_fmt(per_image, 4)}</td>"
+                f"<td class=num>{_fmt(power, 3)}</td>"
+                f"<td>{_spark(store.rate_series(pts))}</td></tr>"
+            )
+        rows.append("</table>")
+
+    rows.append("</body></html>")
+    return "\n".join(rows)

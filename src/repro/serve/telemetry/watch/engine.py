@@ -1,0 +1,326 @@
+"""SLO rule evaluation and the alert firing/resolved state machine.
+
+:class:`SLOEngine` is evaluated once per collector tick against the
+:class:`~repro.serve.telemetry.watch.store.TimeSeriesStore`.  Every
+rule produces zero or more *breaches* - ``(labels, value, detail)``
+tuples, one per offending label set (per instance, per replica, per
+model) - and each ``(rule, labels)`` pair owns one alert with the
+Prometheus-style lifecycle:
+
+* first breach opens the alert ``pending``;
+* once the condition has held for the rule's ``for_s`` the alert
+  transitions to ``firing`` (logged through :class:`StructuredLogger`
+  and returned to the caller so remediation can act);
+* the first clean evaluation closes a firing alert as ``resolved``
+  (also logged) and retires it to a bounded history ring; a pending
+  alert that recovers simply dissolves - it never fired, so it never
+  resolves.
+
+Burn-rate math: an SLO ``objective`` leaves an error budget of
+``1 - objective``.  The burn rate over a window is the bad-event
+fraction divided by that budget - burn 1.0 spends exactly the budget
+over the SLO period, burn 14.4 spends a 30-day budget in 50 hours.
+A multi-window rule breaches only when **every** window is burning
+above its threshold: the short window proves the problem is happening
+*now*, the long window proves it is not a blip.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from .rules import Rule
+from .store import TimeSeriesStore, label_key
+
+
+@dataclass
+class Alert:
+    """One live (or recently resolved) alert instance."""
+
+    rule: str
+    kind: str
+    severity: str
+    action: "str | None"
+    labels: dict
+    state: str = "pending"          #: pending | firing | resolved
+    value: float = 0.0              #: latest breach magnitude
+    detail: str = ""
+    started_t: float = 0.0          #: monotonic first-breach time
+    firing_t: "float | None" = None
+    resolved_t: "float | None" = None
+    started_at: float = field(default_factory=time.time)  #: wall clock
+
+    def as_dict(self, now: "float | None" = None) -> dict:
+        doc = {
+            "rule": self.rule,
+            "kind": self.kind,
+            "severity": self.severity,
+            "action": self.action,
+            "labels": dict(self.labels),
+            "state": self.state,
+            "value": round(float(self.value), 6),
+            "detail": self.detail,
+            "started_at": self.started_at,
+        }
+        if now is not None:
+            doc["active_for_s"] = round(now - self.started_t, 3)
+            if self.firing_t is not None:
+                doc["firing_for_s"] = round(
+                    (self.resolved_t or now) - self.firing_t, 3
+                )
+        return doc
+
+
+def _cmp(value: float, op: str, bound: float) -> bool:
+    if op == ">":
+        return value > bound
+    if op == ">=":
+        return value >= bound
+    if op == "<":
+        return value < bound
+    if op == "<=":
+        return value <= bound
+    raise ValueError(f"unknown op {op!r}")
+
+
+class SLOEngine:
+    """Evaluates rules against the store; owns alert state."""
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        rules: "list[Rule]",
+        logger: "object | None" = None,
+        history: int = 256,
+    ) -> None:
+        self.store = store
+        self.rules = list(rules)
+        self.logger = logger
+        self._active: "dict[tuple[str, tuple], Alert]" = {}
+        self._history: "deque[Alert]" = deque(maxlen=history)
+        self._n_evaluations = 0
+
+    # -- per-kind breach computation -------------------------------------
+    def _instance_filter(self, params: dict) -> dict:
+        instance = params.get("instance")
+        return {"instance": instance} if instance else {}
+
+    def _eval_burn_rate(self, rule: Rule, now: float):
+        p = rule.params
+        budget = 1.0 - p["objective"]
+        breaches = []
+        if p["signal"] == "latency":
+            selector = {"quantile": str(p["quantile"]),
+                        **self._instance_filter(p)}
+            threshold_s = p["threshold_ms"] / 1e3
+            for labels, _ in self.store.match(p["series"], selector):
+                burns: "list[float] | None" = []
+                for window_s, _ in p["windows"]:
+                    samples = self.store.values(
+                        p["series"], labels, window_s, now
+                    )
+                    if not samples:
+                        burns = None
+                        break
+                    bad = sum(1 for v in samples if v > threshold_s)
+                    burns.append((bad / len(samples)) / budget)
+                if burns is None:
+                    continue
+                if all(
+                    burn > max_burn
+                    for burn, (_, max_burn) in zip(burns, p["windows"])
+                ):
+                    breaches.append((
+                        dict(labels),
+                        burns[0],
+                        f"p{p['quantile']} latency burn {burns[0]:.2f}x "
+                        f"budget (threshold {p['threshold_ms']:g} ms)",
+                    ))
+        else:
+            for labels, _ in self.store.match(
+                p["total_series"], self._instance_filter(p)
+            ):
+                burns = []
+                for window_s, max_burn in p["windows"]:
+                    total = self.store.increase(
+                        p["total_series"], labels, window_s, now
+                    )
+                    bad = self.store.increase(
+                        p["bad_series"], labels, window_s, now
+                    )
+                    frac = (bad / total) if total > 0 else 0.0
+                    burns.append(frac / budget)
+                if all(
+                    burn > max_burn
+                    for burn, (_, max_burn) in zip(burns, p["windows"])
+                ):
+                    breaches.append((
+                        dict(labels),
+                        burns[0],
+                        f"availability burn {burns[0]:.2f}x budget "
+                        f"({p['bad_series']}/{p['total_series']})",
+                    ))
+        return breaches
+
+    def _eval_threshold(self, rule: Rule, now: float):
+        p = rule.params
+        breaches = []
+        for labels, _ in self.store.match(
+            p["series"], self._instance_filter(p)
+        ):
+            if p["agg"] == "rate":
+                value = self.store.rate(p["series"], labels, p["window_s"], now)
+            elif p["agg"] == "increase":
+                value = self.store.increase(
+                    p["series"], labels, p["window_s"], now
+                )
+            else:
+                value = self.store.agg(
+                    p["series"], labels, p["agg"], p["window_s"], now
+                )
+            if value is None:
+                continue
+            if _cmp(value, p["op"], p["value"]):
+                breaches.append((
+                    dict(labels),
+                    value,
+                    f"{p['agg']}({p['series']}) = {value:g} "
+                    f"{p['op']} {p['value']:g}",
+                ))
+        return breaches
+
+    def _eval_replica_down(self, rule: Rule, now: float):
+        p = rule.params
+        down: "dict[str, tuple[dict, float, str]]" = {}
+        for labels, _ in self.store.match(
+            p["series"], self._instance_filter(p)
+        ):
+            value = self.store.latest(
+                p["series"], labels, max_age_s=p["stale_s"], now=now
+            )
+            if value is None or value != 0.0:
+                continue
+            replica = labels.get("replica", "?")
+            # one alert per replica, however many targets report it
+            down[replica] = (
+                {"replica": replica},
+                0.0,
+                f"replica {replica} failing its health probe",
+            )
+        return list(down.values())
+
+    def _eval_energy_budget(self, rule: Rule, now: float):
+        p = rule.params
+        selector = dict(self._instance_filter(p))
+        if p.get("model"):
+            selector["model"] = p["model"]
+        breaches = []
+        for labels, _ in self.store.match(p["energy_series"], selector):
+            images = self.store.increase(
+                p["images_series"], labels, p["window_s"], now
+            )
+            if images <= 0:
+                continue
+            energy = self.store.increase(
+                p["energy_series"], labels, p["window_s"], now
+            )
+            per_image = energy / images
+            if per_image > p["max_joules_per_image"]:
+                breaches.append((
+                    dict(labels),
+                    per_image,
+                    f"{per_image:g} J/image over "
+                    f"{p['max_joules_per_image']:g} J budget",
+                ))
+        return breaches
+
+    def _eval_rule(self, rule: Rule, now: float):
+        if rule.kind == "burn_rate":
+            return self._eval_burn_rate(rule, now)
+        if rule.kind == "threshold":
+            return self._eval_threshold(rule, now)
+        if rule.kind == "replica_down":
+            return self._eval_replica_down(rule, now)
+        if rule.kind == "energy_budget":
+            return self._eval_energy_budget(rule, now)
+        raise ValueError(f"unknown rule kind {rule.kind!r}")
+
+    # -- lifecycle -------------------------------------------------------
+    def _log(self, alert: Alert, phase: str) -> None:
+        if self.logger is None:
+            return
+        self.logger.log(
+            "alert",
+            phase=phase,
+            rule=alert.rule,
+            severity=alert.severity,
+            labels=dict(alert.labels),
+            value=round(float(alert.value), 6),
+            detail=alert.detail,
+        )
+
+    def evaluate(self, now: float) -> "list[tuple[str, Alert]]":
+        """One evaluation pass; returns ``(transition, alert)`` events
+        (transition in ``firing``/``resolved``) in rule order."""
+        events: "list[tuple[str, Alert]]" = []
+        for rule in self.rules:
+            breached: "set[tuple[str, tuple]]" = set()
+            for labels, value, detail in self._eval_rule(rule, now):
+                key = (rule.name, label_key(labels))
+                breached.add(key)
+                alert = self._active.get(key)
+                if alert is None:
+                    alert = Alert(
+                        rule=rule.name, kind=rule.kind,
+                        severity=rule.severity, action=rule.action,
+                        labels=dict(labels), started_t=now,
+                    )
+                    self._active[key] = alert
+                alert.value = value
+                alert.detail = detail
+                if (
+                    alert.state == "pending"
+                    and now - alert.started_t >= rule.for_s
+                ):
+                    alert.state = "firing"
+                    alert.firing_t = now
+                    self._log(alert, "firing")
+                    events.append(("firing", alert))
+            for key in [k for k in self._active if k[0] == rule.name]:
+                if key in breached:
+                    continue
+                alert = self._active.pop(key)
+                if alert.state == "firing":
+                    alert.state = "resolved"
+                    alert.resolved_t = now
+                    self._log(alert, "resolved")
+                    self._history.append(alert)
+                    events.append(("resolved", alert))
+                # a pending alert that recovers dissolves silently
+        self._n_evaluations += 1
+        return events
+
+    # -- reading ---------------------------------------------------------
+    def active(self) -> "list[Alert]":
+        return sorted(
+            self._active.values(), key=lambda a: (a.rule, sorted(a.labels.items()))
+        )
+
+    def firing(self) -> "list[Alert]":
+        return [a for a in self.active() if a.state == "firing"]
+
+    def history(self) -> "list[Alert]":
+        return list(self._history)
+
+    def stats(self) -> dict:
+        states = [a.state for a in self._active.values()]
+        return {
+            "evaluations": self._n_evaluations,
+            "rules": len(self.rules),
+            "active": len(states),
+            "firing": states.count("firing"),
+            "pending": states.count("pending"),
+            "resolved_total": len(self._history),
+        }

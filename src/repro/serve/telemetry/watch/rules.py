@@ -1,0 +1,257 @@
+"""Declarative SLO rules for the watchtower's alert engine.
+
+A rule file is TOML (stdlib ``tomllib``) or JSON, holding a list of
+``[[rule]]`` tables.  Every rule has:
+
+* ``name`` - unique alert identity;
+* ``kind`` - one of :data:`RULE_KINDS`;
+* ``severity`` - free-form label (``page``/``ticket``/``info``...);
+* ``for_s`` - hold-down: the condition must stay bad this long before
+  the alert transitions pending -> firing (0 fires immediately);
+* ``action`` - optional remediation verb (only ``"drain"`` is wired:
+  the watchtower POSTs ``/v1/router/drain`` for the breaching replica
+  when ``--auto-drain`` is on);
+* kind-specific parameters, kept in ``params``.
+
+Kinds
+-----
+``burn_rate``
+    Multi-window error-budget burn.  ``objective`` is the SLO target
+    (e.g. 0.999 availability); the budget is ``1 - objective``.
+    ``windows`` is a list of ``[window_s, max_burn]`` pairs and the
+    rule breaches only when *every* window's burn rate exceeds its
+    threshold (the classic fast+slow multi-window guard against both
+    noise and slow leaks).  Signals:
+
+    * availability (default): ``increase(bad) / increase(total)`` over
+      the window, from ``bad_series``/``total_series`` counters
+      (defaults ``sconna_errors_total`` / ``sconna_requests_total``);
+    * latency (``signal = "latency"``): the fraction of scraped
+      quantile-gauge samples (``series``, default
+      ``sconna_request_latency_seconds`` at ``quantile``) above
+      ``threshold_ms`` - each scrape is one good/bad vote.
+
+``threshold``
+    A windowed aggregate of one series compared against a bound:
+    ``agg`` in ``max``/``min``/``mean``/``last``/``rate``/``increase``,
+    ``op`` in ``>``/``>=``/``<``/``<=``, ``value`` the bound.
+
+``replica_down``
+    Breaches per replica whose freshest ``sconna_replica_up`` sample
+    (within ``stale_s``) is 0.  This is the rule auto-drain acts on.
+
+``energy_budget``
+    Per-model simulated energy spend: breaches when windowed
+    ``increase(sconna_accel_energy_joules_total) /
+    increase(sconna_accel_images_total)`` exceeds
+    ``max_joules_per_image``.  ``model`` narrows to one model
+    (default: every model seen).
+
+Any kind accepts ``instance`` to pin evaluation to one scrape target
+(e.g. the router's merged counters); the default evaluates each
+matching instance independently.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+RULE_KINDS = ("burn_rate", "threshold", "replica_down", "energy_budget")
+
+_AGGS = ("max", "min", "mean", "last", "rate", "increase")
+_OPS = (">", ">=", "<", "<=")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One validated alerting rule."""
+
+    name: str
+    kind: str
+    severity: str = "ticket"
+    for_s: float = 0.0
+    action: "str | None" = None
+    params: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "severity": self.severity,
+            "for_s": self.for_s,
+            "action": self.action,
+            "params": dict(self.params),
+        }
+
+
+def _fail(name: str, message: str) -> "ValueError":
+    return ValueError(f"rule {name!r}: {message}")
+
+
+def _validate_windows(name: str, windows: object) -> "list[tuple[float, float]]":
+    if not isinstance(windows, (list, tuple)) or not windows:
+        raise _fail(name, "burn_rate needs a non-empty 'windows' list")
+    out: "list[tuple[float, float]]" = []
+    for pair in windows:
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            raise _fail(name, f"window entry {pair!r} is not [window_s, max_burn]")
+        window_s, max_burn = float(pair[0]), float(pair[1])
+        if window_s <= 0 or max_burn <= 0:
+            raise _fail(name, "window_s and max_burn must be > 0")
+        out.append((window_s, max_burn))
+    return out
+
+
+def make_rule(spec: dict) -> Rule:
+    """Validate one rule table into a :class:`Rule`."""
+    spec = dict(spec)
+    name = spec.pop("name", None)
+    if not name or not isinstance(name, str):
+        raise ValueError(f"rule without a name: {spec!r}")
+    kind = spec.pop("kind", None)
+    if kind not in RULE_KINDS:
+        raise _fail(name, f"unknown kind {kind!r} (expected one of {RULE_KINDS})")
+    severity = str(spec.pop("severity", "ticket"))
+    for_s = float(spec.pop("for_s", 0.0))
+    if for_s < 0:
+        raise _fail(name, "for_s must be >= 0")
+    action = spec.pop("action", None)
+    if action is not None and action != "drain":
+        raise _fail(name, f"unknown action {action!r} (only 'drain' is wired)")
+    params = dict(spec)  # whatever remains is kind-specific
+
+    if kind == "burn_rate":
+        objective = float(params.get("objective", 0.0))
+        if not (0.0 < objective < 1.0):
+            raise _fail(name, "'objective' must be in (0, 1)")
+        params["objective"] = objective
+        params["windows"] = _validate_windows(name, params.get("windows"))
+        signal = params.setdefault("signal", "availability")
+        if signal not in ("availability", "latency"):
+            raise _fail(name, f"unknown signal {signal!r}")
+        if signal == "latency":
+            if float(params.get("threshold_ms", 0.0)) <= 0:
+                raise _fail(name, "latency signal needs 'threshold_ms' > 0")
+            params.setdefault("series", "sconna_request_latency_seconds")
+            params.setdefault("quantile", "0.99")
+        else:
+            params.setdefault("bad_series", "sconna_errors_total")
+            params.setdefault("total_series", "sconna_requests_total")
+    elif kind == "threshold":
+        if not params.get("series"):
+            raise _fail(name, "threshold needs a 'series' name")
+        agg = params.setdefault("agg", "max")
+        if agg not in _AGGS:
+            raise _fail(name, f"unknown agg {agg!r} (expected one of {_AGGS})")
+        op = params.setdefault("op", ">")
+        if op not in _OPS:
+            raise _fail(name, f"unknown op {op!r} (expected one of {_OPS})")
+        if "value" not in params:
+            raise _fail(name, "threshold needs a 'value' bound")
+        params["value"] = float(params["value"])
+        params["window_s"] = float(params.get("window_s", 60.0))
+    elif kind == "replica_down":
+        params.setdefault("series", "sconna_replica_up")
+        params["stale_s"] = float(params.get("stale_s", 10.0))
+    elif kind == "energy_budget":
+        budget = float(params.get("max_joules_per_image", 0.0))
+        if budget <= 0:
+            raise _fail(name, "energy_budget needs 'max_joules_per_image' > 0")
+        params["max_joules_per_image"] = budget
+        params["window_s"] = float(params.get("window_s", 60.0))
+        params.setdefault("energy_series", "sconna_accel_energy_joules_total")
+        params.setdefault("images_series", "sconna_accel_images_total")
+
+    return Rule(
+        name=name, kind=kind, severity=severity, for_s=for_s,
+        action=action, params=params,
+    )
+
+
+def load_rules(path: str) -> "list[Rule]":
+    """Load and validate a TOML or JSON rule file.
+
+    The file holds ``rule`` as a list of tables (TOML ``[[rule]]``) or
+    a JSON object ``{"rule": [...]}`` / bare JSON list.  Duplicate rule
+    names are rejected.
+    """
+    text_path = str(path)
+    if text_path.endswith(".toml"):
+        import tomllib
+
+        with open(text_path, "rb") as fh:
+            doc = tomllib.load(fh)
+    else:
+        with open(text_path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    specs = doc if isinstance(doc, list) else doc.get("rule")
+    if not isinstance(specs, list) or not specs:
+        raise ValueError(
+            f"{text_path}: expected a non-empty 'rule' list "
+            "([[rule]] tables in TOML)"
+        )
+    rules = [make_rule(spec) for spec in specs]
+    names = [rule.name for rule in rules]
+    for name in names:
+        if names.count(name) > 1:
+            raise ValueError(f"duplicate rule name {name!r}")
+    return rules
+
+
+def default_rules() -> "list[Rule]":
+    """The built-in rule set used when no file is given: availability
+    and latency burn, shed rate, queue depth, replica-down (with drain
+    action), and a generous energy budget."""
+    return [
+        make_rule({
+            "name": "availability-burn",
+            "kind": "burn_rate",
+            "severity": "page",
+            "objective": 0.999,
+            "windows": [[60.0, 14.4], [300.0, 6.0]],
+        }),
+        make_rule({
+            "name": "latency-p99-burn",
+            "kind": "burn_rate",
+            "severity": "page",
+            "signal": "latency",
+            "objective": 0.99,
+            "threshold_ms": 500.0,
+            "windows": [[60.0, 14.4], [300.0, 6.0]],
+        }),
+        make_rule({
+            "name": "shed-rate",
+            "kind": "threshold",
+            "severity": "ticket",
+            "series": "sconna_shed_total",
+            "agg": "rate",
+            "window_s": 60.0,
+            "op": ">",
+            "value": 1.0,
+        }),
+        make_rule({
+            "name": "queue-depth",
+            "kind": "threshold",
+            "severity": "ticket",
+            "series": "sconna_queue_depth",
+            "agg": "max",
+            "window_s": 30.0,
+            "op": ">",
+            "value": 256,
+        }),
+        make_rule({
+            "name": "replica-down",
+            "kind": "replica_down",
+            "severity": "page",
+            "for_s": 0.0,
+            "action": "drain",
+        }),
+        make_rule({
+            "name": "energy-budget",
+            "kind": "energy_budget",
+            "severity": "info",
+            "window_s": 120.0,
+            "max_joules_per_image": 10.0,
+        }),
+    ]
